@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark files (kept out of conftest so the
+module name cannot collide with the test suite's conftest)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Persist a rendered table/histogram under ``results/`` and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,59 @@
+"""Theorem 2 — tree-cover intervals vs. chain-cover entries (Section 5).
+
+The paper proves the interval scheme on the optimal tree cover never needs
+more storage than the best chain compression (without chain reduction),
+and notes trees are the separating family: a tree costs O(n) intervals but
+far more chain entries.  Schubert's multi-hierarchy labeling is reported
+alongside as the second related-work comparator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _utils import record_result
+from repro.baselines import ChainTCIndex
+from repro.bench import chain_comparison, format_table
+from repro.core.index import IntervalTCIndex
+from repro.graph.generators import random_dag, random_tree
+
+
+@pytest.fixture(scope="module")
+def chain_rows(scale):
+    sizes = tuple(dict.fromkeys(
+        max(30, scale["nodes"] // factor) for factor in (16, 8, 4)))
+    return chain_comparison(sizes, (1.5, 2, 3), seed=1989)
+
+
+def test_theorem_2_inequality(chain_rows):
+    """intervals <= chain entries, for both decompositions, on every graph."""
+    record_result(
+        "chain_cover",
+        format_table(chain_rows, title="Theorem 2: tree cover vs chain cover"),
+    )
+    for row in chain_rows:
+        assert row["intervals"] <= row["chain_entries_greedy"], row
+        assert row["intervals"] <= row["chain_entries_optimal"], row
+
+
+def test_trees_separate_the_schemes():
+    """On a tree the interval scheme is O(n) but chains pay much more."""
+    tree = random_tree(300, 1989)
+    intervals = IntervalTCIndex.build(tree, gap=1).num_intervals
+    chain_entries = ChainTCIndex.build(tree, "optimal").num_entries
+    assert intervals == 300          # exactly one interval per node
+    assert chain_entries > 2 * intervals
+
+
+def test_schubert_storage_grows_with_overlap(chain_rows):
+    """Schubert's per-hierarchy labels pay for the max in-degree."""
+    for row in chain_rows:
+        if row["degree"] >= 2:
+            assert row["schubert_intervals"] >= row["intervals"], row
+
+
+def test_chain_build_kernel(benchmark, scale):
+    """Timing kernel: greedy chain index construction."""
+    graph = random_dag(min(300, scale["nodes"]), 2, 1989)
+    result = benchmark(lambda: ChainTCIndex.build(graph, "greedy"))
+    assert result.num_entries > 0

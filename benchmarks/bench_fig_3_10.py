@@ -1,0 +1,46 @@
+"""Figure 3.10 — adds the inverse closure to the Figure 3.9 comparison.
+
+Paper shape: the inverse closure starts enormous (a sparse graph reaches
+almost nothing, so almost every ordered pair is stored), falls rapidly as
+degree grows, but the compressed closure "stays well below" it across the
+sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _utils import record_result
+from repro.baselines import InverseTCIndex
+from repro.bench import format_table, storage_vs_degree
+from repro.graph.generators import random_dag
+
+
+@pytest.fixture(scope="module")
+def inverse_rows(scale):
+    return storage_vs_degree(scale["nodes"], scale["degrees"], seed=1989,
+                             include_inverse=True)
+
+
+def test_fig_3_10_shape(inverse_rows, scale):
+    """Inverse closure decays but never undercuts the compressed closure."""
+    record_result(
+        "fig_3_10",
+        format_table(inverse_rows,
+                     title=f"Figure 3.10: + inverse closure, n={scale['nodes']}"),
+    )
+    inverse_multiples = [row["inverse_multiple"] for row in inverse_rows]
+    # Strictly decreasing across the sweep (the paper's "falls rapidly").
+    assert all(earlier > later for earlier, later
+               in zip(inverse_multiples, inverse_multiples[1:]))
+    # The compressed closure stays below the inverse closure everywhere.
+    for row in inverse_rows:
+        assert row["compressed"] < row["inverse"], row
+
+
+def test_inverse_build_kernel(benchmark, scale):
+    """Timing kernel: inverse-closure construction (O(n^2) by design)."""
+    nodes = min(scale["nodes"], 500)
+    graph = random_dag(nodes, 4, 1989)
+    result = benchmark(lambda: InverseTCIndex.build(graph))
+    assert result.num_pairs > 0

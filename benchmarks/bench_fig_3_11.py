@@ -1,0 +1,74 @@
+"""Figure 3.11 — storage for a degree-2 graph as a function of node count.
+
+Paper shape: at fixed average degree, the full-closure multiple keeps
+growing with graph size while the compressed multiple grows much slower —
+"better compression for larger graphs".
+
+Calibration note (see EXPERIMENTS.md, E-3.11): under a *uniform* random
+arc placement the two multiples grow roughly in parallel — the compressed
+closure stays strictly smaller at every size, but the *relative* gap does
+not widen.  Under a topologically *local* arc placement (arcs bounded to a
+window of 20 positions, the shape of real part/concept hierarchies) the
+paper's claim shows up dramatically: the full multiple explodes with n
+while the compressed multiple stays nearly flat.  Both workloads are
+regenerated here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _utils import record_result
+from repro.bench import format_table, storage_vs_size
+from repro.core.index import IntervalTCIndex
+from repro.graph.generators import random_dag_local
+
+
+@pytest.fixture(scope="module")
+def uniform_rows(scale):
+    return storage_vs_size(scale["sizes"], degree=2.0, seed=1989, trials=3,
+                           workload="uniform")
+
+
+@pytest.fixture(scope="module")
+def local_rows(scale):
+    return storage_vs_size(scale["sizes"], degree=2.0, seed=1989, trials=3,
+                           workload="local")
+
+
+def test_fig_3_11_uniform_workload(uniform_rows):
+    """Uniform arcs: compressed strictly below full at every size."""
+    record_result(
+        "fig_3_11_uniform",
+        format_table(uniform_rows,
+                     title="Figure 3.11 (uniform arcs): storage vs size, degree 2"),
+    )
+    for row in uniform_rows:
+        assert row["compressed"] < row["full_closure"], row
+    # The full-closure multiple keeps rising with size.
+    full_multiples = [row["full_multiple"] for row in uniform_rows]
+    assert full_multiples[-1] > full_multiples[0]
+
+
+def test_fig_3_11_local_workload(local_rows):
+    """Local arcs: the paper's better-compression-at-scale trend."""
+    record_result(
+        "fig_3_11_local",
+        format_table(local_rows,
+                     title="Figure 3.11 (local arcs, window 20): storage vs size"),
+    )
+    ratios = [row["full_multiple"] / row["compressed_multiple"] for row in local_rows]
+    # Compression ratio improves monotonically from smallest to largest size.
+    assert ratios[-1] > 1.5 * ratios[0], ratios
+    # Compressed multiple stays within a small band while full explodes.
+    compressed = [row["compressed_multiple"] for row in local_rows]
+    full = [row["full_multiple"] for row in local_rows]
+    assert max(compressed) < 3 * min(compressed)
+    assert full[-1] > 4 * full[0]
+
+
+def test_large_build_kernel(benchmark, scale):
+    """Timing kernel: build at the figure's largest size (local workload)."""
+    graph = random_dag_local(scale["sizes"][-1], 2, 1989, window=20)
+    result = benchmark(lambda: IntervalTCIndex.build(graph, gap=1))
+    assert result.num_intervals >= graph.num_nodes

@@ -1,0 +1,71 @@
+"""Figure 3.12 — frequency distribution of interval counts over 8-node DAGs.
+
+The paper enumerates all 8-node DAGs and histograms the total number of
+intervals in the compressed closure, "demonstrating the infrequency of
+worst-case graphs".  Exhaustive enumeration over a fixed topological
+order is 2^28 graphs, so we enumerate exhaustively at 5 nodes and sample
+uniformly at 8 (see DESIGN.md).  Shape checks: the mass concentrates near
+the n-interval tree bound and the quadratic worst case has (near-)zero
+frequency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _utils import record_result
+from repro.bench import format_histogram, interval_census
+from repro.core.index import IntervalTCIndex
+from repro.graph.generators import sample_dags
+
+
+@pytest.fixture(scope="module")
+def census_8(scale):
+    return interval_census(8, sample=scale["census_samples"], seed=1989)
+
+
+def test_fig_3_12_sampled_8_nodes(census_8, scale):
+    """Sampled census at the paper's n=8."""
+    record_result(
+        "fig_3_12",
+        format_histogram(census_8,
+                         title=f"Figure 3.12: interval census of 8-node DAGs "
+                               f"({scale['census_samples']} uniform samples)"),
+    )
+    total = sum(census_8.values())
+    # Worst case for n=8 is floor((8+1)^2/4) = 20 intervals; it must be
+    # essentially absent from a uniform sample.
+    worst_mass = sum(count for intervals, count in census_8.items() if intervals >= 17)
+    assert worst_mass / total < 0.01
+    # The bulk sits within [n, ~2n]: compression stays linear-ish.
+    near_tree = sum(count for intervals, count in census_8.items() if intervals <= 16)
+    assert near_tree / total > 0.99
+    # Mode is close to the tree bound of 8 intervals.
+    mode = max(census_8, key=census_8.get)
+    assert 8 <= mode <= 12
+
+
+def test_fig_3_12_exhaustive_5_nodes():
+    """Exhaustive census at n=5 (all 1024 fixed-order DAGs)."""
+    census = interval_census(5, sample=None)
+    record_result(
+        "fig_3_12_exhaustive_n5",
+        format_histogram(census, title="Figure 3.12 (exhaustive, n=5): all 1024 DAGs"),
+    )
+    assert sum(census.values()) == 1024
+    # Every DAG needs at least one interval per node.
+    assert min(census) >= 5
+    # n=5 worst case is floor((5+1)^2/4) = 9 intervals.
+    assert max(census) <= 9
+
+
+def test_census_kernel(benchmark):
+    """Timing kernel: index builds over a stream of sampled 8-node DAGs."""
+    graphs = list(sample_dags(8, 200, 42))
+
+    def build_all() -> int:
+        return sum(IntervalTCIndex.build(graph, gap=1).num_intervals
+                   for graph in graphs)
+
+    total = benchmark(build_all)
+    assert total >= 8 * len(graphs)

@@ -1,0 +1,68 @@
+"""Figure 3.9 — storage for a 1000-node graph as a function of average degree.
+
+Series: original relation (the 1.0 baseline), full transitive closure,
+compressed closure; all plotted as multiples of the original relation.
+Paper shape: the closure explodes by degree ~3-4 then flattens; the
+compressed closure rises, peaks, then *falls* with degree, eventually
+dropping below the original relation itself (checked here on an extended
+degree sweep).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _utils import record_result
+from repro.bench import ascii_chart, format_table, storage_vs_degree
+from repro.core.index import IntervalTCIndex
+from repro.graph.generators import random_dag
+
+
+@pytest.fixture(scope="module")
+def degree_rows(scale):
+    return storage_vs_degree(scale["nodes"], scale["degrees"], seed=1989)
+
+
+def test_fig_3_9_shape(degree_rows, scale):
+    """The paper's qualitative claims about the two curves."""
+    record_result(
+        "fig_3_9",
+        format_table(degree_rows,
+                     title=f"Figure 3.9: storage vs degree, n={scale['nodes']}")
+        + "\n\n"
+        + ascii_chart(degree_rows, "degree",
+                      ["full_multiple", "compressed_multiple"],
+                      title="Figure 3.9 (rendered): storage as a multiple of "
+                            "the relation"),
+    )
+    by_degree = {row["degree"]: row for row in degree_rows}
+    # Full closure grows explosively at low degree ...
+    assert by_degree[3]["full_multiple"] > 2 * by_degree[1]["full_multiple"]
+    # ... and the compressed closure stays below it from degree 2 on.
+    for degree in scale["degrees"][1:]:
+        assert by_degree[degree]["compressed"] < by_degree[degree]["full_closure"]
+    # The compressed curve turns over: its peak is strictly inside the sweep.
+    multiples = [row["compressed_multiple"] for row in degree_rows]
+    peak_at = multiples.index(max(multiples))
+    assert 0 < peak_at < len(multiples) - 1
+    assert multiples[-1] < max(multiples)
+
+
+def test_fig_3_9_crossover_below_relation(scale):
+    """Extended sweep: the compressed closure dips below the relation itself."""
+    rows = storage_vs_degree(scale["nodes"], scale["extended_degrees"], seed=1989)
+    record_result(
+        "fig_3_9_extended",
+        format_table(rows, title="Figure 3.9 (extended degrees): compressed "
+                                 "closure crosses below the original relation"),
+    )
+    assert rows[-1]["compressed_multiple"] < 1.0, (
+        "compressed closure should end below the original relation at high degree"
+    )
+
+
+def test_build_kernel(benchmark, scale):
+    """Timing kernel: one compressed-closure build at the figure's midpoint."""
+    graph = random_dag(scale["nodes"], 4, 1989)
+    result = benchmark(lambda: IntervalTCIndex.build(graph, gap=1))
+    assert result.num_intervals >= scale["nodes"]

@@ -1,0 +1,65 @@
+"""Section 2.2 — I/O traffic of paged closures through a buffer pool.
+
+"In the case of large relations, the information will reside on secondary
+storage, and hence we need to minimise I/O traffic."  Both closure layouts
+are packed onto fixed-size pages behind identical LRU pools; the same
+random query load is replayed against each and page faults are compared.
+The compressed layout occupies fewer pages, so the same pool covers a
+larger fraction of it: strictly fewer faults.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _utils import record_result
+from repro.baselines import FullTCIndex
+from repro.bench import format_table, io_traffic
+from repro.core.index import IntervalTCIndex
+from repro.graph.generators import random_dag
+from repro.storage.pager import BufferPool, PagedIntervalStore, PagedSuccessorStore
+
+
+@pytest.fixture(scope="module")
+def io_rows(scale):
+    return io_traffic(min(500, scale["nodes"]), 3.0, queries=scale["queries"],
+                      pool_pages=8, page_capacity=128, seed=1989)
+
+
+def test_compressed_layout_faults_less(io_rows):
+    record_result(
+        "io_traffic",
+        format_table(io_rows, title="Paged closures: page faults for the same "
+                                    "query load (8-page LRU pool)"),
+    )
+    full_row, compressed_row = io_rows
+    assert compressed_row["pages"] < full_row["pages"]
+    assert compressed_row["page_faults"] < full_row["page_faults"]
+    assert compressed_row["hit_ratio"] > full_row["hit_ratio"]
+
+
+def test_paged_query_kernel(benchmark, scale):
+    """Timing kernel: paged interval store serving queries through the pool."""
+    graph = random_dag(min(300, scale["nodes"]), 3, 1989)
+    index = IntervalTCIndex.build(graph, gap=1)
+    store = PagedIntervalStore(index, pool=BufferPool(8), page_capacity=128)
+    rng = random.Random(9)
+    nodes = list(graph.nodes())
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(500)]
+    hits = benchmark(lambda: sum(store.reachable(u, v) for u, v in pairs))
+    assert 0 <= hits <= len(pairs)
+
+
+def test_paged_full_store_kernel(benchmark, scale):
+    """Timing kernel: the full-closure layout on the same load."""
+    graph = random_dag(min(300, scale["nodes"]), 3, 1989)
+    closure = FullTCIndex.build(graph)
+    store = PagedSuccessorStore(closure, list(graph.nodes()),
+                                pool=BufferPool(8), page_capacity=128)
+    rng = random.Random(9)
+    nodes = list(graph.nodes())
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(500)]
+    hits = benchmark(lambda: sum(store.reachable(u, v) for u, v in pairs))
+    assert 0 <= hits <= len(pairs)

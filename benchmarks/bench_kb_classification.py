@@ -1,0 +1,93 @@
+"""Section 2.1's workload — classification over a growing knowledge base.
+
+"Computing the subsumption relationship between a new concept and
+previously known ones is the key inference ... this relationship is
+therefore precomputed, cached as a hierarchy, and must be managed
+efficiently."  This benchmark classifies a stream of feature-defined
+concepts into a taxonomy backed by the interval index and checks the two
+claims that matter: insertion stays cheap as the KB grows, and subsumption
+probes answer from the cache instead of traversing definitions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _utils import record_result
+from repro.bench import format_table
+from repro.kb.classifier import Classifier
+
+FEATURE_POOL = [f"f{i}" for i in range(14)]
+
+
+def _definition_stream(count: int, seed: int):
+    rng = random.Random(seed)
+    for counter in range(count):
+        size = rng.randint(1, 5)
+        yield ("concept", counter), sorted(rng.sample(FEATURE_POOL, size))
+
+
+def _classify_stream(count: int, seed: int) -> Classifier:
+    classifier = Classifier()
+    for name, features in _definition_stream(count, seed):
+        try:
+            classifier.define(name, features=features)
+        except Exception:  # duplicate denotation returns existing; never raises
+            raise
+    return classifier
+
+
+@pytest.fixture(scope="module")
+def grown(scale):
+    count = max(150, scale["nodes"] // 4)
+    return _classify_stream(count, 1989), count
+
+
+def test_classified_lattice_is_consistent(grown):
+    classifier, count = grown
+    classifier.check_lattice_consistency()
+    classifier.taxonomy.index.verify()
+    rows = [{
+        "definitions": count,
+        "distinct_concepts": len(classifier.concepts()),
+        "storage_units": classifier.taxonomy.storage_units,
+        "units_per_concept": classifier.taxonomy.storage_units
+        / max(1, len(classifier.concepts())),
+    }]
+    record_result(
+        "kb_classification",
+        format_table(rows, title="Section 2.1: classification workload"),
+    )
+    # Feature lattices overlap heavily; the index must stay near-linear.
+    assert rows[0]["units_per_concept"] < 30
+
+
+def test_subsumption_probe_is_cached(grown):
+    """A subsumption probe must not scale with definition count."""
+    classifier, _ = grown
+    concepts = sorted(classifier.concepts(), key=str)
+    rng = random.Random(3)
+    probes = [(rng.choice(concepts), rng.choice(concepts)) for _ in range(500)]
+    for general, specific in probes:
+        expected = classifier.features_of(general) <= \
+            classifier.features_of(specific)
+        assert classifier.subsumes(general, specific) == expected
+
+
+def test_classification_kernel(benchmark, scale):
+    """Timing kernel: classify a full definition stream."""
+    count = max(100, scale["nodes"] // 8)
+    classifier = benchmark(lambda: _classify_stream(count, 7))
+    assert len(classifier.concepts()) > 1
+
+
+def test_probe_kernel(benchmark, grown):
+    """Timing kernel: cached subsumption probes."""
+    classifier, _ = grown
+    concepts = sorted(classifier.concepts(), key=str)
+    rng = random.Random(5)
+    pairs = [(rng.choice(concepts), rng.choice(concepts)) for _ in range(2000)]
+    hits = benchmark(lambda: sum(classifier.subsumes(g, s) for g, s in pairs))
+    assert 0 <= hits <= len(pairs)

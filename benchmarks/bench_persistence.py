@@ -1,0 +1,106 @@
+"""Extension experiment — persistence formats for a built closure.
+
+"Compression is a one-time activity, and once the compressed closure has
+been obtained, it can be repeatedly used" (Section 3.2) — which makes the
+persisted artifact's size and load cost part of the system's story.
+Compares the JSON document (debuggable, label-agnostic) against the RTCX
+binary page format (compact, query-able without full deserialisation),
+and both against rebuilding from scratch.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from _utils import record_result
+from repro.bench import format_table
+from repro.core.index import IntervalTCIndex
+from repro.core.serialize import index_to_dict, load_index, save_index
+from repro.graph.generators import random_dag
+from repro.storage.diskindex import DiskIntervalIndex, write_index
+
+
+@pytest.fixture(scope="module")
+def persisted(tmp_path_factory, scale):
+    base = tmp_path_factory.mktemp("persist")
+    graph = random_dag(min(1000, scale["nodes"]), 3, 1989)
+    build_start = time.perf_counter()
+    index = IntervalTCIndex.build(graph, gap=1)
+    build_seconds = time.perf_counter() - build_start
+
+    json_path = base / "closure.json"
+    save_index(index, json_path)
+    rtcx_path = base / "closure.rtcx"
+    write_index(index, rtcx_path)
+    return graph, index, build_seconds, json_path, rtcx_path
+
+
+def test_persistence_profile(persisted):
+    graph, index, build_seconds, json_path, rtcx_path = persisted
+
+    load_start = time.perf_counter()
+    loaded = load_index(json_path)
+    json_load_seconds = time.perf_counter() - load_start
+
+    open_start = time.perf_counter()
+    with DiskIntervalIndex.open(rtcx_path) as disk:
+        open_seconds = time.perf_counter() - open_start
+        sample = list(graph.nodes())[:50]
+        for node in sample:
+            assert disk.reachable(node, node)
+
+    rows = [
+        {"artifact": "rebuild from graph", "bytes": "-",
+         "seconds": build_seconds},
+        {"artifact": "JSON document", "bytes": json_path.stat().st_size,
+         "seconds": json_load_seconds},
+        {"artifact": "RTCX binary", "bytes": rtcx_path.stat().st_size,
+         "seconds": open_seconds},
+    ]
+    record_result("persistence",
+                  format_table(rows, title="Persisting a built closure"))
+
+    # The binary format is smaller than the JSON document (the margin
+    # grows with index size; fixed-width u64 fields dominate at tiny n).
+    assert rtcx_path.stat().st_size < json_path.stat().st_size
+    # Opening the binary index (directory only) beats full JSON loading.
+    assert open_seconds < json_load_seconds
+    # And the loaded JSON index answers identically.
+    for node in list(graph.nodes())[:50]:
+        assert loaded.successors(node) == index.successors(node)
+
+
+def test_json_size_tracks_intervals(persisted):
+    _, index, _, json_path, _ = persisted
+    document = index_to_dict(index)
+    assert len(json.dumps(document)) == json_path.stat().st_size
+
+
+def test_json_load_kernel(benchmark, persisted):
+    _, _, _, json_path, _ = persisted
+    loaded = benchmark(lambda: load_index(json_path))
+    assert len(loaded) > 0
+
+
+def test_rtcx_open_kernel(benchmark, persisted):
+    _, _, _, _, rtcx_path = persisted
+
+    def open_and_probe() -> int:
+        with DiskIntervalIndex.open(rtcx_path) as disk:
+            return len(disk)
+
+    assert benchmark(open_and_probe) > 0
+
+
+def test_rtcx_query_kernel(benchmark, persisted):
+    graph, _, _, _, rtcx_path = persisted
+    import random
+    rng = random.Random(11)
+    nodes = list(graph.nodes())
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(500)]
+    with DiskIntervalIndex.open(rtcx_path) as disk:
+        hits = benchmark(lambda: sum(disk.reachable(u, v) for u, v in pairs))
+        assert 0 <= hits <= len(pairs)

@@ -1,0 +1,68 @@
+"""Sections 2.1/6 — closure queries: index lookup vs. pointer chasing.
+
+"With the compressed closure, answering a transitive closure query in a
+deductive database system reduces to a lookup instead of a graph
+traversal" (Section 6).  This experiment quantifies that on random DAGs:
+wall-clock per query and DFS work per query.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _utils import record_result
+from repro.baselines import PointerChasingIndex
+from repro.bench import format_table, query_effort
+from repro.core.index import IntervalTCIndex
+from repro.graph.generators import random_dag
+
+
+@pytest.fixture(scope="module")
+def effort_rows(scale):
+    return query_effort(scale["nodes"], 3.0, queries=scale["queries"], seed=1989)
+
+
+def test_lookup_beats_traversal(effort_rows):
+    record_result(
+        "query_speed",
+        format_table(effort_rows,
+                     title="Query effort: interval lookup vs pointer chasing"),
+    )
+    (row,) = effort_rows
+    assert row["speedup"] > 2.0
+    assert row["dfs_nodes_per_query"] > 1.0
+
+
+@pytest.fixture(scope="module")
+def query_setup(scale):
+    graph = random_dag(scale["nodes"], 3, 1989)
+    index = IntervalTCIndex.build(graph, gap=1)
+    chaser = PointerChasingIndex.build(graph)
+    rng = random.Random(3)
+    nodes = list(graph.nodes())
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(scale["queries"])]
+    return index, chaser, pairs
+
+
+def test_index_query_kernel(benchmark, query_setup):
+    """Timing kernel: batched interval lookups."""
+    index, _, pairs = query_setup
+    hits = benchmark(lambda: sum(index.reachable(u, v) for u, v in pairs))
+    assert 0 <= hits <= len(pairs)
+
+
+def test_pointer_chasing_kernel(benchmark, query_setup):
+    """Timing kernel: the same batch answered by DFS (the '1989 status quo')."""
+    _, chaser, pairs = query_setup
+    hits = benchmark(lambda: sum(chaser.reachable(u, v) for u, v in pairs))
+    assert 0 <= hits <= len(pairs)
+
+
+def test_successor_enumeration_kernel(benchmark, query_setup):
+    """Timing kernel: decoding full successor sets from intervals."""
+    index, _, pairs = query_setup
+    sources = [u for u, _ in pairs[:200]]
+    total = benchmark(lambda: sum(len(index.successors(u)) for u in sources))
+    assert total >= len(sources)

@@ -1,0 +1,54 @@
+"""Ablation — how much does Alg1's tree-cover choice actually buy?
+
+Theorem 1 says Alg1 minimises the total interval count over all tree
+covers.  This experiment quantifies the margin against naive policies
+(first/last parent, random parent, and the pessimal smallest-predecessor-
+set choice) on random DAGs.  DESIGN.md lists this as ablation #1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _utils import record_result
+from repro.bench import format_table, tree_cover_ablation
+from repro.core.index import IntervalTCIndex
+from repro.core.tree_cover import POLICIES, build_tree_cover
+from repro.graph.generators import random_dag
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(scale):
+    sizes = (max(50, scale["nodes"] // 8), max(100, scale["nodes"] // 4))
+    return tree_cover_ablation(sizes, (2, 4), seed=1989)
+
+
+def test_alg1_is_never_beaten(ablation_rows):
+    record_result(
+        "tree_cover_ablation",
+        format_table(ablation_rows,
+                     title="Ablation: interval count per tree-cover policy"),
+    )
+    for row in ablation_rows:
+        for policy in POLICIES:
+            assert row["alg1"] <= row[policy], (row, policy)
+
+
+def test_alg1_margin_is_material(ablation_rows):
+    """Against the pessimal policy the optimal cover saves real storage."""
+    for row in ablation_rows:
+        assert row["min_pred"] > row["alg1"] * 1.05, row
+
+
+def test_cover_build_kernel(benchmark, scale):
+    """Timing kernel: Alg1 tree-cover construction alone."""
+    graph = random_dag(scale["nodes"], 4, 1989)
+    cover = benchmark(lambda: build_tree_cover(graph, "alg1"))
+    assert len(cover.parent) == graph.num_nodes
+
+
+def test_full_build_by_policy(benchmark, scale):
+    """Timing kernel: full build under the default policy (for comparison)."""
+    graph = random_dag(min(500, scale["nodes"]), 4, 1989)
+    result = benchmark(lambda: IntervalTCIndex.build(graph, policy="alg1", gap=1))
+    assert result.policy == "alg1"

@@ -1,0 +1,53 @@
+"""Extension experiment — compression profile across graph families.
+
+Not a single paper figure, but the synthesis of its analysis sections:
+trees cost exactly 2 units/node (Section 3.1), deep hierarchies stay near
+that bound (the Lassie observation), bipartite worst cases blow up
+quadratically (Figure 3.6), and the random families sit in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _utils import record_result
+from repro.bench import compression_by_workload, format_table, make_workload
+from repro.core.index import IntervalTCIndex
+
+
+@pytest.fixture(scope="module")
+def profile_rows(scale):
+    nodes = max(100, scale["nodes"] // 4)
+    return compression_by_workload(nodes, 2.0, seed=1989)
+
+
+def test_profile_table(profile_rows):
+    record_result(
+        "workload_profile",
+        format_table(profile_rows,
+                     title="Compression profile across graph families"),
+    )
+    by_name = {row["workload"]: row for row in profile_rows}
+    # Trees sit exactly at the 2-units-per-node bound.
+    assert by_name["tree"]["units_per_node"] == pytest.approx(2.0)
+    # Hierarchies stay a small constant above it (the paper's Lassie
+    # claim), far from the quadratic bipartite regime.
+    assert by_name["hierarchy"]["units_per_node"] < \
+        by_name["bipartite"]["units_per_node"] / 3
+    # The engineered bipartite worst case is by far the heaviest family.
+    heaviest = max(profile_rows, key=lambda row: row["units_per_node"])
+    assert heaviest["workload"] == "bipartite"
+
+
+def test_depth_correlates_with_compression(profile_rows):
+    """Deeper families compress better than the shallow bipartite one."""
+    by_name = {row["workload"]: row for row in profile_rows}
+    assert by_name["grid"]["compression"] > by_name["bipartite"]["compression"]
+    assert by_name["local"]["compression"] > by_name["uniform"]["compression"]
+
+
+def test_workload_build_kernel(benchmark, scale):
+    """Timing kernel: index build on the hierarchy family."""
+    graph = make_workload("hierarchy", max(100, scale["nodes"] // 4), 1.5, 1989)
+    result = benchmark(lambda: IntervalTCIndex.build(graph, gap=1))
+    assert result.num_intervals >= graph.num_nodes

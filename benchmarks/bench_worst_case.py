@@ -1,0 +1,62 @@
+"""Figures 3.6 / 3.7 — the bipartite worst case and the intermediary fix.
+
+K(m, k) (every source points to every sink) drives the compressed closure
+to Theta(n^2/4) intervals; adding one hub node between the two sides
+(identical source->sink reachability) restores O(n).  The paper uses this
+pair to argue worst cases are an artifact of "a large number of nodes
+[having] the same set of immediate successors" and are engineering-fixable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _utils import record_result
+from repro.bench import format_table, worst_case_bipartite
+from repro.core.index import IntervalTCIndex
+from repro.graph.generators import bipartite_with_intermediary, bipartite_worst_case
+
+
+@pytest.fixture(scope="module")
+def worst_rows():
+    return worst_case_bipartite(15, 16)
+
+
+def test_fig_3_6_and_3_7(worst_rows):
+    """Quadratic blow-up without the hub, linear with it."""
+    record_result(
+        "fig_3_6_3_7",
+        format_table(worst_rows, title="Figures 3.6/3.7: bipartite worst case"),
+    )
+    direct, hubbed = worst_rows
+    num_sources, num_sinks = 15, 16
+    n = num_sources + num_sinks
+    # Paper: the worst case costs about (n+1)^2/4 intervals overall; here
+    # each of the m sources keeps ~k intervals (one per sink subtree it
+    # cannot cover through the single tree arc).
+    assert direct["intervals"] >= num_sources * (num_sinks - 1)
+    # The hub collapses it to O(n): paper gives (m+2) + 2(n-m-1) ~ 2n-m.
+    assert hubbed["intervals"] <= 2 * n
+    assert hubbed["intervals"] * 4 < direct["intervals"]
+
+
+def test_worst_case_scaling():
+    """The direct construction really grows quadratically, the hub linearly."""
+    direct_counts = []
+    hub_counts = []
+    for half in (5, 10, 20):
+        direct_counts.append(
+            IntervalTCIndex.build(bipartite_worst_case(half, half), gap=1).num_intervals)
+        hub_counts.append(
+            IntervalTCIndex.build(bipartite_with_intermediary(half, half),
+                                  gap=1).num_intervals)
+    # Doubling m quadruples the direct cost (about), but only doubles the hub cost.
+    assert direct_counts[2] > 3.2 * direct_counts[1] > 10 * hub_counts[1] / 4
+    assert hub_counts[2] < 2.5 * hub_counts[1]
+
+
+def test_worst_case_kernel(benchmark):
+    """Timing kernel: building the quadratic-closure graph."""
+    graph = bipartite_worst_case(25, 25)
+    result = benchmark(lambda: IntervalTCIndex.build(graph, gap=1))
+    assert result.num_intervals >= 25 * 24

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A miniature deductive database: alpha-extended relational algebra.
+
+Section 6 of the paper: "With the compressed closure, answering a
+transitive closure query in a deductive database system reduces to a
+lookup instead of a graph traversal.  Indeed, we are planning to
+incorporate these techniques in prototype systems based on [an]
+alpha-extended relational algebra."
+
+This example is that prototype in miniature: classic recursive queries —
+ancestors, reachable cities, management chains — expressed as algebra
+trees whose `Alpha` nodes are evaluated through the interval index.
+
+Run:  python examples/deductive_database.py
+"""
+
+from repro.storage import (
+    AlgebraEngine,
+    Alpha,
+    AlphaPlus,
+    BinaryRelation,
+    Compose,
+    Difference,
+    Inverse,
+    Rel,
+    Select,
+)
+
+# ----------------------------------------------------------------------
+# 1. Base relations (the EDB).
+# ----------------------------------------------------------------------
+parent = BinaryRelation([
+    ("terach", "abraham"), ("terach", "nachor"), ("terach", "haran"),
+    ("abraham", "isaac"), ("haran", "lot"), ("haran", "milcah"),
+    ("haran", "yiscah"), ("sarah", "isaac"), ("isaac", "esau"),
+    ("isaac", "jacob"), ("jacob", "joseph"),
+])
+
+flight = BinaryRelation([
+    ("SFO", "ORD"), ("SFO", "DEN"), ("DEN", "ORD"), ("ORD", "JFK"),
+    ("JFK", "LHR"), ("LHR", "CDG"), ("CDG", "JFK"),   # transatlantic loop
+    ("DEN", "AUS"),
+])
+
+engine = AlgebraEngine({"parent": parent, "flight": flight})
+
+# ----------------------------------------------------------------------
+# 2. The classic recursive queries, as algebra expressions.
+# ----------------------------------------------------------------------
+print("== genealogy ==")
+ancestor = AlphaPlus(Rel("parent"))                       # strict ancestors
+jacobs_ancestors = engine.evaluate(
+    Select(ancestor, lambda a, d: d == "jacob"))
+print(f"  ancestors(jacob) = {sorted(a for a, _ in jacobs_ancestors)}")
+
+grandparent = Compose(Rel("parent"), Rel("parent"))
+print(f"  grandparchildren(terach) = "
+      f"{sorted(c for g, c in engine.evaluate(grandparent) if g == 'terach')}")
+
+# Proper ancestors that are NOT parents: the derived-only tuples.
+derived = engine.evaluate(Difference(AlphaPlus(Rel("parent")), Rel("parent")))
+print(f"  strictly-derived ancestor pairs: {len(derived)}")
+
+# ----------------------------------------------------------------------
+# 3. Route queries over a *cyclic* relation (the JFK-LHR-CDG loop):
+#    Alpha handles it through SCC condensation.
+# ----------------------------------------------------------------------
+print("\n== flights ==")
+reach = engine.evaluate(Alpha(Rel("flight")))
+print(f"  SFO reaches: {sorted(b for a, b in reach if a == 'SFO' and b != 'SFO')}")
+print(f"  JFK -> CDG -> JFK loop detected: "
+      f"{('JFK', 'JFK') in engine.evaluate(AlphaPlus(Rel('flight')))}")
+
+# Cities that can reach JFK (inverse closure query).
+into_jfk = engine.evaluate(
+    Select(Alpha(Rel("flight")), lambda a, b: b == "JFK" and a != "JFK"))
+print(f"  can reach JFK: {sorted(a for a, _ in into_jfk)}")
+
+# Asymmetric connectivity: reachable one way but not back.
+one_way = engine.evaluate(
+    Difference(AlphaPlus(Rel("flight")), Inverse(AlphaPlus(Rel("flight")))))
+print(f"  one-way city pairs: {len(one_way)}")
+
+# ----------------------------------------------------------------------
+# 4. Why this beats naive evaluation: the Alpha node costs one index
+#    build; every containment test afterwards is a range comparison.
+# ----------------------------------------------------------------------
+closure = engine.evaluate(Alpha(Rel("parent")))
+print(f"\n== accounting ==\n  parent closure holds {len(closure)} tuples "
+      f"derived from {len(parent)} base tuples — materialised once, "
+      f"queried by lookup")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A CLASSIC-style IS-A knowledge base on the compressed closure.
+
+Section 2.1 of the paper motivates the index with terminological
+reasoners: subsumption is asked constantly, concepts arrive
+incrementally ("hierarchy refinement"), and hierarchies overlap (multiple
+inheritance).  This example builds a small medical-device taxonomy,
+classifies new concepts, checks disjointness, and inherits properties —
+all through :class:`repro.kb.Taxonomy` and
+:class:`repro.kb.InheritanceEngine`.
+
+Run:  python examples/knowledge_base.py
+"""
+
+from repro.kb import InheritanceEngine, Taxonomy
+
+# ----------------------------------------------------------------------
+# 1. Grow a taxonomy incrementally (each define() is a Section 4 cheap
+#    insertion, not a closure recomputation).
+# ----------------------------------------------------------------------
+kb = Taxonomy(root="THING")
+for concept, parents in [
+    ("device", []),
+    ("instrument", ["device"]),
+    ("implant", ["device"]),
+    ("electronic-device", ["device"]),
+    ("sensor", ["instrument", "electronic-device"]),
+    ("pacemaker", ["implant", "electronic-device"]),
+    ("thermometer", ["sensor"]),
+    ("glucose-monitor", ["sensor"]),
+    ("implantable-glucose-monitor", ["glucose-monitor", "implant"]),
+]:
+    kb.define(concept, parents)
+
+print(f"taxonomy: {len(kb)} concepts, {kb.storage_units} storage units")
+
+# ----------------------------------------------------------------------
+# 2. Subsumption questions — "a frequent operation ... therefore
+#    precomputed, cached as a hierarchy" (Section 2.1).
+# ----------------------------------------------------------------------
+print("\n== subsumption ==")
+for child, parent in [
+    ("implantable-glucose-monitor", "device"),
+    ("implantable-glucose-monitor", "electronic-device"),
+    ("thermometer", "implant"),
+]:
+    print(f"  {child} IS-A {parent}? {kb.is_a(child, parent)}")
+
+print(f"\n  subconcepts(sensor)   = {sorted(kb.subconcepts('sensor'))}")
+print(f"  superconcepts(pacemaker) = {sorted(kb.superconcepts('pacemaker'))}")
+
+# ----------------------------------------------------------------------
+# 3. Least common subsumers and disjointness (Section 6's "subsumption,
+#    disjointness, least common ancestors").
+# ----------------------------------------------------------------------
+print("\n== reasoning ==")
+lcs = kb.least_common_subsumers(["pacemaker", "implantable-glucose-monitor"])
+print(f"  LCS(pacemaker, implantable-glucose-monitor) = {sorted(lcs)}")
+print(f"  disjoint(thermometer, pacemaker)? {kb.are_disjoint('thermometer', 'pacemaker')}")
+print(f"  disjoint(glucose-monitor, implant)? "
+      f"{kb.are_disjoint('glucose-monitor', 'implant')}")
+
+# ----------------------------------------------------------------------
+# 4. Classification: does a definition already exist between these bounds?
+# ----------------------------------------------------------------------
+existing = kb.classify(parents=["sensor"], children=[])
+print(f"\n  classify(parents=[sensor]) finds existing concept: {existing!r}")
+
+# ----------------------------------------------------------------------
+# 5. Property inheritance along the closure (Section 6).
+# ----------------------------------------------------------------------
+engine = InheritanceEngine(kb)
+engine.set_property("device", "regulated", True)
+engine.set_property("electronic-device", "power", "battery")
+engine.set_property("implant", "sterile", True)
+engine.set_property("pacemaker", "power", "long-life-battery")  # override
+
+print("\n== inherited properties ==")
+for concept in ("pacemaker", "implantable-glucose-monitor", "thermometer"):
+    print(f"  {concept}: {engine.effective_properties(concept)}")
+
+holders = engine.concepts_with_property("sterile")
+print(f"\n  concepts inheriting 'sterile': {sorted(holders)}")
+
+kb.index.verify()
+print("\nsubsumption index verified against pointer-chasing ground truth")

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Terminological classification: definitions become a hierarchy.
+
+Section 2.1 of the paper: in KL-ONE-style systems "a concept is subsumed
+by another by virtue of their definition ... Computing the subsumption
+relationship between a new concept and previously known ones is the key
+inference".  This example feeds feature-based definitions, *in no
+particular order*, to :class:`repro.kb.Classifier`; each one is placed at
+exactly the right spot in the taxonomy, and every placement probe is an
+interval lookup on the compressed closure.
+
+Run:  python examples/terminological_classification.py
+"""
+
+from repro.core.explain import render_tree
+from repro.kb import Classifier
+
+classifier = Classifier()
+
+# ----------------------------------------------------------------------
+# 1. Definitions arrive in arbitrary order — specialisations first,
+#    generalisations later; the classifier sorts it all out.
+# ----------------------------------------------------------------------
+DEFINITIONS = [
+    ("espresso-machine", ["appliance", "heats-water", "pressurises"]),
+    ("appliance-kind", ["appliance"]),
+    ("kettle", ["appliance", "heats-water"]),
+    ("steam-cleaner", ["appliance", "heats-water", "pressurises", "cleans"]),
+    ("water-heater", ["appliance", "heats-water"]),        # same as kettle!
+    ("cleaner", ["appliance", "cleans"]),
+    ("vacuum", ["appliance", "cleans", "suction"]),
+]
+
+for name, features in DEFINITIONS:
+    canonical = classifier.define(name, features=features)
+    note = "" if canonical == name else f"  (equivalent to {canonical!r})"
+    print(f"defined {name!r}{note}")
+
+# 'water-heater' collapsed into 'kettle': identical effective features.
+assert "water-heater" not in classifier.concepts()
+
+# ----------------------------------------------------------------------
+# 2. The inferred hierarchy (nobody stated these links explicitly).
+# ----------------------------------------------------------------------
+print("\n== inferred subsumptions ==")
+for general, specific in [
+    ("appliance-kind", "espresso-machine"),
+    ("kettle", "espresso-machine"),          # heats-water ⊂ its features
+    ("kettle", "steam-cleaner"),
+    ("cleaner", "vacuum"),
+    ("cleaner", "steam-cleaner"),
+    ("kettle", "vacuum"),                    # should be False
+]:
+    print(f"  {general} subsumes {specific}? "
+          f"{classifier.subsumes(general, specific)}")
+
+# ----------------------------------------------------------------------
+# 3. A late generalisation adopts existing concepts beneath it.
+# ----------------------------------------------------------------------
+classifier.define("pressure-device", features=["appliance", "pressurises"])
+print("\nafter defining 'pressure-device' (late generalisation):")
+print(f"  pressure-device subsumes espresso-machine? "
+      f"{classifier.subsumes('pressure-device', 'espresso-machine')}")
+print(f"  pressure-device subsumes steam-cleaner? "
+      f"{classifier.subsumes('pressure-device', 'steam-cleaner')}")
+
+# ----------------------------------------------------------------------
+# 4. The whole lattice, as the index's tree cover sees it.
+# ----------------------------------------------------------------------
+print("\n== taxonomy tree cover ==")
+print(render_tree(classifier.taxonomy.index))
+
+classifier.check_lattice_consistency()
+classifier.taxonomy.index.verify()
+print("\nlattice consistency and closure exactness verified")

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment ships a setuptools without wheel support, so PEP 660
+editable installs fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` fall back to the classic ``setup.py develop`` path.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

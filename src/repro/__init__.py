@@ -1,0 +1,63 @@
+"""repro — interval-labeled transitive closure compression.
+
+A full reproduction of *Efficient Management of Transitive Relationships
+in Large Data and Knowledge Bases* (Agrawal, Borgida & Jagadish, SIGMOD
+1989): the optimal tree-cover interval index, the Section 4 incremental
+update algorithms, every baseline the paper compares against, a simulated
+secondary-storage layer, a knowledge-base taxonomy built on the index, and
+benchmark harnesses regenerating each figure of the evaluation.
+
+Quick start::
+
+    from repro import DiGraph, IntervalTCIndex
+
+    graph = DiGraph([("animal", "mammal"), ("mammal", "dog"), ("animal", "fish")])
+    index = IntervalTCIndex.build(graph)
+    assert index.reachable("animal", "dog")
+    assert not index.reachable("fish", "dog")
+"""
+
+from repro.core import (
+    CondensedIndex,
+    Interval,
+    IntervalSet,
+    IntervalTCIndex,
+    TreeCover,
+    VIRTUAL_ROOT,
+    build_tree_cover,
+)
+from repro.errors import (
+    ArcNotFoundError,
+    CycleError,
+    GraphError,
+    IndexStateError,
+    NodeNotFoundError,
+    NumberingExhaustedError,
+    ReproError,
+    StorageError,
+    TaxonomyError,
+)
+from repro.graph import DiGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArcNotFoundError",
+    "CondensedIndex",
+    "CycleError",
+    "DiGraph",
+    "GraphError",
+    "IndexStateError",
+    "Interval",
+    "IntervalSet",
+    "IntervalTCIndex",
+    "NodeNotFoundError",
+    "NumberingExhaustedError",
+    "ReproError",
+    "StorageError",
+    "TaxonomyError",
+    "TreeCover",
+    "VIRTUAL_ROOT",
+    "build_tree_cover",
+    "__version__",
+]

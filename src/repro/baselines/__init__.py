@@ -1,0 +1,25 @@
+"""Every technique the paper compares the interval index against."""
+
+from repro.baselines.boolean_matrix import BitMatrixTCIndex
+from repro.baselines.chain_cover import (
+    ChainTCIndex,
+    greedy_chain_decomposition,
+    optimal_chain_decomposition,
+)
+from repro.baselines.full_closure import FullTCIndex
+from repro.baselines.inverse_closure import InverseTCIndex
+from repro.baselines.pointer_chasing import PointerChasingIndex, TraversalStats
+from repro.baselines.schubert import SchubertIndex, peel_forests
+
+__all__ = [
+    "BitMatrixTCIndex",
+    "ChainTCIndex",
+    "FullTCIndex",
+    "InverseTCIndex",
+    "PointerChasingIndex",
+    "SchubertIndex",
+    "TraversalStats",
+    "greedy_chain_decomposition",
+    "optimal_chain_decomposition",
+    "peel_forests",
+]

@@ -1,0 +1,150 @@
+"""Schubert-style multi-hierarchy interval labeling (related work, Section 5).
+
+Schubert, Papalaskaris & Taugher (1983) — and independently O'Keefe (1984)
+— label a *tree* with ``[preorder number, highest descendant preorder]``
+intervals.  For "overlapping hierarchies" (general DAGs) their
+generalisation treats each hierarchy independently: every node carries one
+tagged interval *per hierarchy*, and how a graph should be decomposed into
+hierarchies "is not addressed" (paper, Section 5).
+
+This baseline supplies the missing decomposition in the most natural way:
+repeatedly peel a spanning forest off the remaining arcs until every arc
+belongs to some forest, then label each forest separately.  The resulting
+index is:
+
+* **sound** — a hit in any single hierarchy corresponds to a real path;
+* **incomplete** — a path alternating between hierarchies is invisible,
+  which is exactly the weakness the paper's single-tree-cover-plus-
+  propagation design removes.
+
+``reachable`` therefore answers possibly-false negatives; tests assert
+soundness and quantify incompleteness, and the comparison benchmark
+reports its storage (``2 * n * num_hierarchies`` end-points) against the
+interval index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.intervals import Interval
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import topological_order
+
+
+def peel_forests(graph: DiGraph) -> List[Dict[Node, Node]]:
+    """Decompose the arc set into spanning forests (parent maps).
+
+    Round ``k`` gives every node at most one parent chosen among its
+    not-yet-used incoming arcs; the number of rounds equals the maximum
+    in-degree.  Each round is a forest because the graph is acyclic.
+    """
+    remaining: Dict[Node, List[Node]] = {
+        node: sorted(graph.predecessors(node), key=str) for node in graph
+    }
+    forests: List[Dict[Node, Node]] = []
+    while any(remaining.values()):
+        forest: Dict[Node, Node] = {}
+        for node, parents in remaining.items():
+            if parents:
+                forest[node] = parents.pop(0)
+        forests.append(forest)
+    return forests
+
+
+def _label_forest(graph: DiGraph, forest: Dict[Node, Node]) -> Tuple[Dict[Node, int], Dict[Node, Interval]]:
+    """Preorder-number one forest and compute Schubert intervals."""
+    children: Dict[Node, List[Node]] = {node: [] for node in graph}
+    roots = []
+    order_position = {node: i for i, node in enumerate(topological_order(graph))}
+    for node in graph:
+        parent = forest.get(node)
+        if parent is None:
+            roots.append(node)
+        else:
+            children[parent].append(node)
+    for child_list in children.values():
+        child_list.sort(key=order_position.__getitem__)
+    roots.sort(key=order_position.__getitem__)
+
+    preorder: Dict[Node, int] = {}
+    interval: Dict[Node, Interval] = {}
+    counter = 0
+    for root in roots:
+        stack = [(root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                # Highest preorder in the subtree is the current counter.
+                interval[node] = Interval(preorder[node], counter)
+                continue
+            counter += 1
+            preorder[node] = counter
+            stack.append((node, True))
+            for child in reversed(children[node]):
+                stack.append((child, False))
+    return preorder, interval
+
+
+class SchubertIndex:
+    """Per-hierarchy preorder interval labels for a DAG."""
+
+    def __init__(self, preorders: List[Dict[Node, int]],
+                 intervals: List[Dict[Node, Interval]], num_nodes: int) -> None:
+        self._preorders = preorders
+        self._intervals = intervals
+        self._num_nodes = num_nodes
+
+    @classmethod
+    def build(cls, graph: DiGraph) -> "SchubertIndex":
+        """Peel forests and label each one."""
+        forests = peel_forests(graph)
+        if not forests:
+            forests = [{}]
+        preorders = []
+        intervals = []
+        for forest in forests:
+            preorder, interval = _label_forest(graph, forest)
+            preorders.append(preorder)
+            intervals.append(interval)
+        return cls(preorders, intervals, graph.num_nodes)
+
+    @property
+    def num_hierarchies(self) -> int:
+        """Number of peeled forests (max in-degree of the graph)."""
+        return len(self._intervals)
+
+    def reachable(self, source: Node, destination: Node) -> bool:
+        """Sound but incomplete: true iff some single hierarchy shows a path."""
+        if source not in self._preorders[0]:
+            raise NodeNotFoundError(source)
+        if destination not in self._preorders[0]:
+            raise NodeNotFoundError(destination)
+        if source == destination:
+            return True
+        for preorder, interval in zip(self._preorders, self._intervals):
+            if preorder[destination] in interval[source]:
+                return True
+        return False
+
+    def successors_within_hierarchies(self, source: Node) -> Set[Node]:
+        """Nodes visibly reachable (per-hierarchy paths only)."""
+        if source not in self._preorders[0]:
+            raise NodeNotFoundError(source)
+        result = {source}
+        for preorder, interval in zip(self._preorders, self._intervals):
+            span = interval[source]
+            for node, number in preorder.items():
+                if number in span:
+                    result.add(node)
+        return result
+
+    @property
+    def storage_units(self) -> int:
+        """Two end-points per node per hierarchy (tags charged separately)."""
+        return 2 * self._num_nodes * self.num_hierarchies
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SchubertIndex(nodes={self._num_nodes}, "
+                f"hierarchies={self.num_hierarchies})")

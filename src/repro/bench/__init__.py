@@ -1,0 +1,45 @@
+"""Experiment drivers and reporting for the paper's evaluation section."""
+
+from repro.bench.experiments import (
+    chain_comparison,
+    compression_by_workload,
+    interval_census,
+    io_traffic,
+    merging_benefit,
+    query_effort,
+    storage_vs_degree,
+    storage_vs_size,
+    tree_cover_ablation,
+    update_cost,
+    worst_case_bipartite,
+)
+from repro.bench.report import (
+    ascii_chart,
+    format_histogram,
+    format_table,
+    print_report,
+    summarize_series,
+)
+from repro.bench.workloads import WORKLOADS, make_workload, workload_names
+
+__all__ = [
+    "WORKLOADS",
+    "ascii_chart",
+    "chain_comparison",
+    "compression_by_workload",
+    "format_histogram",
+    "make_workload",
+    "workload_names",
+    "format_table",
+    "interval_census",
+    "io_traffic",
+    "merging_benefit",
+    "print_report",
+    "query_effort",
+    "storage_vs_degree",
+    "storage_vs_size",
+    "summarize_series",
+    "tree_cover_ablation",
+    "update_cost",
+    "worst_case_bipartite",
+]

@@ -1,0 +1,152 @@
+"""Plain-text tables for experiment output.
+
+The paper's figures are line plots; a terminal reproduction prints the
+underlying series as aligned tables so the trends (who wins, where the
+crossovers fall) are readable in CI logs and ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render dict rows as an aligned, pipe-separated text table."""
+    rows = list(rows)
+    if columns is None:
+        columns = list(rows[0]) if rows else []
+    headers = [str(column) for column in columns]
+    body = [[_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(headers[i]), *(len(line[i]) for line in body))
+              if body else len(headers[i]) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in body:
+        lines.append(" | ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_histogram(histogram: Dict[int, int], *, bar_width: int = 50,
+                     title: Optional[str] = None) -> str:
+    """Render an integer histogram as an ASCII bar chart (Figure 3.12)."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not histogram:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(histogram.values())
+    label_width = max(len(str(key)) for key in histogram)
+    count_width = max(len(str(value)) for value in histogram.values())
+    for key in sorted(histogram):
+        count = histogram[key]
+        bar = "#" * max(1, round(bar_width * count / peak)) if count else ""
+        lines.append(f"{str(key).rjust(label_width)} | {str(count).rjust(count_width)} | {bar}")
+    return "\n".join(lines)
+
+
+def ascii_chart(rows: Sequence[Dict[str, object]], x: str,
+                series: Sequence[str], *, width: int = 64, height: int = 16,
+                title: Optional[str] = None,
+                log_y: bool = False) -> str:
+    """Render numeric series as an ASCII line chart (the figures are plots).
+
+    Each series gets its own marker; points are placed on a
+    ``width x height`` grid scaled to the data range (optionally log-scaled
+    on y, which matches how the paper's storage figures are usually read).
+    """
+    markers = "*o+x#@%&"
+    points: Dict[str, list] = {name: [] for name in series}
+    xs: List[float] = []
+    for row in rows:
+        x_value = row.get(x)
+        if not isinstance(x_value, (int, float)):
+            continue
+        xs.append(float(x_value))
+        for name in series:
+            value = row.get(name)
+            points[name].append(float(value)
+                                if isinstance(value, (int, float)) else None)
+    if not xs:
+        return "(no numeric data)"
+
+    import math
+
+    def squash(value: float) -> float:
+        return math.log10(value) if log_y and value > 0 else value
+
+    y_values = [squash(v) for values in points.values()
+                for v in values if v is not None and (not log_y or v > 0)]
+    if not y_values:
+        return "(no numeric data)"
+    y_lo, y_hi = min(y_values), max(y_values)
+    x_lo, x_hi = min(xs), max(xs)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, marker in zip(series, markers):
+        for x_value, y_value in zip(xs, points[name]):
+            if y_value is None or (log_y and y_value <= 0):
+                continue
+            column = round((x_value - x_lo) / x_span * (width - 1))
+            row_position = round((squash(y_value) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row_position][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** y_hi if log_y else y_hi:.3g}"
+    bottom_label = f"{10 ** y_lo if log_y else y_lo:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for position, row_cells in enumerate(grid):
+        if position == 0:
+            label = top_label.rjust(label_width)
+        elif position == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(" " * label_width + f"  {x_lo:g}".ljust(width // 2)
+                 + f"{x} ->".center(width // 4)
+                 + f"{x_hi:g}".rjust(width // 4))
+    legend = "   ".join(f"{marker} {name}"
+                        for name, marker in zip(series, markers))
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def print_report(rows: Iterable[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> None:
+    """Print a table (convenience wrapper used by benches and examples)."""
+    print(format_table(list(rows), columns, title))
+
+
+def summarize_series(rows: Sequence[Dict[str, object]], x: str,
+                     series: Sequence[str]) -> List[str]:
+    """One-line trend summaries ("compressed_multiple: 2.1 -> 0.6 (falling)")."""
+    summaries = []
+    for name in series:
+        values = [row[name] for row in rows if isinstance(row.get(name), (int, float))]
+        if len(values) < 2:
+            continue
+        direction = "rising" if values[-1] > values[0] else (
+            "falling" if values[-1] < values[0] else "flat")
+        summaries.append(
+            f"{name}: {values[0]:.3f} @ {x}={rows[0][x]} -> "
+            f"{values[-1]:.3f} @ {x}={rows[-1][x]} ({direction})"
+        )
+    return summaries

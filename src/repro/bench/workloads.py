@@ -1,0 +1,114 @@
+"""A named registry of the synthetic workloads used across experiments.
+
+Benchmarks, tests, and the CLI all need "give me graph family X at size n,
+degree d".  Registering the families by name keeps those call sites
+consistent and lets new experiments sweep *across* families (the
+per-family compression profile is itself informative: deep/narrow graphs
+sit near the tree bound, wide/shallow ones drift toward Figure 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    bipartite_worst_case,
+    grid_dag,
+    layered_dag,
+    random_dag,
+    random_dag_local,
+    random_hierarchy,
+    random_tree,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named graph family: ``make(num_nodes, degree, seed) -> DiGraph``."""
+
+    name: str
+    description: str
+    make: Callable[[int, float, int], DiGraph]
+
+
+def _uniform(num_nodes: int, degree: float, seed: int) -> DiGraph:
+    return random_dag(num_nodes, degree, seed)
+
+
+def _uniform_connected(num_nodes: int, degree: float, seed: int) -> DiGraph:
+    return random_dag(num_nodes, degree, seed, connect=True)
+
+
+def _local(num_nodes: int, degree: float, seed: int) -> DiGraph:
+    return random_dag_local(num_nodes, degree, seed, window=20)
+
+
+def _tree(num_nodes: int, degree: float, seed: int) -> DiGraph:
+    max_children = max(2, round(degree)) if degree else None
+    return random_tree(num_nodes, seed, max_children=max_children)
+
+
+def _hierarchy(num_nodes: int, degree: float, seed: int) -> DiGraph:
+    probability = min(0.9, max(0.0, degree - 1.0))
+    return random_hierarchy(num_nodes, seed,
+                            multi_parent_probability=probability)
+
+
+def _layered(num_nodes: int, degree: float, seed: int) -> DiGraph:
+    tiers = max(2, num_nodes // 25)
+    per_tier = max(1, num_nodes // tiers)
+    sizes = [per_tier] * tiers
+    sizes[-1] += num_nodes - per_tier * tiers
+    return layered_dag(sizes, degree, seed)
+
+
+def _bipartite(num_nodes: int, degree: float, seed: int) -> DiGraph:
+    half = max(1, num_nodes // 2)
+    return bipartite_worst_case(half, num_nodes - half)
+
+
+def _grid(num_nodes: int, degree: float, seed: int) -> DiGraph:
+    side = max(1, round(num_nodes ** 0.5))
+    return grid_dag(side, side)
+
+
+WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload for workload in (
+        Workload("uniform", "arcs uniform over all forward pairs "
+                            "(the Figure 3.9-3.11 model)", _uniform),
+        Workload("uniform-connected", "uniform arcs, single weak component",
+                 _uniform_connected),
+        Workload("local", "arcs bounded to a topological window of 20 "
+                          "(hierarchy-shaped; the strong Figure 3.11 regime)",
+                 _local),
+        Workload("tree", "random rooted tree (the Section 3.1 best case)",
+                 _tree),
+        Workload("hierarchy", "IS-A-style multiple-inheritance hierarchy "
+                              "(Section 2.1)", _hierarchy),
+        Workload("layered", "layer-to-layer bundles (Lassie-shaped)",
+                 _layered),
+        Workload("bipartite", "complete bipartite worst case (Figure 3.6)",
+                 _bipartite),
+        Workload("grid", "2-D grid with right/down arcs (dense closure)",
+                 _grid),
+    )
+}
+
+
+def make_workload(name: str, num_nodes: int, degree: float = 2.0,
+                  seed: int = 1989) -> DiGraph:
+    """Instantiate a registered workload by name."""
+    try:
+        workload = WORKLOADS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+    return workload.make(num_nodes, degree, seed)
+
+
+def workload_names() -> List[str]:
+    """All registered workload names, sorted."""
+    return sorted(WORKLOADS)

@@ -1,0 +1,269 @@
+"""Command-line interface: build, persist, and query compressed closures.
+
+Installed as ``repro-tc``.  Typical session::
+
+    $ repro-tc build edges.txt -o closure.json
+    $ repro-tc query closure.json alice bob
+    $ repro-tc successors closure.json alice
+    $ repro-tc stats edges.txt
+    $ repro-tc bench fig3.9 --nodes 500
+
+Edge lists are whitespace-separated ``source destination`` lines with
+``#`` comments (see :mod:`repro.graph.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    chain_comparison,
+    compression_by_workload,
+    format_histogram,
+    format_table,
+    interval_census,
+    io_traffic,
+    merging_benefit,
+    query_effort,
+    storage_vs_degree,
+    storage_vs_size,
+    tree_cover_ablation,
+    update_cost,
+    worst_case_bipartite,
+)
+from repro.core import explain
+from repro.core.batch import apply_diff
+from repro.core.index import DEFAULT_GAP, IntervalTCIndex
+from repro.core.serialize import load_index, save_index
+from repro.core.tree_cover import POLICIES
+from repro.errors import ReproError
+from repro.graph.io import load_edge_list
+from repro.graph.metrics import profile
+from repro.storage.model import compare_storage
+
+
+def _load_index_or_build(path: str, *, gap: int = DEFAULT_GAP) -> IntervalTCIndex:
+    """Accept either a saved index (.json) or a raw edge list."""
+    if path.endswith(".json"):
+        return load_index(path)
+    return IntervalTCIndex.build(load_edge_list(path), gap=gap)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges)
+    index = IntervalTCIndex.build(graph, policy=args.policy, gap=args.gap,
+                                  merge=args.merge)
+    if args.output:
+        save_index(index, args.output)
+    stats = index.stats()
+    print(format_table([stats.as_dict()], title="index built"))
+    if args.output:
+        print(f"index written to {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = _load_index_or_build(args.index)
+    answer = index.reachable(args.source, args.destination)
+    print("reachable" if answer else "not-reachable")
+    return 0 if answer else 1
+
+
+def _cmd_successors(args: argparse.Namespace) -> int:
+    index = _load_index_or_build(args.index)
+    for node in sorted(index.successors(args.node, reflexive=False), key=str):
+        print(node)
+    return 0
+
+
+def _cmd_predecessors(args: argparse.Namespace) -> int:
+    index = _load_index_or_build(args.index)
+    for node in sorted(index.predecessors(args.node, reflexive=False), key=str):
+        print(node)
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from pathlib import Path
+    index = _load_index_or_build(args.index)
+    diff_text = Path(args.diff).read_text()
+    passes = apply_diff(index, diff_text)
+    index.check_invariants()
+    output = args.output or (args.index if args.index.endswith(".json") else None)
+    if output:
+        save_index(index, output)
+    print(format_table([index.stats().as_dict()],
+                       title=f"applied {args.diff} ({passes} maintenance passes)"))
+    if output:
+        print(f"index written to {output}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    index = _load_index_or_build(args.index)
+    print(explain.explain_reachability(index, args.source, args.destination))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    index = _load_index_or_build(args.index)
+    print(explain.describe(index, tree=not args.no_tree))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges)
+    print(format_table([profile(graph).as_dict()],
+                       title=f"structural profile of {args.edges}"))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges)
+    comparison = compare_storage(graph, include_inverse=args.inverse)
+    print(format_table([comparison.as_dict()], title=f"storage for {args.edges}"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    name = args.figure
+    if name in ("fig3.9", "fig3.10"):
+        rows = storage_vs_degree(args.nodes, range(1, args.max_degree + 1),
+                                 seed=args.seed,
+                                 include_inverse=(name == "fig3.10"))
+        print(format_table(rows, title=f"{name}: storage vs degree, n={args.nodes}"))
+    elif name == "fig3.11":
+        sizes = [args.nodes // 8, args.nodes // 4, args.nodes // 2, args.nodes]
+        print(format_table(storage_vs_size(sizes, seed=args.seed),
+                           title="fig3.11: storage vs size, degree 2"))
+    elif name == "fig3.12":
+        histogram = interval_census(8, sample=args.sample, seed=args.seed)
+        print(format_histogram(histogram,
+                               title=f"fig3.12: interval census, {args.sample} samples"))
+    elif name == "merging":
+        print(format_table(merging_benefit(seed=args.seed), title="interval merging"))
+    elif name == "worst-case":
+        print(format_table(worst_case_bipartite(), title="fig3.6/3.7"))
+    elif name == "chains":
+        print(format_table(chain_comparison(seed=args.seed), title="Theorem 2"))
+    elif name == "ablation":
+        print(format_table(tree_cover_ablation(seed=args.seed),
+                           title="tree-cover policies"))
+    elif name == "updates":
+        print(format_table(update_cost(seed=args.seed), title="update costs"))
+    elif name == "queries":
+        print(format_table(query_effort(args.nodes, seed=args.seed),
+                           title="query effort"))
+    elif name == "io":
+        print(format_table(io_traffic(seed=args.seed), title="I/O traffic"))
+    elif name == "workloads":
+        print(format_table(
+            compression_by_workload(min(args.nodes, 400), seed=args.seed),
+            title="compression across graph families"))
+    else:  # pragma: no cover - argparse choices prevent this
+        raise ReproError(f"unknown figure {name!r}")
+    return 0
+
+
+BENCH_CHOICES = ("fig3.9", "fig3.10", "fig3.11", "fig3.12", "merging",
+                 "worst-case", "chains", "ablation", "updates", "queries",
+                 "io", "workloads")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-tc`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tc",
+        description="Interval-compressed transitive closure (SIGMOD 1989 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build (and optionally save) an index")
+    build.add_argument("edges", help="edge-list file")
+    build.add_argument("-o", "--output", help="write the index as JSON")
+    build.add_argument("--policy", choices=POLICIES, default="alg1")
+    build.add_argument("--gap", type=int, default=DEFAULT_GAP)
+    build.add_argument("--merge", action="store_true",
+                       help="apply adjacent-interval merging")
+    build.set_defaults(handler=_cmd_build)
+
+    query = commands.add_parser("query", help="test reachability between two nodes")
+    query.add_argument("index", help="saved index (.json) or edge-list file")
+    query.add_argument("source")
+    query.add_argument("destination")
+    query.set_defaults(handler=_cmd_query)
+
+    successors = commands.add_parser("successors", help="list all strict successors")
+    successors.add_argument("index")
+    successors.add_argument("node")
+    successors.set_defaults(handler=_cmd_successors)
+
+    predecessors = commands.add_parser("predecessors",
+                                       help="list all strict predecessors")
+    predecessors.add_argument("index")
+    predecessors.add_argument("node")
+    predecessors.set_defaults(handler=_cmd_predecessors)
+
+    update = commands.add_parser(
+        "update", help="apply a +/- diff file to an index incrementally")
+    update.add_argument("index", help="saved index (.json) or edge-list file")
+    update.add_argument("diff", help="diff file: '+ a b' adds, '- a b' removes")
+    update.add_argument("-o", "--output",
+                        help="write the updated index (defaults to the input "
+                             "when it is a .json index)")
+    update.set_defaults(handler=_cmd_update)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="explain one reachability answer")
+    explain_cmd.add_argument("index")
+    explain_cmd.add_argument("source")
+    explain_cmd.add_argument("destination")
+    explain_cmd.set_defaults(handler=_cmd_explain)
+
+    describe_cmd = commands.add_parser(
+        "describe", help="render the tree cover and interval labels")
+    describe_cmd.add_argument("index")
+    describe_cmd.add_argument("--no-tree", action="store_true",
+                              help="omit the tree rendering")
+    describe_cmd.set_defaults(handler=_cmd_describe)
+
+    profile_cmd = commands.add_parser(
+        "profile", help="structural metrics of an edge list")
+    profile_cmd.add_argument("edges")
+    profile_cmd.set_defaults(handler=_cmd_profile)
+
+    stats = commands.add_parser("stats", help="storage comparison for an edge list")
+    stats.add_argument("edges")
+    stats.add_argument("--inverse", action="store_true",
+                       help="also measure the inverse closure (O(n^2))")
+    stats.set_defaults(handler=_cmd_stats)
+
+    bench = commands.add_parser("bench", help="regenerate a paper figure")
+    bench.add_argument("figure", choices=BENCH_CHOICES)
+    bench.add_argument("--nodes", type=int, default=1000)
+    bench.add_argument("--max-degree", type=int, default=10)
+    bench.add_argument("--sample", type=int, default=20000)
+    bench.add_argument("--seed", type=int, default=1989)
+    bench.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: interval-compressed transitive closure."""
+
+from repro.core.bidirectional import BidirectionalTCIndex
+from repro.core.condensation import CondensedIndex
+from repro.core.index import DEFAULT_GAP, IndexStats, IntervalTCIndex
+from repro.core.serialize import index_from_dict, index_to_dict, load_index, save_index
+from repro.core.intervals import Interval, IntervalSet, intervals_from_points
+from repro.core.labeling import (
+    Labeling,
+    assign_postorder,
+    check_laminar,
+    label_graph,
+    merge_all,
+    propagate_intervals,
+)
+from repro.core.tree_cover import (
+    POLICIES,
+    VIRTUAL_ROOT,
+    TreeCover,
+    all_tree_covers,
+    build_tree_cover,
+)
+
+__all__ = [
+    "BidirectionalTCIndex",
+    "CondensedIndex",
+    "DEFAULT_GAP",
+    "IndexStats",
+    "Interval",
+    "IntervalSet",
+    "IntervalTCIndex",
+    "Labeling",
+    "POLICIES",
+    "TreeCover",
+    "VIRTUAL_ROOT",
+    "all_tree_covers",
+    "assign_postorder",
+    "build_tree_cover",
+    "check_laminar",
+    "index_from_dict",
+    "index_to_dict",
+    "intervals_from_points",
+    "label_graph",
+    "load_index",
+    "merge_all",
+    "propagate_intervals",
+    "save_index",
+]

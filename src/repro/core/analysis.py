@@ -1,0 +1,108 @@
+"""Closed-form storage bounds from the paper's analysis sections.
+
+The paper supports the empirical study with analytical facts:
+
+* a **tree** stores its closure in exactly ``n`` intervals = ``2n`` units
+  (Section 3.1 — "O(n) storage, only a constant factor (twice) the
+  storage for the tree itself");
+* the **bipartite worst case** K(m, k) costs ``m·k + m`` intervals
+  (every source keeps one interval per sink subtree it cannot cover
+  through its single tree arc, plus its own tree interval; sinks and the
+  covered sink cost fold into the count), peaking at ``(n+1)²/4`` for
+  ``n = 2m+1`` (Figure 3.6);
+* the **intermediary fix** brings the same reachability down to
+  ``(m+2) + 2(n-m-1)`` ≈ ``2n - m`` intervals (Figure 3.7);
+* a **chain** (total order) costs ``n`` intervals, and so does any graph
+  whose optimal tree cover covers all reachability (no surviving
+  non-tree intervals).
+
+These functions return the predicted counts; the tests build the
+corresponding graphs and assert the measured index matches — the
+"analytical evidence" half of the paper's abstract, executable.
+"""
+
+from __future__ import annotations
+
+from repro.core.index import IntervalTCIndex
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+
+
+def tree_interval_count(num_nodes: int) -> int:
+    """Exact interval count for any tree on ``num_nodes`` nodes."""
+    return num_nodes
+
+
+def tree_storage_units(num_nodes: int) -> int:
+    """Exact storage for a tree: twice the tree itself (Section 3.1)."""
+    return 2 * num_nodes
+
+
+def chain_interval_count(num_nodes: int) -> int:
+    """A directed path costs one interval per node."""
+    return num_nodes
+
+
+def bipartite_interval_count(num_sources: int, num_sinks: int) -> int:
+    """Exact interval count of the Figure 3.6 complete bipartite DAG.
+
+    Under any tree cover one source (the tree parent of every sink)
+    covers all sinks with its tree interval; each of the other
+    ``num_sources - 1`` sources holds its own tree interval plus one
+    non-tree interval per sink (sink tree intervals are siblings, so
+    nothing subsumes).  Total: ``num_sinks`` (sinks) + ``1`` (covering
+    source) + ``(num_sources - 1)(num_sinks + 1)``.
+    """
+    if num_sources < 1 or num_sinks < 1:
+        raise ReproError("bipartite worst case needs at least one node per side")
+    return num_sinks + 1 + (num_sources - 1) * (num_sinks + 1)
+
+
+def bipartite_worst_case_peak(num_nodes: int) -> int:
+    """The paper's ``(n+1)^2 / 4`` peak over balanced splits of ``n`` odd.
+
+    For ``n = 2m + 1`` (``m`` sources, ``m + 1`` sinks) the count is
+    ``(m+1)(m+2) + m^2 + ...``; the paper rounds it to ``(n+1)^2/4`` —
+    this helper returns the paper's figure.
+    """
+    return (num_nodes + 1) ** 2 // 4
+
+
+def intermediary_interval_count(num_sources: int, num_sinks: int) -> int:
+    """Exact interval count after the Figure 3.7 hub fix.
+
+    The hub covers every sink with one tree interval; every source then
+    holds its own tree interval plus (for all but the hub's tree parent)
+    one inherited hub interval.  Sinks: ``num_sinks``; hub: 1; covering
+    source: 1; other sources: 2 each.
+    """
+    if num_sources < 1 or num_sinks < 1:
+        raise ReproError("bipartite worst case needs at least one node per side")
+    return num_sinks + 1 + 1 + 2 * (num_sources - 1)
+
+
+def paper_intermediary_formula(num_nodes: int, num_sources: int) -> int:
+    """The paper's own ``(m+2) + 2(n-m-1) = 2n - m`` accounting."""
+    return 2 * num_nodes - num_sources
+
+
+def measured_interval_count(graph: DiGraph) -> int:
+    """Measure a graph's optimal-cover interval count (gap 1, no merging)."""
+    return IntervalTCIndex.build(graph, gap=1).num_intervals
+
+
+def maximum_closure_pairs(num_nodes: int) -> int:
+    """``n(n-1)/2`` — the most pairs an acyclic relation can close over.
+
+    "In the case of a directed acyclic graph the maximum number of arcs in
+    the graph is exactly half the total possible" (Section 3.3).
+    """
+    return num_nodes * (num_nodes - 1) // 2
+
+
+def inverse_closure_size(num_nodes: int, closure_pairs: int) -> int:
+    """Complement accounting for Figure 3.10: admissible minus reachable."""
+    missing = maximum_closure_pairs(num_nodes) - closure_pairs
+    if missing < 0:
+        raise ReproError("closure_pairs exceeds the acyclic maximum")
+    return missing

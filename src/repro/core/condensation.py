@@ -1,0 +1,153 @@
+"""Interval index over cyclic graphs via SCC condensation.
+
+Section 3 of the paper: "the techniques presented in this paper can also be
+extended to cyclic graphs by collapsing strongly connected components into
+one node".  :class:`CondensedIndex` performs that collapse transparently:
+it condenses the input, builds an :class:`~repro.core.index.IntervalTCIndex`
+on the acyclic condensation, and translates queries through the
+node-to-component map.  Members of one strongly connected component all
+reach each other by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core.index import DEFAULT_GAP, IntervalTCIndex
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.scc import Component, condensation
+
+
+class CondensedIndex:
+    """Reachability index for graphs that may contain cycles.
+
+    >>> g = DiGraph([("a", "b"), ("b", "a"), ("b", "c")])
+    >>> index = CondensedIndex.build(g)
+    >>> index.reachable("a", "c") and index.reachable("b", "a")
+    True
+
+    Updates: arc insertions that keep the condensation acyclic are applied
+    incrementally (one Section 4 non-tree arc addition on the component
+    DAG); an insertion that closes a component cycle merges components,
+    which invalidates the collapse — the wrapper then rebuilds itself
+    (:meth:`add_arc` reports which path was taken).  Deletions always
+    rebuild: removing one arc may split a component.
+    """
+
+    def __init__(self, graph: DiGraph, dag_index: IntervalTCIndex,
+                 member_of: Dict[Node, Component]) -> None:
+        self.graph = graph
+        self.dag_index = dag_index
+        self.member_of = member_of
+
+    @classmethod
+    def build(cls, graph: DiGraph, *, policy: str = "alg1",
+              gap: int = DEFAULT_GAP, merge: bool = False) -> "CondensedIndex":
+        """Condense ``graph`` and index the resulting DAG."""
+        dag, member_of = condensation(graph)
+        dag_index = IntervalTCIndex.build(dag, policy=policy, gap=gap, merge=merge)
+        return cls(graph, dag_index, member_of)
+
+    def component_of(self, node: Node) -> Component:
+        """The strongly connected component containing ``node``."""
+        try:
+            return self.member_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def reachable(self, source: Node, destination: Node) -> bool:
+        """Whether a directed path ``source ->* destination`` exists (reflexive)."""
+        return self.dag_index.reachable(self.component_of(source),
+                                        self.component_of(destination))
+
+    def successors(self, source: Node, *, reflexive: bool = True) -> Set[Node]:
+        """All nodes reachable from ``source`` in the original graph."""
+        result: Set[Node] = set()
+        for component in self.dag_index.successors(self.component_of(source)):
+            result.update(component)
+        if not reflexive and len(self.component_of(source)) == 1:
+            # A node in a non-trivial SCC reaches itself through the cycle
+            # even under irreflexive semantics, so only singletons drop out.
+            result.discard(source)
+        return result
+
+    def predecessors(self, destination: Node, *, reflexive: bool = True) -> Set[Node]:
+        """All nodes that can reach ``destination`` in the original graph."""
+        result: Set[Node] = set()
+        for component in self.dag_index.predecessors(self.component_of(destination)):
+            result.update(component)
+        if not reflexive and len(self.component_of(destination)) == 1:
+            result.discard(destination)
+        return result
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert an isolated node (its own singleton component)."""
+        if node in self.member_of:
+            from repro.errors import IndexStateError
+            raise IndexStateError(f"node {node!r} is already indexed")
+        self.graph.add_node(node)
+        component = frozenset([node])
+        self.member_of[node] = component
+        self.dag_index.add_node(component)
+
+    def add_arc(self, source: Node, destination: Node) -> bool:
+        """Insert an arc; returns ``True`` when it was applied incrementally.
+
+        If the arc stays *between* components (no cycle closes), the
+        component DAG absorbs it through the ordinary Section 4 non-tree
+        arc addition.  If it lands inside a component it changes nothing.
+        If it closes a cycle across components, the affected components
+        must merge: the wrapper rebuilds and returns ``False``.
+        """
+        for node in (source, destination):
+            if node not in self.member_of:
+                self.add_node(node)
+        self.graph.add_arc(source, destination)
+        source_component = self.member_of[source]
+        destination_component = self.member_of[destination]
+        if source_component is destination_component:
+            return True  # internal arc: the collapse already covers it
+        if self.dag_index.reachable(destination_component, source_component):
+            self._rebuild()
+            return False
+        if not self.dag_index.graph.has_arc(source_component,
+                                            destination_component):
+            self.dag_index.add_arc(source_component, destination_component)
+        return True
+
+    def remove_arc(self, source: Node, destination: Node) -> None:
+        """Delete an arc.  Always rebuilds (a component may split)."""
+        self.graph.remove_arc(source, destination)
+        self._rebuild()
+
+    def remove_node(self, node: Node) -> None:
+        """Delete a node and its arcs.  Always rebuilds."""
+        self.graph.remove_node(node)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        dag, member_of = condensation(self.graph)
+        self.dag_index = IntervalTCIndex.build(
+            dag, policy=self.dag_index.policy, gap=self.dag_index.gap,
+            merge=self.dag_index.merged)
+        self.member_of = member_of
+
+    def verify(self) -> None:
+        """Cross-check against pointer chasing on the original graph."""
+        from repro.graph.traversal import reachable_from
+        for node in self.graph:
+            assert self.successors(node) == reachable_from(self.graph, node), node
+
+    @property
+    def num_components(self) -> int:
+        """Number of strongly connected components."""
+        return len(self.dag_index)
+
+    @property
+    def storage_units(self) -> int:
+        """Storage of the underlying condensation index (paper units)."""
+        return self.dag_index.storage_units

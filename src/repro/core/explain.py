@@ -1,0 +1,117 @@
+"""Human-readable renderings of a compressed-closure index.
+
+Debugging aid in the spirit of the paper's worked figures (3.1, 3.2, 4.1,
+4.2): draw the tree cover with each node's postorder number and interval
+set, list the non-tree arcs, and explain *why* a particular reachability
+query answers the way it does (which interval covered the number, or why
+none did).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.index import IntervalTCIndex
+from repro.core.tree_cover import VIRTUAL_ROOT
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import Node
+
+
+def render_tree(index: IntervalTCIndex) -> str:
+    """ASCII rendering of the tree cover with labels, Figure 3.2 style.
+
+    Each line shows ``node  #postorder  {intervals}``; indentation follows
+    the spanning tree, and forest roots sit at the left margin.
+    """
+    lines: List[str] = []
+
+    def describe(node: Node) -> str:
+        intervals = ", ".join(str(iv) for iv in index.intervals[node])
+        return f"{node!r}  #{index.postorder[node]}  {{{intervals}}}"
+
+    stack = [(child, 0) for child
+             in reversed(index.cover.tree_children(VIRTUAL_ROOT))]
+    while stack:
+        node, depth = stack.pop()
+        lines.append("    " * depth + describe(node))
+        for child in reversed(index.cover.tree_children(node)):
+            stack.append((child, depth + 1))
+    return "\n".join(lines) if lines else "(empty index)"
+
+
+def non_tree_arcs(index: IntervalTCIndex) -> List[tuple]:
+    """The arcs the tree cover left out — the source of non-tree intervals."""
+    return [(source, destination) for source, destination
+            in index.graph.arcs()
+            if not index.cover.is_tree_arc(source, destination)]
+
+
+def explain_reachability(index: IntervalTCIndex, source: Node,
+                         destination: Node) -> str:
+    """A one-paragraph explanation of one reachability answer.
+
+    Names the covering interval and whether it is the source's own tree
+    interval (pure spanning-tree path) or an inherited non-tree interval.
+    """
+    if source not in index.postorder:
+        raise NodeNotFoundError(source)
+    if destination not in index.postorder:
+        raise NodeNotFoundError(destination)
+    number = index.postorder[destination]
+    covering = index.intervals[source].covering_interval(number)
+    if covering is None:
+        bounds = ", ".join(str(iv) for iv in index.intervals[source])
+        return (f"{source!r} does NOT reach {destination!r}: postorder "
+                f"{number} of {destination!r} is outside all intervals "
+                f"{{{bounds}}} of {source!r}.")
+    own = index.tree_interval[source]
+    if covering == own:
+        kind = "its own tree interval (a pure spanning-tree path)"
+    else:
+        kind = "an inherited non-tree interval (a path using a non-tree arc)"
+    return (f"{source!r} reaches {destination!r}: postorder {number} of "
+            f"{destination!r} lies in {covering} of {source!r} — {kind}.")
+
+
+def interval_histogram(index: IntervalTCIndex) -> dict:
+    """Histogram: intervals-per-node -> node count (skew diagnostics)."""
+    histogram: dict = {}
+    for interval_set in index.intervals.values():
+        count = len(interval_set)
+        histogram[count] = histogram.get(count, 0) + 1
+    return histogram
+
+
+def heaviest_nodes(index: IntervalTCIndex, limit: int = 10) -> List[tuple]:
+    """The nodes carrying the most intervals, worst first.
+
+    These are the Figure 3.6-shaped hot spots; the paper's remedy is an
+    intermediary node (Figure 3.7).
+    """
+    ranked = sorted(((len(interval_set), node)
+                     for node, interval_set in index.intervals.items()),
+                    key=lambda pair: (-pair[0], str(pair[1])))
+    return [(node, count) for count, node in ranked[:limit]]
+
+
+def describe(index: IntervalTCIndex, *, tree: bool = True,
+             top: Optional[int] = 5) -> str:
+    """A full multi-section report for one index."""
+    stats = index.stats()
+    sections = [
+        f"IntervalTCIndex over {stats.num_nodes} nodes / {stats.num_arcs} arcs",
+        f"  policy={stats.policy} gap={stats.gap} merged={stats.merged}",
+        f"  intervals: {stats.num_intervals} "
+        f"({stats.num_tree_intervals} tree + {stats.num_non_tree_intervals} "
+        f"non-tree) = {stats.storage_units} units",
+        f"  non-tree arcs: {len(non_tree_arcs(index))}",
+    ]
+    if top:
+        heavy = ", ".join(f"{node!r}:{count}"
+                          for node, count in heaviest_nodes(index, top))
+        sections.append(f"  heaviest nodes: {heavy}")
+    if tree:
+        sections.append("  tree cover:")
+        for line in render_tree(index).splitlines():
+            sections.append("    " + line)
+    return "\n".join(sections)

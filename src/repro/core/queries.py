@@ -1,0 +1,167 @@
+"""Higher-level queries over a compressed closure.
+
+Section 6 of the paper lists the operations a knowledge-representation
+system needs beyond raw reachability: "subsumption, disjointness, least
+common ancestors, and other properties".  This module implements them on
+top of :class:`~repro.core.index.IntervalTCIndex`, and provides the
+irreflexive (strict) view of reachability for callers who do not want the
+paper's every-node-reaches-itself convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.core.index import IntervalTCIndex
+from repro.graph.digraph import Node
+
+
+def descendants(index: IntervalTCIndex, node: Node) -> Set[Node]:
+    """Strict descendants of ``node`` (successors minus the node itself)."""
+    return index.successors(node, reflexive=False)
+
+
+def ancestors(index: IntervalTCIndex, node: Node) -> Set[Node]:
+    """Strict ancestors of ``node`` (predecessors minus the node itself)."""
+    return index.predecessors(node, reflexive=False)
+
+
+def strictly_reachable(index: IntervalTCIndex, source: Node, destination: Node) -> bool:
+    """Reachability under irreflexive semantics: ``u -> u`` only via a real path.
+
+    The stored relation is acyclic, so a node never strictly reaches itself.
+    """
+    if source == destination:
+        return False
+    return index.reachable(source, destination)
+
+
+def common_ancestors(index: IntervalTCIndex, nodes: Iterable[Node]) -> Set[Node]:
+    """Nodes that reach *every* node in ``nodes`` (reflexively)."""
+    node_list = list(nodes)
+    if not node_list:
+        return set()
+    result = index.predecessors(node_list[0])
+    for node in node_list[1:]:
+        result &= index.predecessors(node)
+    return result
+
+
+def common_descendants(index: IntervalTCIndex, nodes: Iterable[Node]) -> Set[Node]:
+    """Nodes reachable from *every* node in ``nodes`` (reflexively)."""
+    node_list = list(nodes)
+    if not node_list:
+        return set()
+    result = index.successors(node_list[0])
+    for node in node_list[1:]:
+        result &= index.successors(node)
+    return result
+
+
+def least_common_ancestors(index: IntervalTCIndex, nodes: Iterable[Node]) -> Set[Node]:
+    """The minimal elements of the common-ancestor set.
+
+    In a lattice-shaped hierarchy this is the greatest lower bound of the
+    concepts *above* ``nodes``; in a general DAG there may be several
+    incomparable least common ancestors, all of which are returned.
+    """
+    candidates = common_ancestors(index, nodes)
+    return {candidate for candidate in candidates
+            if not any(candidate is not other and index.reachable(candidate, other)
+                       for other in candidates)}
+
+
+def greatest_common_descendants(index: IntervalTCIndex, nodes: Iterable[Node]) -> Set[Node]:
+    """The maximal elements of the common-descendant set (dual of LCA)."""
+    candidates = common_descendants(index, nodes)
+    return {candidate for candidate in candidates
+            if not any(candidate is not other and index.reachable(other, candidate)
+                       for other in candidates)}
+
+
+def are_disjoint(index: IntervalTCIndex, first: Node, second: Node) -> bool:
+    """Whether two hierarchy nodes share no common descendant.
+
+    In an IS-A hierarchy read downward (concept -> subconcept), two
+    concepts with no common descendant cannot classify a shared instance —
+    the "disjointness" computation of Section 6.
+    """
+    if index.reachable(first, second) or index.reachable(second, first):
+        return False
+    return not common_descendants(index, [first, second])
+
+
+def are_comparable(index: IntervalTCIndex, first: Node, second: Node) -> bool:
+    """Whether one of the two nodes reaches the other."""
+    return index.reachable(first, second) or index.reachable(second, first)
+
+
+def topological_level(index: IntervalTCIndex, node: Node) -> int:
+    """Length of the longest path from any root down to ``node``.
+
+    Computed by memoised pointer chasing over the ancestor cone (cheap,
+    bounded by the cone size); used by reports and examples.
+    """
+    graph = index.graph
+    memo = {}
+    stack = [(node, iter(graph.predecessors(node)))]
+    while stack:
+        current, parents = stack[-1]
+        advanced = False
+        for parent in parents:
+            if parent not in memo:
+                stack.append((parent, iter(graph.predecessors(parent))))
+                advanced = True
+                break
+        if advanced:
+            continue
+        stack.pop()
+        levels = [memo[parent] for parent in graph.predecessors(current)]
+        memo[current] = 1 + max(levels) if levels else 0
+    return memo[node]
+
+
+def path_exists_batch(index: IntervalTCIndex,
+                      pairs: Iterable[tuple]) -> List[bool]:
+    """Vector form of :meth:`IntervalTCIndex.reachable` for benchmark loops."""
+    return [index.reachable(source, destination) for source, destination in pairs]
+
+
+def reachable_from_set(index: IntervalTCIndex,
+                       sources: Iterable[Node]) -> Set[Node]:
+    """Everything reachable from *any* of ``sources`` (reflexive).
+
+    The semijoin building block of recursive query evaluation: one
+    interval-set union instead of per-source traversals.
+    """
+    result: Set[Node] = set()
+    for source in sources:
+        result |= index.successors(source)
+    return result
+
+
+def reaching_set(index: IntervalTCIndex,
+                 destinations: Iterable[Node]) -> Set[Node]:
+    """Everything that reaches *any* of ``destinations`` (reflexive).
+
+    One pass over the nodes, testing each interval set against all target
+    numbers — O(n * |destinations| * log k) worst case, versus
+    |destinations| full predecessor scans done naively.
+    """
+    numbers = [index.postorder[destination] for destination in destinations]
+    result: Set[Node] = set()
+    for node, interval_set in index.intervals.items():
+        if any(interval_set.covers(number) for number in numbers):
+            result.add(node)
+    return result
+
+
+def any_reachable(index: IntervalTCIndex, sources: Iterable[Node],
+                  destinations: Iterable[Node]) -> bool:
+    """Does any source reach any destination?  Early-exit set semijoin."""
+    targets = [index.postorder[destination] for destination in destinations]
+    for source in sources:
+        interval_set = index.intervals[source]
+        if any(interval_set.covers(number) for number in targets):
+            return True
+    return False

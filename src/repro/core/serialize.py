@@ -1,0 +1,116 @@
+"""JSON (de)serialisation of a built index.
+
+A compressed closure is a one-time computation "repeatedly used to
+efficiently answer queries" (Section 3.2), so persisting it matters.  The
+document stores the graph, the tree cover (as a parent map), the postorder
+numbers and every interval set; loading reconstructs an identical
+:class:`~repro.core.index.IntervalTCIndex` without re-running Alg1 or the
+propagation pass.
+
+Node labels must be JSON-representable (strings or numbers); the virtual
+root is encoded as ``None`` in the parent map.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.index import IntervalTCIndex
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.labeling import Labeling
+from repro.core.tree_cover import VIRTUAL_ROOT, TreeCover
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.graph.traversal import topological_order
+
+FORMAT_VERSION = 1
+
+
+def _encode_number(number) -> object:
+    """Postorder numbers are ints, or Fractions under fractional numbering."""
+    if isinstance(number, Fraction):
+        return {"n": number.numerator, "d": number.denominator}
+    return number
+
+
+def _decode_number(stored) -> object:
+    if isinstance(stored, dict):
+        return Fraction(stored["n"], stored["d"])
+    return stored
+
+
+def index_to_dict(index: IntervalTCIndex) -> dict:
+    """A JSON-safe document capturing the full index state."""
+    nodes = list(index.nodes())
+    return {
+        "format_version": FORMAT_VERSION,
+        "policy": index.policy,
+        "gap": index.gap,
+        "merged": index.merged,
+        "numbering": index.numbering,
+        "graph": graph_to_dict(index.graph),
+        "parent": [[node, None if index.cover.parent[node] is VIRTUAL_ROOT
+                    else index.cover.parent[node]] for node in nodes],
+        "postorder": [[node, _encode_number(index.postorder[node])]
+                      for node in nodes],
+        "tree_interval": [[node, [_encode_number(bound) for bound
+                                  in index.tree_interval[node]]]
+                          for node in nodes],
+        "intervals": [[node, [[_encode_number(bound) for bound in interval]
+                              for interval in index.intervals[node]]]
+                      for node in nodes],
+    }
+
+
+def index_from_dict(document: dict) -> IntervalTCIndex:
+    """Rebuild an index from :func:`index_to_dict` output.
+
+    JSON converts non-string dict keys, so all per-node tables are stored
+    as pair lists; labels round-trip as long as they are strings/numbers.
+    """
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(f"unsupported index document version {version!r}")
+    graph: DiGraph = graph_from_dict(document["graph"])
+
+    parent = {node: (VIRTUAL_ROOT if stored is None else stored)
+              for node, stored in document["parent"]}
+    children: Dict = {VIRTUAL_ROOT: []}
+    for node in graph.nodes():
+        children.setdefault(node, [])
+    postorder = {node: _decode_number(number)
+                 for node, number in document["postorder"]}
+    for node, chosen in parent.items():
+        children.setdefault(chosen, []).append(node)
+    for child_list in children.values():
+        child_list.sort(key=lambda node: postorder[node])
+    order = topological_order(graph)
+    cover = TreeCover(parent=parent, children=children, order=order,
+                      policy=document["policy"])
+
+    tree_interval = {node: Interval(*(_decode_number(bound) for bound in bounds))
+                     for node, bounds in document["tree_interval"]}
+    intervals = {
+        node: IntervalSet(Interval(*(_decode_number(bound) for bound in interval))
+                          for interval in stored)
+        for node, stored in document["intervals"]
+    }
+    labeling = Labeling(postorder=postorder, tree_interval=tree_interval,
+                        intervals=intervals, gap=document["gap"])
+    return IntervalTCIndex(graph, cover, labeling, policy=document["policy"],
+                           merged=document["merged"],
+                           numbering=document.get("numbering", "integer"))
+
+
+def save_index(index: IntervalTCIndex, path: Union[str, Path]) -> None:
+    """Write the index to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(index_to_dict(index)))
+
+
+def load_index(path: Union[str, Path]) -> IntervalTCIndex:
+    """Read an index previously written by :func:`save_index`."""
+    return index_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,198 @@
+"""Tree covers of a DAG, including the paper's optimal Alg1.
+
+A *tree cover* of a DAG ``G`` is a spanning tree (rooted at a virtual root)
+in which every node's tree parent is one of its immediate predecessors in
+``G`` (nodes without predecessors hang off the virtual root).  The
+compression quality of the interval scheme depends entirely on which
+incoming arc each node keeps as its tree arc.
+
+**Alg1** (Section 3.2) makes that choice greedily: scan nodes in
+topological order and, for every node, keep the incoming arc from the
+predecessor with the *largest predecessor set*, computing predecessor sets
+incrementally along the way.  Theorem 1 proves this minimises the total
+number of intervals over all tree covers (without adjacent-interval
+merging); ``tests/core/test_optimality.py`` re-verifies the theorem by
+brute force on small graphs.
+
+Predecessor sets are represented as Python integers used as bit masks:
+union is ``|`` and cardinality is ``int.bit_count()``, which keeps Alg1
+comfortably fast at the paper's 1000-4000 node scales.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import topological_order
+
+
+class _VirtualRoot:
+    """Singleton label for the virtual root that ties disjoint components together."""
+
+    __slots__ = ()
+    _instance: Optional["_VirtualRoot"] = None
+
+    def __new__(cls) -> "_VirtualRoot":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<virtual-root>"
+
+
+#: The virtual level-0 root node of the paper (Alg1, step 1).  It is never a
+#: node of the user's graph and never appears in query answers.
+VIRTUAL_ROOT = _VirtualRoot()
+
+#: Tree-cover construction policies.  ``"alg1"`` is the paper's optimum;
+#: the others exist for the ablation benchmark.
+POLICIES = ("alg1", "first_parent", "last_parent", "random", "min_pred")
+
+
+@dataclass
+class TreeCover:
+    """A tree cover: parent/children maps plus bookkeeping.
+
+    ``parent`` maps every graph node to its tree parent (possibly
+    :data:`VIRTUAL_ROOT`); ``children`` maps every node *and* the virtual
+    root to an ordered list of tree children.  ``order`` is the topological
+    order of the underlying graph the cover was built from — the interval
+    propagation step reuses it.
+    """
+
+    parent: Dict[Node, Node]
+    children: Dict[Node, List[Node]]
+    order: List[Node]
+    policy: str = "alg1"
+    _index_in_order: Dict[Node, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._index_in_order:
+            self._index_in_order = {node: i for i, node in enumerate(self.order)}
+
+    def is_tree_arc(self, source: Node, destination: Node) -> bool:
+        """Whether ``(source, destination)`` is an arc of the spanning tree."""
+        return self.parent.get(destination) == source
+
+    def tree_arcs(self) -> Iterator[tuple]:
+        """All tree arcs whose source is a real graph node."""
+        for child, parent in self.parent.items():
+            if parent is not VIRTUAL_ROOT:
+                yield (parent, child)
+
+    def tree_children(self, node: Node) -> List[Node]:
+        """Ordered tree children of ``node`` (or of the virtual root)."""
+        return self.children.get(node, [])
+
+    def depth_of(self, node: Node) -> int:
+        """Tree depth (virtual root at depth 0)."""
+        depth = 0
+        current = node
+        while current is not VIRTUAL_ROOT:
+            current = self.parent[current]
+            depth += 1
+        return depth
+
+    def check_spanning(self, graph: DiGraph) -> None:
+        """Validate that the cover spans ``graph`` with graph-arc parents."""
+        for node in graph:
+            if node not in self.parent:
+                raise GraphError(f"tree cover does not span node {node!r}")
+            parent = self.parent[node]
+            if parent is not VIRTUAL_ROOT and not graph.has_arc(parent, node):
+                raise GraphError(
+                    f"tree arc ({parent!r}, {node!r}) is not an arc of the graph"
+                )
+
+
+def _order_children(children: Dict[Node, List[Node]], index_in_order: Dict[Node, int]) -> None:
+    """Sort every child list by topological index, for deterministic labeling."""
+    for child_list in children.values():
+        child_list.sort(key=index_in_order.__getitem__)
+
+
+def build_tree_cover(
+    graph: DiGraph,
+    policy: str = "alg1",
+    *,
+    rng: Union[random.Random, int, None] = None,
+) -> TreeCover:
+    """Construct a tree cover of ``graph`` under the given ``policy``.
+
+    ``"alg1"`` implements the paper's optimal algorithm.  The alternatives
+    (``"first_parent"``, ``"last_parent"``, ``"random"``, ``"min_pred"``)
+    pick a different incoming arc per node and exist to quantify how much
+    Alg1's choice matters (see ``benchmarks/bench_tree_cover_ablation.py``).
+    """
+    if policy not in POLICIES:
+        raise GraphError(f"unknown tree-cover policy {policy!r}; expected one of {POLICIES}")
+    order = topological_order(graph)
+    index_in_order = {node: position for position, node in enumerate(order)}
+    generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+
+    parent: Dict[Node, Node] = {}
+    children: Dict[Node, List[Node]] = {VIRTUAL_ROOT: []}
+    pred_mask: Dict[Node, int] = {}
+
+    need_masks = policy in ("alg1", "min_pred")
+    for node in order:
+        predecessors = sorted(graph.predecessors(node), key=index_in_order.__getitem__)
+        if not predecessors:
+            chosen: Node = VIRTUAL_ROOT
+        elif policy == "first_parent":
+            chosen = predecessors[0]
+        elif policy == "last_parent":
+            chosen = predecessors[-1]
+        elif policy == "random":
+            chosen = generator.choice(predecessors)
+        else:
+            # alg1 keeps the predecessor with the LARGEST predecessor set;
+            # min_pred (ablation) keeps the smallest.  Ties break toward the
+            # earliest node in topological order, deterministically.
+            sizes = [pred_mask[p].bit_count() for p in predecessors]
+            best = max(sizes) if policy == "alg1" else min(sizes)
+            chosen = predecessors[sizes.index(best)]
+        parent[node] = chosen
+        children.setdefault(chosen, []).append(node)
+        children.setdefault(node, [])
+        if need_masks:
+            mask = 0
+            for p in predecessors:
+                mask |= pred_mask[p] | (1 << index_in_order[p])
+            pred_mask[node] = mask
+
+    _order_children(children, index_in_order)
+    return TreeCover(parent=parent, children=children, order=order, policy=policy,
+                     _index_in_order=index_in_order)
+
+
+def all_tree_covers(graph: DiGraph) -> Iterator[TreeCover]:
+    """Enumerate every possible tree cover of ``graph``.
+
+    A tree cover fixes, independently for every node, which incoming arc is
+    the tree arc; the number of covers is the product of the in-degrees.
+    Only practical for small graphs — this is the brute-force oracle the
+    Theorem 1 tests compare Alg1 against.
+    """
+    order = topological_order(graph)
+    index_in_order = {node: position for position, node in enumerate(order)}
+    choice_lists = []
+    for node in order:
+        predecessors = sorted(graph.predecessors(node), key=index_in_order.__getitem__)
+        choice_lists.append(predecessors if predecessors else [VIRTUAL_ROOT])
+    for combination in itertools.product(*choice_lists):
+        parent = dict(zip(order, combination))
+        children: Dict[Node, List[Node]] = {VIRTUAL_ROOT: []}
+        for node in order:
+            children.setdefault(node, [])
+        for node, chosen in parent.items():
+            children.setdefault(chosen, []).append(node)
+        _order_children(children, index_in_order)
+        yield TreeCover(parent=parent, children=children, order=list(order),
+                        policy="enumerated", _index_in_order=dict(index_in_order))

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause while still
+being able to discriminate the common failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (unknown node, duplicate arc...)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """An operation referenced a node that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class ArcNotFoundError(GraphError, KeyError):
+    """An operation referenced an arc that is not in the graph."""
+
+    def __init__(self, source: object, destination: object) -> None:
+        super().__init__(f"arc ({source!r}, {destination!r}) is not in the graph")
+        self.source = source
+        self.destination = destination
+
+
+class CycleError(GraphError):
+    """A DAG-only operation was attempted on a cyclic graph."""
+
+    def __init__(self, message: str = "graph contains a cycle", *, cycle: list | None = None) -> None:
+        if cycle:
+            message = f"{message}: {' -> '.join(repr(n) for n in cycle)}"
+        super().__init__(message)
+        self.cycle = cycle or []
+
+
+class IndexStateError(ReproError):
+    """The compressed-closure index is in a state that forbids the operation.
+
+    Raised, for example, when an incremental update targets a node the index
+    does not know about, or when a tree arc insertion runs out of spare
+    postorder numbers and the caller disabled automatic renumbering.
+    """
+
+
+class NumberingExhaustedError(IndexStateError):
+    """No free postorder number is available for an insertion.
+
+    Callers may react by renumbering (see
+    :meth:`repro.core.index.IntervalTCIndex.renumber`) and retrying.
+    """
+
+
+class StorageError(ReproError):
+    """A problem in the simulated secondary-storage layer."""
+
+
+class TaxonomyError(ReproError):
+    """A problem in the knowledge-base taxonomy layer."""

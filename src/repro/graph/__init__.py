@@ -1,0 +1,24 @@
+"""Directed-graph substrate: container, traversals, SCCs, generators, IO."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condensation, strongly_connected_components
+from repro.graph.traversal import (
+    ancestors_of,
+    can_reach,
+    is_acyclic,
+    reachable_from,
+    reverse_topological_order,
+    topological_order,
+)
+
+__all__ = [
+    "DiGraph",
+    "ancestors_of",
+    "can_reach",
+    "condensation",
+    "is_acyclic",
+    "reachable_from",
+    "reverse_topological_order",
+    "strongly_connected_components",
+    "topological_order",
+]

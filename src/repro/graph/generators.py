@@ -1,0 +1,326 @@
+"""Synthetic graph workloads.
+
+Section 3.3 of the paper evaluates the compression scheme on synthetic
+random graphs parameterised by *number of nodes* and *average out-degree*
+(following Agrawal & Jagadish, VLDB 1987).  This module implements that
+generator plus every special graph family the paper discusses:
+
+* random DAGs with a prescribed average out-degree (Figures 3.9-3.11);
+* random trees (Section 3.1, Figure 3.1);
+* the bipartite worst case of Figure 3.6 and its intermediary-node fix of
+  Figure 3.7;
+* exhaustive and sampled enumeration of all small DAGs over a fixed
+  topological order (Figure 3.12);
+* IS-A-style concept hierarchies for the knowledge-base experiments
+  (Section 2.1).
+
+All generators take an explicit :class:`random.Random` (or a seed) so that
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _resolve_rng(rng: RandomLike) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def random_dag(
+    num_nodes: int,
+    avg_out_degree: float,
+    rng: RandomLike = None,
+    *,
+    connect: bool = False,
+) -> DiGraph:
+    """A random DAG with ``num_nodes`` nodes and ``num_nodes * avg_out_degree`` arcs.
+
+    The paper's workload model: pick a random topological permutation of the
+    nodes and sample the requested number of *distinct* forward arcs
+    uniformly from the ``n(n-1)/2`` admissible pairs.  Node labels are the
+    integers ``0 .. num_nodes-1``; the permutation is hidden so that node
+    label carries no positional information.
+
+    With ``connect=True`` every node with no predecessor other than the
+    lowest-ranked node is attached to a random earlier node first, producing
+    a single weakly connected component (the paper instead hooks components
+    to a virtual root at indexing time; both paths are exercised in tests).
+    """
+    if num_nodes < 0:
+        raise GraphError("num_nodes must be non-negative")
+    max_arcs = num_nodes * (num_nodes - 1) // 2
+    wanted = int(round(num_nodes * avg_out_degree))
+    if wanted > max_arcs:
+        raise GraphError(
+            f"cannot place {wanted} arcs in an acyclic graph on {num_nodes} nodes "
+            f"(maximum is {max_arcs})"
+        )
+    generator = _resolve_rng(rng)
+    rank = list(range(num_nodes))
+    generator.shuffle(rank)
+
+    graph = DiGraph(nodes=range(num_nodes))
+    chosen = set()
+    if connect and num_nodes > 1:
+        by_rank = sorted(range(num_nodes), key=rank.__getitem__)
+        for position in range(1, num_nodes):
+            parent = by_rank[generator.randrange(position)]
+            pair = (parent, by_rank[position])
+            if pair not in chosen:
+                chosen.add(pair)
+                graph.add_arc(*pair)
+
+    # Sample distinct forward pairs.  For sparse requests rejection sampling
+    # is near-optimal; for dense requests fall back to an explicit shuffle of
+    # the full pair universe.
+    remaining = wanted - len(chosen)
+    if remaining > 0 and remaining > max_arcs // 2:
+        universe = [
+            (low, high) if rank[low] < rank[high] else (high, low)
+            for low, high in itertools.combinations(range(num_nodes), 2)
+        ]
+        generator.shuffle(universe)
+        for pair in universe:
+            if remaining == 0:
+                break
+            if pair not in chosen:
+                chosen.add(pair)
+                graph.add_arc(*pair)
+                remaining -= 1
+    else:
+        while remaining > 0:
+            first = generator.randrange(num_nodes)
+            second = generator.randrange(num_nodes)
+            if first == second:
+                continue
+            if rank[first] > rank[second]:
+                first, second = second, first
+            pair = (first, second)
+            if pair in chosen:
+                continue
+            chosen.add(pair)
+            graph.add_arc(*pair)
+            remaining -= 1
+    return graph
+
+
+def random_dag_local(
+    num_nodes: int,
+    avg_out_degree: float,
+    rng: RandomLike = None,
+    *,
+    window: int = 20,
+) -> DiGraph:
+    """A random DAG whose arcs have bounded *topological locality*.
+
+    Each arc ``(i, j)`` satisfies ``0 < j - i <= window`` in the hidden
+    topological order.  Locality is how real part hierarchies and IS-A
+    taxonomies look (related things sit near each other), and it is the
+    regime where the paper's Figure 3.11 claim — *better compression for
+    larger graphs* — shows up strongly: the full closure grows roughly
+    ``n * window`` while long chains keep the compressed closure near the
+    tree bound (see EXPERIMENTS.md, E-3.11).
+    """
+    if num_nodes < 0:
+        raise GraphError("num_nodes must be non-negative")
+    if window < 1:
+        raise GraphError("window must be >= 1")
+    wanted = int(round(num_nodes * avg_out_degree))
+    max_arcs = sum(min(window, num_nodes - 1 - i) for i in range(num_nodes))
+    if wanted > max_arcs:
+        raise GraphError(
+            f"cannot place {wanted} arcs with window {window} on {num_nodes} nodes "
+            f"(maximum is {max_arcs})"
+        )
+    generator = _resolve_rng(rng)
+    graph = DiGraph(nodes=range(num_nodes))
+    chosen = set()
+    while len(chosen) < wanted:
+        source = generator.randrange(num_nodes - 1)
+        destination = source + generator.randint(1, min(window, num_nodes - 1 - source))
+        pair = (source, destination)
+        if pair not in chosen:
+            chosen.add(pair)
+            graph.add_arc(source, destination)
+    return graph
+
+
+def random_tree(
+    num_nodes: int,
+    rng: RandomLike = None,
+    *,
+    max_children: Optional[int] = None,
+) -> DiGraph:
+    """A uniformly random rooted tree with arcs from parent to child.
+
+    Node ``0`` is the root; node ``k`` attaches to a uniformly random
+    earlier node (bounded by ``max_children`` when given).
+    """
+    if num_nodes < 0:
+        raise GraphError("num_nodes must be non-negative")
+    generator = _resolve_rng(rng)
+    graph = DiGraph(nodes=range(num_nodes))
+    child_count = [0] * num_nodes
+    for node in range(1, num_nodes):
+        while True:
+            parent = generator.randrange(node)
+            if max_children is None or child_count[parent] < max_children:
+                break
+        child_count[parent] += 1
+        graph.add_arc(parent, node)
+    return graph
+
+
+def path_graph(num_nodes: int) -> DiGraph:
+    """The directed path ``0 -> 1 -> ... -> n-1`` (a single chain)."""
+    graph = DiGraph(nodes=range(num_nodes))
+    for node in range(num_nodes - 1):
+        graph.add_arc(node, node + 1)
+    return graph
+
+
+def bipartite_worst_case(num_sources: int, num_sinks: int) -> DiGraph:
+    """The complete bipartite DAG of Figure 3.6.
+
+    ``num_sources`` top nodes each point to all ``num_sinks`` bottom nodes.
+    Any tree cover leaves ``(num_sources - 1) * (num_sinks - 1)`` arcs
+    uncovered in the worst arrangement, driving the interval count to
+    Theta(n^2/4) at ``num_sources ~ num_sinks ~ n/2``.  Sources are labelled
+    ``('s', i)`` and sinks ``('t', j)``.
+    """
+    graph = DiGraph()
+    for source in range(num_sources):
+        for sink in range(num_sinks):
+            graph.add_arc(("s", source), ("t", sink))
+    return graph
+
+
+def bipartite_with_intermediary(num_sources: int, num_sinks: int) -> DiGraph:
+    """Figure 3.7: the same reachability with one intermediary node.
+
+    Every source points at the single hub ``('m', 0)`` which points at every
+    sink, restoring an O(n) compressed closure while preserving exactly the
+    source->sink reachability of :func:`bipartite_worst_case`.
+    """
+    graph = DiGraph()
+    hub = ("m", 0)
+    for source in range(num_sources):
+        graph.add_arc(("s", source), hub)
+    for sink in range(num_sinks):
+        graph.add_arc(hub, ("t", sink))
+    return graph
+
+
+def layered_dag(
+    layers: Sequence[int],
+    avg_out_degree: float,
+    rng: RandomLike = None,
+) -> DiGraph:
+    """A layered DAG: arcs only go from one layer to the next.
+
+    ``layers`` gives the node count per layer.  Each node in layer ``k``
+    receives ``avg_out_degree`` arcs on average into layer ``k+1``; every
+    node in layer ``k+1`` is guaranteed at least one predecessor so the
+    graph has no isolated layers.  Models the "meaningful bundles" shape the
+    paper expects in real inheritance hierarchies.
+    """
+    generator = _resolve_rng(rng)
+    graph = DiGraph()
+    node_id = 0
+    layer_nodes: List[List[int]] = []
+    for size in layers:
+        layer_nodes.append(list(range(node_id, node_id + size)))
+        for node in layer_nodes[-1]:
+            graph.add_node(node)
+        node_id += size
+    for upper, lower in zip(layer_nodes, layer_nodes[1:]):
+        for child in lower:
+            graph.add_arc(generator.choice(upper), child)
+        extra = int(round(len(upper) * avg_out_degree)) - len(lower)
+        for _ in range(max(0, extra)):
+            graph.add_arc(generator.choice(upper), generator.choice(lower))
+    return graph
+
+
+def random_hierarchy(
+    num_nodes: int,
+    rng: RandomLike = None,
+    *,
+    max_parents: int = 3,
+    multi_parent_probability: float = 0.3,
+) -> DiGraph:
+    """An IS-A-style concept hierarchy (Section 2.1 workload).
+
+    Node 0 is the root concept.  Every later concept gets one uniformly
+    random parent among earlier concepts and, with probability
+    ``multi_parent_probability``, up to ``max_parents - 1`` additional
+    distinct parents — the "overlapping hierarchies" shape of KL-ONE-style
+    knowledge bases.
+    """
+    generator = _resolve_rng(rng)
+    graph = DiGraph(nodes=range(num_nodes))
+    for node in range(1, num_nodes):
+        parents = {generator.randrange(node)}
+        if node > 1 and generator.random() < multi_parent_probability:
+            extra = generator.randint(1, max_parents - 1)
+            for _ in range(extra):
+                parents.add(generator.randrange(node))
+        for parent in parents:
+            graph.add_arc(parent, node)
+    return graph
+
+
+def enumerate_dags(num_nodes: int) -> Iterator[DiGraph]:
+    """Every DAG over the fixed topological order ``0 < 1 < ... < n-1``.
+
+    There are ``2 ** (n(n-1)/2)`` such graphs; the Figure 3.12 census uses
+    this family.  Exhaustive enumeration is practical up to ``n = 5``
+    (1024 graphs) or ``n = 6`` (32768); use :func:`sample_dags` beyond that.
+    """
+    pairs = list(itertools.combinations(range(num_nodes), 2))
+    for mask in range(1 << len(pairs)):
+        graph = DiGraph(nodes=range(num_nodes))
+        for bit, (source, destination) in enumerate(pairs):
+            if mask >> bit & 1:
+                graph.add_arc(source, destination)
+        yield graph
+
+
+def sample_dags(num_nodes: int, count: int, rng: RandomLike = None) -> Iterator[DiGraph]:
+    """``count`` uniform samples from the fixed-topological-order DAG family.
+
+    Including each admissible arc independently with probability 1/2 is
+    exactly uniform over the ``2 ** (n(n-1)/2)`` fixed-order DAGs, so the
+    sampled Figure 3.12 histogram converges to the exhaustive one.
+    """
+    generator = _resolve_rng(rng)
+    pairs = list(itertools.combinations(range(num_nodes), 2))
+    for _ in range(count):
+        graph = DiGraph(nodes=range(num_nodes))
+        for source, destination in pairs:
+            if generator.random() < 0.5:
+                graph.add_arc(source, destination)
+        yield graph
+
+
+def grid_dag(rows: int, columns: int) -> DiGraph:
+    """A rows x columns grid with arcs right and down (dense closure shape)."""
+    graph = DiGraph()
+    for row in range(rows):
+        for column in range(columns):
+            graph.add_node((row, column))
+            if column + 1 < columns:
+                graph.add_arc((row, column), (row, column + 1))
+            if row + 1 < rows:
+                graph.add_arc((row, column), (row + 1, column))
+    return graph

@@ -1,0 +1,95 @@
+"""Strongly connected components and graph condensation.
+
+The paper's compression scheme is defined for acyclic graphs and is
+"extended to cyclic graphs by collapsing strongly connected components into
+one node" (Section 3).  This module provides that collapse: Tarjan's
+algorithm (iterative, so deep graphs do not blow the recursion limit) and a
+condensation that the :class:`repro.core.condensation.CondensedIndex`
+wrapper builds the interval index on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.graph.digraph import DiGraph, Node
+
+Component = FrozenSet[Node]
+
+
+def strongly_connected_components(graph: DiGraph) -> List[Component]:
+    """Tarjan's SCC algorithm, iterative formulation.
+
+    Components are returned in *reverse topological order of the
+    condensation* (a component appears before any component that can reach
+    it), which is Tarjan's natural emission order.
+    """
+    index_of: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Dict[Node, bool] = {}
+    stack: List[Node] = []
+    components: List[Component] = []
+    counter = 0
+
+    for root in graph:
+        if root in index_of:
+            continue
+        work: List[Tuple[Node, List[Node], int]] = [(root, list(graph.successors(root)), 0)]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors, position = work.pop()
+            advanced = False
+            while position < len(successors):
+                successor = successors[position]
+                position += 1
+                if successor not in index_of:
+                    work.append((node, successors, position))
+                    index_of[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, list(graph.successors(successor)), 0))
+                    advanced = True
+                    break
+                if on_stack.get(successor, False):
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def condensation(graph: DiGraph) -> Tuple[DiGraph, Dict[Node, Component]]:
+    """Collapse every strongly connected component into a single node.
+
+    Returns ``(dag, member_of)`` where ``dag`` is an acyclic
+    :class:`DiGraph` whose nodes are frozensets of original nodes, and
+    ``member_of`` maps every original node to its component.  Arcs between
+    distinct components are deduplicated.
+    """
+    components = strongly_connected_components(graph)
+    member_of: Dict[Node, Component] = {}
+    for component in components:
+        for node in component:
+            member_of[node] = component
+    dag = DiGraph(nodes=components)
+    for source, destination in graph.arcs():
+        source_component = member_of[source]
+        destination_component = member_of[destination]
+        if source_component is not destination_component:
+            dag.add_arc(source_component, destination_component)
+    return dag, member_of

@@ -1,0 +1,9 @@
+"""Knowledge-base layer: IS-A taxonomy ADT, ABox, property inheritance."""
+
+from repro.kb.abox import ABox
+from repro.kb.classifier import Classifier
+from repro.kb.inheritance import InheritanceEngine, PropertyConflict
+from repro.kb.taxonomy import Taxonomy
+
+__all__ = ["ABox", "Classifier", "InheritanceEngine", "PropertyConflict",
+           "Taxonomy"]

@@ -1,0 +1,139 @@
+"""Assertional knowledge: individuals classified under taxonomy concepts.
+
+CLASSIC-style knowledge bases split into a *TBox* (the concept hierarchy —
+:class:`repro.kb.Taxonomy`) and an *ABox* of individuals asserted to be
+instances of concepts.  Instance retrieval ("all instances of MAMMAL,
+including everything under it") is a transitive-closure query over the
+IS-A graph and is exactly the workload Section 2.1 of the paper motivates
+the compressed closure with.
+
+:class:`ABox` keeps, per individual, the set of concepts it was *directly*
+asserted under; membership in any broader concept follows through the
+taxonomy's interval index in O(log) per check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Set
+
+from repro.errors import TaxonomyError
+from repro.graph.digraph import Node
+from repro.kb.taxonomy import Taxonomy
+
+Individual = Hashable
+
+
+class ABox:
+    """Individuals and their concept assertions over a :class:`Taxonomy`."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self.taxonomy = taxonomy
+        self._asserted: Dict[Individual, Set[Node]] = {}
+        self._members: Dict[Node, Set[Individual]] = {}
+
+    # ------------------------------------------------------------------
+    # assertions
+    # ------------------------------------------------------------------
+    def assert_instance(self, individual: Individual, concept: Node) -> None:
+        """Assert that ``individual`` is an instance of ``concept``."""
+        if concept not in self.taxonomy:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+        self._asserted.setdefault(individual, set()).add(concept)
+        self._members.setdefault(concept, set()).add(individual)
+
+    def retract_instance(self, individual: Individual, concept: Node) -> None:
+        """Withdraw one assertion; unknown assertions raise."""
+        try:
+            self._asserted[individual].remove(concept)
+        except KeyError:
+            raise TaxonomyError(
+                f"{individual!r} was never asserted under {concept!r}") from None
+        self._members[concept].discard(individual)
+        if not self._asserted[individual]:
+            del self._asserted[individual]
+
+    def forget_individual(self, individual: Individual) -> None:
+        """Remove every assertion about ``individual``."""
+        for concept in self._asserted.pop(individual, set()):
+            self._members[concept].discard(individual)
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def individuals(self) -> Set[Individual]:
+        """Every individual with at least one assertion."""
+        return set(self._asserted)
+
+    def asserted_concepts(self, individual: Individual) -> Set[Node]:
+        """The concepts ``individual`` was directly asserted under."""
+        try:
+            return set(self._asserted[individual])
+        except KeyError:
+            raise TaxonomyError(f"unknown individual {individual!r}") from None
+
+    def is_instance(self, individual: Individual, concept: Node) -> bool:
+        """Whether ``individual`` belongs to ``concept`` (directly or via IS-A).
+
+        One subsumption test per direct assertion — the paper's "lookup
+        instead of a graph traversal".
+        """
+        if concept not in self.taxonomy:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+        # Assertions under since-ignored concepts are dormant, not errors.
+        return any(asserted in self.taxonomy and
+                   self.taxonomy.is_a(asserted, concept)
+                   for asserted in self._asserted.get(individual, ()))
+
+    def instances_of(self, concept: Node, *, direct: bool = False) -> Set[Individual]:
+        """All individuals under ``concept``.
+
+        ``direct=True`` restricts to explicit assertions; otherwise the
+        concept's whole subtree (one successor-set expansion on the
+        compressed closure) contributes members.
+        """
+        if concept not in self.taxonomy:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+        if direct:
+            return set(self._members.get(concept, ()))
+        result: Set[Individual] = set()
+        for subconcept in self.taxonomy.subconcepts(concept, strict=False):
+            result.update(self._members.get(subconcept, ()))
+        return result
+
+    def concepts_of(self, individual: Individual, *, most_specific: bool = False) -> Set[Node]:
+        """Every concept ``individual`` belongs to.
+
+        With ``most_specific=True`` only the minimal (most specific)
+        concepts among the direct assertions are returned — the
+        "realisation" operation of terminological systems.
+        """
+        asserted = {concept for concept in self.asserted_concepts(individual)
+                    if concept in self.taxonomy}
+        if most_specific:
+            return {concept for concept in asserted
+                    if not any(other != concept and
+                               self.taxonomy.is_a(other, concept)
+                               for other in asserted)}
+        result: Set[Node] = set()
+        for concept in asserted:
+            result |= self.taxonomy.superconcepts(concept, strict=False)
+        return result
+
+    def count_instances(self, concept: Node) -> int:
+        """Cardinality of :meth:`instances_of` without keeping duplicates."""
+        return len(self.instances_of(concept))
+
+    def common_concepts(self, individuals: Iterable[Individual]) -> Set[Node]:
+        """Concepts shared by every given individual (their join candidates)."""
+        shared: Set[Node] = None  # type: ignore[assignment]
+        for individual in individuals:
+            concepts = self.concepts_of(individual)
+            shared = concepts if shared is None else shared & concepts
+        return shared or set()
+
+    def __len__(self) -> int:
+        return len(self._asserted)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ABox(individuals={len(self._asserted)}, "
+                f"taxonomy={self.taxonomy.root!r})")

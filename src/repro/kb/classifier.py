@@ -1,0 +1,169 @@
+"""A miniature terminological classifier over the compressed closure.
+
+Section 2.1: KL-ONE-style systems have "compositional languages for
+defining concepts, where a concept is subsumed by another by virtue of
+their definition ... Computing the subsumption relationship between a new
+concept and previously known ones is the key inference made by such
+'terminologic logics'".
+
+:class:`Classifier` implements the standard fragment of that inference:
+a concept is *defined* by named parents plus a set of feature
+restrictions (here: hashable atomic features).  Definitional subsumption
+is then
+
+    ``A subsumes B``  iff  ``features(A) ⊆ features(B)``
+
+where ``features`` includes everything inherited from parents.
+Classification of a new definition finds its *most specific subsumers*
+and *most general subsumees* among the known concepts and inserts it
+between them in the :class:`~repro.kb.taxonomy.Taxonomy` — each insertion
+being the paper's cheap Section 4 write path, and each subsumption probe
+during the search being one interval lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set
+
+from repro.errors import TaxonomyError
+from repro.graph.digraph import Node
+from repro.kb.taxonomy import Taxonomy
+
+Feature = Hashable
+
+
+class Classifier:
+    """Definition-driven classification into a taxonomy."""
+
+    def __init__(self, taxonomy: Optional[Taxonomy] = None) -> None:
+        self.taxonomy = taxonomy if taxonomy is not None else Taxonomy()
+        self._features: Dict[Node, FrozenSet[Feature]] = {
+            self.taxonomy.root: frozenset()
+        }
+
+    # ------------------------------------------------------------------
+    # definitions
+    # ------------------------------------------------------------------
+    def features_of(self, concept: Node) -> FrozenSet[Feature]:
+        """The full (inherited + local) feature set of a known concept."""
+        try:
+            return self._features[concept]
+        except KeyError:
+            raise TaxonomyError(f"concept {concept!r} has no definition") from None
+
+    def effective_features(self, parents: Iterable[Node],
+                           features: Iterable[Feature]) -> FrozenSet[Feature]:
+        """What a definition denotes: its features plus everything inherited."""
+        total: Set[Feature] = set(features)
+        for parent in parents:
+            total |= self.features_of(parent)
+        return frozenset(total)
+
+    def define(self, concept: Node, parents: Iterable[Node] = (),
+               features: Iterable[Feature] = ()) -> Node:
+        """Define and classify ``concept``; returns its canonical name.
+
+        If an existing concept has exactly the same effective feature set,
+        that concept is returned instead of creating a duplicate (the
+        "previously known concept" short-circuit of Section 2.1).
+        Otherwise the new concept is inserted below its most specific
+        subsumers, and any known concepts it strictly subsumes are hooked
+        beneath it.
+        """
+        if concept in self._features:
+            raise TaxonomyError(f"concept {concept!r} is already defined")
+        denotation = self.effective_features(parents, features)
+
+        equivalent = self._find_equivalent(denotation)
+        if equivalent is not None:
+            return equivalent
+
+        subsumers = self.most_specific_subsumers(denotation)
+        subsumees = self.most_general_subsumees(denotation)
+        self.taxonomy.define(concept, sorted(subsumers, key=str))
+        self._features[concept] = denotation
+        for below in subsumees:
+            # Only add the arc when it is not already implied.
+            if not self.taxonomy.is_a(below, concept):
+                self.taxonomy.add_subsumption(concept, below)
+        return concept
+
+    def _find_equivalent(self, denotation: FrozenSet[Feature]) -> Optional[Node]:
+        for known, features in self._features.items():
+            if features == denotation:
+                return known
+        return None
+
+    # ------------------------------------------------------------------
+    # the classification search
+    # ------------------------------------------------------------------
+    def subsumes(self, general: Node, specific: Node) -> bool:
+        """Definitional subsumption between two *known* concepts.
+
+        Answered by the taxonomy's interval index — one range comparison —
+        rather than by feature-set inclusion; the two agree by
+        construction (tested property).
+        """
+        return self.taxonomy.is_a(specific, general)
+
+    def most_specific_subsumers(self, denotation: FrozenSet[Feature]) -> Set[Node]:
+        """The tightest known concepts whose features the denotation extends.
+
+        Top-down sweep: start at the root and repeatedly descend into any
+        child that still subsumes the denotation; concepts with no such
+        child are the answer.  Each step tests feature inclusion against
+        candidates only, pruning whole subtrees — the hierarchy *is* the
+        search structure, which is why the paper wants it cached.
+        """
+        frontier = {self.taxonomy.root}
+        answers: Set[Node] = set()
+        seen: Set[Node] = set()
+        while frontier:
+            concept = frontier.pop()
+            if concept in seen:
+                continue
+            seen.add(concept)
+            descended = False
+            for child in self.taxonomy.children(concept):
+                if child in self._features and \
+                        self._features[child] <= denotation:
+                    frontier.add(child)
+                    descended = True
+            if not descended:
+                answers.add(concept)
+        # Keep only the minimal elements (a concept may be reached along
+        # several paths at different depths).
+        return {concept for concept in answers
+                if not any(other != concept and
+                           self.taxonomy.is_a(other, concept)
+                           for other in answers)}
+
+    def most_general_subsumees(self, denotation: FrozenSet[Feature]) -> Set[Node]:
+        """The broadest known concepts whose features extend the denotation."""
+        candidates = [concept for concept, features in self._features.items()
+                      if denotation <= features and features != denotation]
+        return {concept for concept in candidates
+                if not any(other != concept and
+                           self.taxonomy.is_a(concept, other)
+                           for other in candidates
+                           if denotation <= self._features[other])}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def concepts(self) -> Set[Node]:
+        """All defined concepts (including the root)."""
+        return set(self._features)
+
+    def check_lattice_consistency(self) -> None:
+        """Assert taxonomy order == feature-set inclusion (test support)."""
+        concepts = list(self._features)
+        for general in concepts:
+            for specific in concepts:
+                structural = self.taxonomy.is_a(specific, general)
+                definitional = self._features[general] <= self._features[specific]
+                if structural != definitional:
+                    raise TaxonomyError(
+                        f"classification drift: {general!r} vs {specific!r}: "
+                        f"taxonomy says {structural}, definitions say {definitional}"
+                    )

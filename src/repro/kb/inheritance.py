@@ -1,0 +1,116 @@
+"""Property inheritance along the compressed closure.
+
+Section 6: "These techniques are also useful for efficient propagation of
+inherited values and properties."  :class:`InheritanceEngine` attaches
+property/value pairs to taxonomy concepts and resolves a concept's
+*effective* properties by walking its superconcepts, with the standard
+most-specific-wins override rule and explicit conflict reporting when two
+incomparable ancestors disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import TaxonomyError
+from repro.kb.taxonomy import Taxonomy
+from repro.graph.digraph import Node
+
+PropertyName = Hashable
+
+
+@dataclass(frozen=True)
+class PropertyConflict:
+    """Two incomparable superconcepts supplying different values."""
+
+    property_name: PropertyName
+    contenders: Tuple[Tuple[Node, object], ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{concept!r}={value!r}" for concept, value in self.contenders)
+        return f"conflict on {self.property_name!r}: {parts}"
+
+
+class InheritanceEngine:
+    """Most-specific-wins property inheritance over a :class:`Taxonomy`."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self.taxonomy = taxonomy
+        self._local: Dict[Node, Dict[PropertyName, object]] = {}
+
+    def set_property(self, concept: Node, name: PropertyName, value: object) -> None:
+        """Attach a local (non-inherited) property to ``concept``."""
+        if concept not in self.taxonomy:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+        self._local.setdefault(concept, {})[name] = value
+
+    def local_properties(self, concept: Node) -> Dict[PropertyName, object]:
+        """Properties declared directly on ``concept``."""
+        if concept not in self.taxonomy:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+        return dict(self._local.get(concept, {}))
+
+    def providers(self, concept: Node, name: PropertyName) -> List[Node]:
+        """Superconcepts (reflexive) declaring ``name``, most specific first.
+
+        "Most specific" = fewest strict superconcepts; ties keep stable
+        name order for determinism.
+        """
+        if concept not in self.taxonomy:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+        holders = [ancestor
+                   for ancestor in self.taxonomy.index.predecessors(concept)
+                   if name in self._local.get(ancestor, {})]
+        index = self.taxonomy.index
+
+        def specificity(holder: Node) -> Tuple[int, str]:
+            return (len(index.predecessors(holder)), str(holder))
+
+        return sorted(holders, key=specificity, reverse=True)
+
+    def effective_property(self, concept: Node, name: PropertyName) -> Optional[object]:
+        """The inherited value of ``name`` at ``concept``.
+
+        The most specific provider wins; when several *incomparable*
+        providers remain and their values differ, :class:`TaxonomyError`
+        is raised carrying a :class:`PropertyConflict`.
+        """
+        ranked = self.providers(concept, name)
+        if not ranked:
+            return None
+        index = self.taxonomy.index
+        # Keep only providers not overridden by a more specific provider.
+        minimal = [holder for holder in ranked
+                   if not any(other != holder and index.reachable(holder, other)
+                              for other in ranked)]
+        values = {self._local[holder][name] for holder in minimal}
+        if len(values) > 1:
+            conflict = PropertyConflict(
+                property_name=name,
+                contenders=tuple((holder, self._local[holder][name])
+                                 for holder in minimal),
+            )
+            raise TaxonomyError(str(conflict))
+        return values.pop()
+
+    def effective_properties(self, concept: Node) -> Dict[PropertyName, object]:
+        """All inherited properties of ``concept`` (conflicts raise)."""
+        if concept not in self.taxonomy:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+        names: Set[PropertyName] = set()
+        for ancestor in self.taxonomy.index.predecessors(concept):
+            names.update(self._local.get(ancestor, {}))
+        return {name: self.effective_property(concept, name) for name in sorted(names, key=str)}
+
+    def concepts_with_property(self, name: PropertyName) -> Set[Node]:
+        """Every concept that inherits ``name`` from somewhere.
+
+        One successor-set expansion per declaring concept — the "efficient
+        propagation of inherited values" use case of Section 6.
+        """
+        result: Set[Node] = set()
+        for declarer, properties in self._local.items():
+            if name in properties:
+                result |= self.taxonomy.index.successors(declarer)
+        return result

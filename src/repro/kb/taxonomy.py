@@ -1,0 +1,239 @@
+"""An IS-A taxonomy abstract data type backed by the compressed closure.
+
+Section 6 of the paper: "CLASSIC ... has separated the maintenance of
+subclass relationships into an abstract data type that maintains the IS-A
+graph and encapsulates the technique for managing this data structure
+efficiently.  We plan to use the techniques presented in this paper for
+this purpose."  :class:`Taxonomy` is that abstract data type.
+
+Arcs run *downward*: ``concept -> subconcept``, so "``a`` subsumes ``b``"
+is reachability ``a ->* b``.  Adding a concept under its parents is the
+paper's cheap tree-arc + cut-off-propagation path, which is what makes
+interactive classification loads tractable (Section 4.1's "hierarchy
+refinement").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core import queries
+from repro.core.index import DEFAULT_GAP, IntervalTCIndex
+from repro.errors import TaxonomyError
+from repro.graph.digraph import DiGraph, Node
+
+
+class Taxonomy:
+    """A dynamically growing concept hierarchy with O(log) subsumption tests."""
+
+    def __init__(self, root: Node = "THING", *, gap: int = DEFAULT_GAP) -> None:
+        graph = DiGraph(nodes=[root])
+        self.root = root
+        self._index = IntervalTCIndex.build(graph, gap=gap)
+        self._ignored: Set[Node] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple], *, root: Node = "THING",
+                   gap: int = DEFAULT_GAP) -> "Taxonomy":
+        """Bulk-load a taxonomy from ``(parent, child)`` pairs.
+
+        Parents must be defined before their children appear as parents
+        (any topological input order works); unseen parents raise
+        :class:`TaxonomyError`.
+        """
+        taxonomy = cls(root=root, gap=gap)
+        pending: Dict[Node, List[Node]] = {}
+        for parent, child in edges:
+            pending.setdefault(child, []).append(parent)
+        resolved: Set[Node] = {root}
+        progress = True
+        remaining = dict(pending)
+        while remaining and progress:
+            progress = False
+            for child in list(remaining):
+                parents = remaining[child]
+                if all(parent in resolved for parent in parents):
+                    taxonomy.define(child, parents)
+                    resolved.add(child)
+                    del remaining[child]
+                    progress = True
+        if remaining:
+            raise TaxonomyError(
+                f"undefined or cyclic parents for concepts: {sorted(map(str, remaining))}"
+            )
+        return taxonomy
+
+    def define(self, concept: Node, parents: Sequence[Node] = ()) -> None:
+        """Introduce ``concept`` below ``parents`` (default: below the root).
+
+        This is the classification write path: one tree arc plus non-tree
+        arcs with subsumption cut-off — no closure recomputation.
+        """
+        if concept in self._index:
+            raise TaxonomyError(f"concept {concept!r} is already defined")
+        parent_list = list(parents) if parents else [self.root]
+        for parent in parent_list:
+            self._require(parent)
+        self._index.add_node(concept, parents=parent_list)
+
+    def add_subsumption(self, parent: Node, child: Node) -> None:
+        """Assert that ``parent`` subsumes ``child`` (adds an IS-A arc)."""
+        self._require(parent)
+        self._require(child)
+        if parent == child:
+            raise TaxonomyError("a concept cannot subsume itself explicitly")
+        self._index.add_arc(parent, child)
+
+    def forget(self, concept: Node) -> None:
+        """Remove a concept entirely.
+
+        The paper notes AI deletions are often logical ("nodes are
+        'deleted' to be ignored"); this is the physical removal for when
+        the logical trick is not enough.  Children keep their other
+        parents; orphans re-hang under the taxonomy root in the cover.
+        """
+        if concept not in self._index:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+        if concept == self.root:
+            raise TaxonomyError("cannot forget the taxonomy root")
+        self._ignored.discard(concept)
+        self._index.remove_node(concept)
+
+    def ignore(self, concept: Node) -> None:
+        """Logically delete ``concept`` — the paper's AI-hierarchy trick.
+
+        "Nodes are 'deleted' to be ignored, but the subset relationships
+        between remaining nodes [are] unchanged, and no update is required
+        to the compressed closure" (Section 4.2).  The concept vanishes
+        from every query answer while the index is left untouched, making
+        this O(1); :meth:`restore` undoes it, also in O(1).
+        """
+        self._require(concept)
+        if concept == self.root:
+            raise TaxonomyError("cannot ignore the taxonomy root")
+        self._ignored.add(concept)
+
+    def restore(self, concept: Node) -> None:
+        """Undo :meth:`ignore`."""
+        if concept not in self._ignored:
+            raise TaxonomyError(f"concept {concept!r} is not ignored")
+        self._ignored.remove(concept)
+
+    def is_ignored(self, concept: Node) -> bool:
+        """Whether ``concept`` is logically deleted."""
+        return concept in self._ignored
+
+    def _visible(self, concepts: Set[Node]) -> Set[Node]:
+        return concepts - self._ignored if self._ignored else concepts
+
+    def _require(self, concept: Node) -> None:
+        if concept not in self._index or concept in self._ignored:
+            raise TaxonomyError(f"concept {concept!r} is not defined")
+
+    # ------------------------------------------------------------------
+    # reasoning
+    # ------------------------------------------------------------------
+    def __contains__(self, concept: Node) -> bool:
+        return concept in self._index and concept not in self._ignored
+
+    def __len__(self) -> int:
+        return len(self._index) - len(self._ignored)
+
+    def is_a(self, child: Node, parent: Node) -> bool:
+        """The subsumption test: does ``parent`` subsume ``child``?
+
+        Reflexive, per the paper's convention: ``is_a(c, c)`` is ``True``.
+        """
+        self._require(child)
+        self._require(parent)
+        return self._index.reachable(parent, child)
+
+    def subconcepts(self, concept: Node, *, strict: bool = True) -> Set[Node]:
+        """Everything subsumed by ``concept`` (ignored concepts filtered)."""
+        self._require(concept)
+        return self._visible(self._index.successors(concept, reflexive=not strict))
+
+    def superconcepts(self, concept: Node, *, strict: bool = True) -> Set[Node]:
+        """Everything that subsumes ``concept`` (ignored concepts filtered)."""
+        self._require(concept)
+        return self._visible(self._index.predecessors(concept, reflexive=not strict))
+
+    def parents(self, concept: Node) -> Set[Node]:
+        """Immediate (visible) parents only."""
+        self._require(concept)
+        return self._visible(set(self._index.graph.predecessors(concept)))
+
+    def children(self, concept: Node) -> Set[Node]:
+        """Immediate (visible) children only."""
+        self._require(concept)
+        return self._visible(set(self._index.graph.successors(concept)))
+
+    def least_common_subsumers(self, concepts: Iterable[Node]) -> Set[Node]:
+        """The most specific *visible* concepts subsuming all of ``concepts``."""
+        concept_list = list(concepts)
+        for concept in concept_list:
+            self._require(concept)
+        candidates = self._visible(queries.common_ancestors(self._index, concept_list))
+        return {candidate for candidate in candidates
+                if not any(candidate is not other and
+                           self._index.reachable(candidate, other)
+                           for other in candidates)}
+
+    def are_disjoint(self, first: Node, second: Node) -> bool:
+        """Whether the two concepts share no *visible* subconcept (Section 6)."""
+        self._require(first)
+        self._require(second)
+        if self._index.reachable(first, second) or \
+                self._index.reachable(second, first):
+            return False
+        shared = queries.common_descendants(self._index, [first, second])
+        return not self._visible(shared)
+
+    def classify(self, parents: Sequence[Node],
+                 children: Sequence[Node] = ()) -> Optional[Node]:
+        """Find an existing concept sitting exactly between bounds.
+
+        The terminological-logic primitive: given the computed direct
+        subsumers (``parents``) and subsumees (``children``) of a new
+        definition, return an equivalent already-known concept if one
+        exists (same parents-below test the paper's Section 2.1 calls "a
+        frequent operation"), else ``None`` — the caller then
+        :meth:`define`\\ s the new concept.
+        """
+        candidates: Optional[Set[Node]] = None
+        for parent in parents:
+            self._require(parent)
+            below = self._index.successors(parent)
+            candidates = below if candidates is None else candidates & below
+        if candidates is None:
+            candidates = set(self._index.nodes())
+        for child in children:
+            self._require(child)
+            above = self._index.predecessors(child)
+            candidates &= above
+        for candidate in self._visible(candidates):
+            if set(self._index.graph.predecessors(candidate)) == set(parents) and \
+                    set(children) <= set(self._index.graph.successors(candidate)):
+                return candidate
+        return None
+
+    def depth(self, concept: Node) -> int:
+        """Longest IS-A path from the root down to ``concept``."""
+        self._require(concept)
+        return queries.topological_level(self._index, concept)
+
+    @property
+    def index(self) -> IntervalTCIndex:
+        """The underlying compressed-closure index."""
+        return self._index
+
+    @property
+    def storage_units(self) -> int:
+        """Paper storage units of the subsumption index."""
+        return self._index.storage_units
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Taxonomy(root={self.root!r}, concepts={len(self._index)})"

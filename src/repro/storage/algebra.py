@@ -1,0 +1,269 @@
+"""An alpha-extended relational algebra over binary relations.
+
+Section 6 of the paper: "we are planning to incorporate these techniques
+in prototype systems based on [an] alpha-extended relational algebra" —
+Agrawal's *Alpha* (ICDE 1987), relational algebra plus a transitive-
+closure operator.  This module implements that small query language over
+:class:`repro.storage.relation.BinaryRelation` operands:
+
+* ``Rel(name)`` — a named base relation;
+* ``Union``, ``Difference``, ``Intersect`` — set operators;
+* ``Compose(a, b)`` — relational composition (join on ``a.destination =
+  b.source``, projecting the outer columns), the algebra's step operator;
+* ``Inverse(e)`` — swap columns;
+* ``Select(e, predicate)`` — tuple filter;
+* ``Alpha(e)`` — the transitive closure of the operand, evaluated through
+  an interval index, with SCC condensation so cyclic intermediate results
+  are legal;
+* ``AlphaPlus(e)`` — like ``Alpha`` but irreflexive on endpoints that have
+  no path to themselves (the usual "proper ancestor" flavour).
+
+Closure sub-results are cached per evaluation by operand identity, so a
+query that mentions ``Alpha(Rel("parent"))`` twice builds one index.
+
+Example::
+
+    engine = AlgebraEngine({"parent": BinaryRelation([...])})
+    grandparents = engine.evaluate(Compose(Rel("parent"), Rel("parent")))
+    ancestors = engine.evaluate(Alpha(Rel("parent")))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Mapping, Tuple
+
+from repro.core.condensation import CondensedIndex
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.storage.relation import BinaryRelation
+
+Pair = Tuple[object, object]
+PairSet = FrozenSet[Pair]
+
+
+class Expression:
+    """Base class for algebra expressions (a small immutable AST)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fields = ", ".join(repr(value) for value in self.__dict__.values())
+        return f"{type(self).__name__}({fields})"
+
+
+@dataclass(frozen=True, repr=False)
+class Rel(Expression):
+    """A named base relation."""
+
+    name: str
+
+
+@dataclass(frozen=True, repr=False)
+class Union(Expression):
+    """Set union of two expressions."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, repr=False)
+class Difference(Expression):
+    """Tuples of ``left`` not in ``right``."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, repr=False)
+class Intersect(Expression):
+    """Tuples in both operands."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, repr=False)
+class Compose(Expression):
+    """Relational composition: ``{(a, c) | (a, b) in left, (b, c) in right}``."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, repr=False)
+class Inverse(Expression):
+    """Column swap: ``{(b, a) | (a, b) in operand}``."""
+
+    operand: Expression
+
+
+@dataclass(frozen=True, repr=False)
+class Select(Expression):
+    """Filter by a tuple predicate.
+
+    ``predicate`` receives ``(source, destination)`` and returns a bool.
+    Predicates make expressions unhashable for caching purposes, which is
+    fine — only ``Alpha`` nodes are cached.
+    """
+
+    operand: Expression
+    predicate: Callable[[object, object], bool]
+
+    def __hash__(self) -> int:  # predicates are compared by identity
+        return hash((id(self.predicate), self.operand))
+
+
+@dataclass(frozen=True, repr=False)
+class Steps(Expression):
+    """Bounded closure: pairs connected by a path of 1..k operand steps.
+
+    ``Steps(R, 1)`` is ``R`` itself; ``Steps(R, 2)`` adds two-hop paths;
+    as ``k`` grows the result converges to ``AlphaPlus(R)``.  The
+    "within N hops" query shape of routing and BOM depth limits.
+    """
+
+    operand: Expression
+    k: int
+
+
+@dataclass(frozen=True, repr=False)
+class Alpha(Expression):
+    """Reflexive-on-domain transitive closure of the operand.
+
+    Follows the paper's convention: every value appearing in the operand
+    reaches itself, so ``(v, v)`` is included for every domain value.
+    """
+
+    operand: Expression
+
+
+@dataclass(frozen=True, repr=False)
+class AlphaPlus(Expression):
+    """Strict (irreflexive) transitive closure: ``(v, v)`` only via a cycle."""
+
+    operand: Expression
+
+
+class AlgebraEngine:
+    """Evaluate algebra expressions against a catalogue of base relations."""
+
+    def __init__(self, relations: Mapping[str, BinaryRelation]) -> None:
+        self.relations: Dict[str, BinaryRelation] = dict(relations)
+
+    def register(self, name: str, relation: BinaryRelation) -> None:
+        """Add or replace a base relation."""
+        self.relations[name] = relation
+
+    def evaluate(self, expression: Expression) -> PairSet:
+        """Evaluate ``expression`` to a frozen set of (source, destination)."""
+        cache: Dict[Expression, PairSet] = {}
+        return self._evaluate(expression, cache)
+
+    def _evaluate(self, expression: Expression,
+                  cache: Dict[Expression, PairSet]) -> PairSet:
+        if isinstance(expression, Rel):
+            try:
+                relation = self.relations[expression.name]
+            except KeyError:
+                raise ReproError(
+                    f"unknown relation {expression.name!r}; "
+                    f"known: {sorted(self.relations)}") from None
+            return frozenset(relation)
+        if isinstance(expression, Union):
+            return self._evaluate(expression.left, cache) | \
+                self._evaluate(expression.right, cache)
+        if isinstance(expression, Difference):
+            return self._evaluate(expression.left, cache) - \
+                self._evaluate(expression.right, cache)
+        if isinstance(expression, Intersect):
+            return self._evaluate(expression.left, cache) & \
+                self._evaluate(expression.right, cache)
+        if isinstance(expression, Inverse):
+            return frozenset((b, a) for a, b
+                             in self._evaluate(expression.operand, cache))
+        if isinstance(expression, Select):
+            return frozenset(pair for pair
+                             in self._evaluate(expression.operand, cache)
+                             if expression.predicate(*pair))
+        if isinstance(expression, Compose):
+            left = self._evaluate(expression.left, cache)
+            right = self._evaluate(expression.right, cache)
+            by_source: Dict[object, list] = {}
+            for source, destination in right:
+                by_source.setdefault(source, []).append(destination)
+            return frozenset((a, c) for a, b in left
+                             for c in by_source.get(b, ()))
+        if isinstance(expression, Steps):
+            if expression.k < 1:
+                raise ReproError(f"Steps needs k >= 1, got {expression.k}")
+            base = self._evaluate(expression.operand, cache)
+            by_source: Dict[object, list] = {}
+            for source, destination in base:
+                by_source.setdefault(source, []).append(destination)
+            result = set(base)
+            frontier = set(base)
+            for _ in range(expression.k - 1):
+                frontier = {(a, c) for a, b in frontier
+                            for c in by_source.get(b, ())} - result
+                if not frontier:
+                    break
+                result |= frontier
+            return frozenset(result)
+        if isinstance(expression, (Alpha, AlphaPlus)):
+            if expression in cache:
+                return cache[expression]
+            result = self._closure(
+                self._evaluate(expression.operand, cache),
+                strict=isinstance(expression, AlphaPlus))
+            cache[expression] = result
+            return result
+        raise ReproError(f"unknown expression type {type(expression).__name__}")
+
+    @staticmethod
+    def _closure(pairs: PairSet, *, strict: bool) -> PairSet:
+        """Transitive closure of an arbitrary (possibly cyclic) pair set.
+
+        The compressed-closure machinery does the work: the pair set
+        becomes a graph, SCCs collapse, the interval index answers the
+        pair enumeration.
+        """
+        graph = DiGraph()
+        for source, destination in pairs:
+            if source == destination:
+                continue  # reflexivity handled by the semantics below
+            graph.add_arc(source, destination)
+        for source, destination in pairs:
+            graph.add_node(source)
+            graph.add_node(destination)
+        index = CondensedIndex.build(graph)
+        closure = set()
+        self_loops = {source for source, destination in pairs
+                      if source == destination}
+        for node in graph:
+            for reached in index.successors(node):
+                if node != reached:
+                    closure.add((node, reached))
+                elif not strict:
+                    closure.add((node, node))
+                elif len(index.component_of(node)) > 1 or node in self_loops:
+                    # Strict closure keeps (v, v) only for real cycles.
+                    closure.add((node, node))
+        return frozenset(closure)
+
+
+# ----------------------------------------------------------------------
+# convenience formulations of the classic recursive queries
+# ----------------------------------------------------------------------
+def ancestors_query(relation_name: str) -> Expression:
+    """``Alpha(R)`` read as "all (descendant, ancestor)" after inversion."""
+    return Inverse(Alpha(Rel(relation_name)))
+
+
+def reachable_within(relation_name: str,
+                     predicate: Callable[[object, object], bool]) -> Expression:
+    """Closure restricted by a tuple predicate applied *after* closure."""
+    return Select(Alpha(Rel(relation_name)), predicate)
+
+
+def same_generation_seed(relation_name: str) -> Expression:
+    """``Compose(Inverse(R), R)`` — siblings sharing an immediate source."""
+    return Compose(Inverse(Rel(relation_name)), Rel(relation_name))

@@ -1,0 +1,254 @@
+"""A binary on-disk format for the compressed closure, with real file I/O.
+
+Where :mod:`repro.storage.pager` *simulates* secondary storage, this
+module actually writes the index to disk and serves queries by reading
+pages from the file through an LRU buffer pool — the deployment shape
+Section 2.2 has in mind for large relations ("the information will reside
+on secondary storage").
+
+File layout (little-endian)::
+
+    header     magic 'RTCX', format version, page size, node count,
+               heap interval count, section offsets
+    labels     JSON array mapping node id -> label (loaded at open)
+    numbers    node-id-ordered u64 postorder numbers (loaded at open)
+    directory  per node: u64 heap offset + u32 interval count (loaded)
+    heap       the interval pairs (u64 lo, u64 hi), page-aligned,
+               *read on demand* through the buffer pool
+
+The in-memory footprint at query time is the node directory (O(n)); the
+interval heap — the part that is O(closure) — stays on disk, and
+``pool.counters`` reports exactly how many pages each query load touched.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.index import IntervalTCIndex
+from repro.errors import NodeNotFoundError, StorageError
+from repro.graph.digraph import Node
+from repro.storage.pager import BufferPool
+
+MAGIC = b"RTCX"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sIIQQQQQ")   # magic, version, page, nodes,
+                                        # intervals, labels_off, numbers_off,
+                                        # directory_off (heap starts page-aligned
+                                        # right after the directory)
+_DIRECTORY_ENTRY = struct.Struct("<QI")
+_INTERVAL = struct.Struct("<QQ")
+_NUMBER = struct.Struct("<Q")
+
+PathLike = Union[str, Path]
+
+
+def write_index(index: IntervalTCIndex, path: PathLike, *,
+                page_size: int = 4096) -> int:
+    """Serialise ``index`` into the binary format; returns bytes written.
+
+    Node labels must be JSON-representable.  Interval end-points must be
+    non-negative (postorder numbers always are).
+    """
+    if page_size < _INTERVAL.size:
+        raise StorageError(f"page_size {page_size} cannot hold one interval")
+    if getattr(index, "numbering", "integer") != "integer":
+        raise StorageError(
+            "the RTCX binary format stores u64 labels; serialise "
+            "fractional-numbered indexes with repro.core.serialize instead")
+    nodes = list(index.nodes())
+    labels_blob = json.dumps(nodes).encode("utf-8")
+
+    numbers_blob = b"".join(_NUMBER.pack(index.postorder[node]) for node in nodes)
+
+    directory = io.BytesIO()
+    heap = io.BytesIO()
+    heap_count = 0
+    for node in nodes:
+        intervals = index.intervals[node]
+        directory.write(_DIRECTORY_ENTRY.pack(heap_count, len(intervals)))
+        for lo, hi in intervals:
+            if lo < 0:
+                raise StorageError(f"negative interval bound {lo} at {node!r}")
+            heap.write(_INTERVAL.pack(lo, hi))
+            heap_count += 1
+
+    labels_offset = _HEADER.size
+    numbers_offset = labels_offset + len(labels_blob)
+    directory_offset = numbers_offset + len(numbers_blob)
+    heap_offset = directory_offset + directory.getbuffer().nbytes
+    # Page-align the heap so page ids map directly onto file pages.
+    padding = (-heap_offset) % page_size
+    heap_offset += padding
+
+    header = _HEADER.pack(MAGIC, FORMAT_VERSION, page_size, len(nodes),
+                          heap_count, labels_offset, numbers_offset,
+                          directory_offset)
+    blob = b"".join([header, labels_blob, numbers_blob,
+                     directory.getvalue(), b"\0" * padding, heap.getvalue()])
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+class DiskIntervalIndex:
+    """Query a compressed closure straight from its binary file.
+
+    >>> written = write_index(index, "closure.rtcx")     # doctest: +SKIP
+    >>> disk = DiskIntervalIndex.open("closure.rtcx")    # doctest: +SKIP
+    >>> disk.reachable("a", "b")                         # doctest: +SKIP
+
+    Only the node directory lives in memory; interval pages are fetched
+    through the :class:`~repro.storage.pager.BufferPool` given at
+    :meth:`open`, whose counters expose the I/O cost of a query load.
+    """
+
+    def __init__(self, file: io.BufferedIOBase, *, page_size: int,
+                 labels: List[Node], numbers: List[int],
+                 directory: List[Tuple[int, int]], heap_offset: int,
+                 heap_count: int, pool: BufferPool) -> None:
+        self._file = file
+        self.page_size = page_size
+        self._id_of: Dict[Node, int] = {label: i for i, label in enumerate(labels)}
+        self._labels = labels
+        self._numbers = numbers
+        self._node_of_number = {number: labels[i]
+                                for i, number in enumerate(numbers)}
+        self._sorted_numbers = sorted(self._node_of_number)
+        self._directory = directory
+        self._heap_offset = heap_offset
+        self._heap_count = heap_count
+        self.pool = pool
+        self._page_cache: Dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: PathLike, *, pool: Optional[BufferPool] = None) -> "DiskIntervalIndex":
+        """Open a file written by :func:`write_index`."""
+        file = open(path, "rb")
+        raw = file.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            file.close()
+            raise StorageError(f"{path}: truncated header")
+        (magic, version, page_size, num_nodes, heap_count,
+         labels_offset, numbers_offset, directory_offset) = _HEADER.unpack(raw)
+        if magic != MAGIC:
+            file.close()
+            raise StorageError(f"{path}: not an RTCX index file")
+        if version != FORMAT_VERSION:
+            file.close()
+            raise StorageError(f"{path}: unsupported format version {version}")
+
+        file.seek(labels_offset)
+        labels = json.loads(file.read(numbers_offset - labels_offset))
+        labels = [tuple(label) if isinstance(label, list) else label
+                  for label in labels]
+        numbers = [
+            _NUMBER.unpack(file.read(_NUMBER.size))[0] for _ in range(num_nodes)
+        ]
+        directory = [
+            _DIRECTORY_ENTRY.unpack(file.read(_DIRECTORY_ENTRY.size))
+            for _ in range(num_nodes)
+        ]
+        heap_offset = directory_offset + num_nodes * _DIRECTORY_ENTRY.size
+        heap_offset += (-heap_offset) % page_size
+        return cls(file, page_size=page_size, labels=labels, numbers=numbers,
+                   directory=directory, heap_offset=heap_offset,
+                   heap_count=heap_count,
+                   pool=pool or BufferPool(capacity_pages=64))
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "DiskIntervalIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # paged heap access
+    # ------------------------------------------------------------------
+    def _read_page(self, page_id: int) -> bytes:
+        hit = self.pool.access(page_id)
+        if hit and page_id in self._page_cache:
+            return self._page_cache[page_id]
+        self._file.seek(self._heap_offset + page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        # Mirror the pool's residency so evicted pages really re-read.
+        self._page_cache[page_id] = data
+        if len(self._page_cache) > self.pool.capacity_pages:
+            for cached in list(self._page_cache):
+                if cached != page_id and len(self._page_cache) > self.pool.capacity_pages:
+                    del self._page_cache[cached]
+        return data
+
+    def _intervals_of(self, node: Node) -> List[Tuple[int, int]]:
+        try:
+            node_id = self._id_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        offset, count = self._directory[node_id]
+        intervals: List[Tuple[int, int]] = []
+        per_page = self.page_size // _INTERVAL.size
+        for position in range(offset, offset + count):
+            page_id, slot = divmod(position, per_page)
+            page = self._read_page(page_id)
+            start = slot * _INTERVAL.size
+            intervals.append(_INTERVAL.unpack_from(page, start))
+        return intervals
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._id_of
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def postorder_of(self, node: Node) -> int:
+        """The stored postorder number of ``node``."""
+        try:
+            return self._numbers[self._id_of[node]]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def reachable(self, source: Node, destination: Node) -> bool:
+        """Reflexive reachability straight off the file pages."""
+        number = self.postorder_of(destination)
+        for lo, hi in self._intervals_of(source):
+            if lo <= number <= hi:
+                return True
+            if lo > number:
+                break  # intervals are sorted by lo
+        return False
+
+    def successors(self, source: Node, *, reflexive: bool = True) -> Set[Node]:
+        """Decode the successor set of ``source`` from its disk intervals."""
+        from bisect import bisect_left, bisect_right
+        result: Set[Node] = set()
+        for lo, hi in self._intervals_of(source):
+            start = bisect_left(self._sorted_numbers, lo)
+            stop = bisect_right(self._sorted_numbers, hi)
+            for position in range(start, stop):
+                result.add(self._node_of_number[self._sorted_numbers[position]])
+        if not reflexive:
+            result.discard(source)
+        return result
+
+    @property
+    def heap_pages(self) -> int:
+        """Number of heap pages in the file."""
+        per_page = self.page_size // _INTERVAL.size
+        return (self._heap_count + per_page - 1) // per_page
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DiskIntervalIndex(nodes={len(self._labels)}, "
+                f"intervals={self._heap_count}, pages={self.heap_pages})")

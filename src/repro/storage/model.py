@@ -1,0 +1,119 @@
+"""The paper's storage-accounting model (Section 3.3).
+
+All of Figures 3.9-3.12 measure *storage units*:
+
+* the **original relation** and the **full transitive closure** cost one
+  unit per stored successor (i.e. per tuple);
+* the **compressed closure** costs two units per interval ("we have
+  computed the storage required for the compressed closure as twice the
+  number of intervals required at each node to obtain baseline
+  performance");
+* the **inverse closure** costs one unit per stored non-reachable pair.
+
+This module turns any of the library's structures into those unit counts
+and produces the relative ("multiple of the original relation") series the
+figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.full_closure import FullTCIndex
+from repro.baselines.inverse_closure import InverseTCIndex
+from repro.core.index import IntervalTCIndex
+from repro.graph.digraph import DiGraph
+
+
+def relation_units(graph: DiGraph) -> int:
+    """Storage of the base relation: one unit per arc."""
+    return graph.num_arcs
+
+
+def full_closure_units(closure: FullTCIndex) -> int:
+    """Storage of the materialised closure: one unit per pair."""
+    return closure.storage_units
+
+
+def compressed_closure_units(index: IntervalTCIndex) -> int:
+    """Storage of the compressed closure: two units per interval."""
+    return index.storage_units
+
+
+def inverse_closure_units(inverse: InverseTCIndex) -> int:
+    """Storage of the inverse closure: one unit per non-reachable pair."""
+    return inverse.storage_units
+
+
+@dataclass(frozen=True)
+class StorageComparison:
+    """One figure data point: absolute units and multiples of the relation."""
+
+    num_nodes: int
+    num_arcs: int
+    relation: int
+    full_closure: int
+    compressed: int
+    inverse: Optional[int] = None
+
+    @property
+    def full_multiple(self) -> float:
+        """Full closure size as a multiple of the original relation."""
+        return self.full_closure / self.relation if self.relation else float("nan")
+
+    @property
+    def compressed_multiple(self) -> float:
+        """Compressed closure size as a multiple of the original relation."""
+        return self.compressed / self.relation if self.relation else float("nan")
+
+    @property
+    def inverse_multiple(self) -> Optional[float]:
+        """Inverse closure size as a multiple of the original relation."""
+        if self.inverse is None:
+            return None
+        return self.inverse / self.relation if self.relation else float("nan")
+
+    @property
+    def compression_ratio(self) -> float:
+        """Full closure units per compressed unit (bigger = better)."""
+        return self.full_closure / self.compressed if self.compressed else float("inf")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict for report tables."""
+        row: Dict[str, object] = {
+            "nodes": self.num_nodes,
+            "arcs": self.num_arcs,
+            "relation": self.relation,
+            "full_closure": self.full_closure,
+            "compressed": self.compressed,
+            "full_multiple": round(self.full_multiple, 3),
+            "compressed_multiple": round(self.compressed_multiple, 3),
+        }
+        if self.inverse is not None:
+            row["inverse"] = self.inverse
+            row["inverse_multiple"] = round(self.inverse_multiple, 3)
+        return row
+
+
+def compare_storage(graph: DiGraph, *, policy: str = "alg1", gap: int = 1,
+                    merge: bool = False,
+                    include_inverse: bool = False) -> StorageComparison:
+    """Measure one graph under the paper's three (or four) structures.
+
+    ``gap=1`` matches the figures (contiguous postorder numbers); larger
+    gaps change nothing in unit counts but are not what the paper plots.
+    """
+    closure = FullTCIndex.build(graph)
+    index = IntervalTCIndex.build(graph, policy=policy, gap=gap, merge=merge)
+    inverse_units: Optional[int] = None
+    if include_inverse:
+        inverse_units = InverseTCIndex.build(graph).storage_units
+    return StorageComparison(
+        num_nodes=graph.num_nodes,
+        num_arcs=graph.num_arcs,
+        relation=relation_units(graph),
+        full_closure=full_closure_units(closure),
+        compressed=compressed_closure_units(index),
+        inverse=inverse_units,
+    )

@@ -1,0 +1,184 @@
+"""A simulated secondary-storage layer: pages, a buffer pool, I/O counters.
+
+Section 2.2's desiderata include "in the case of large relations, the
+information will reside on secondary storage, and hence we need to
+minimise I/O traffic".  1989 disks are simulated rather than timed: data
+structures are laid out on fixed-size pages, reads go through an LRU
+buffer pool, and experiments report page-fault counts.
+
+Two paged layouts are provided:
+
+* :class:`PagedSuccessorStore` — the full closure as variable-length
+  successor lists packed into pages (one unit per entry);
+* :class:`PagedIntervalStore` — the compressed closure as interval lists
+  packed into pages (two units per interval).
+
+Both serve ``reachable`` queries by fetching exactly the pages holding the
+source node's record, so the I/O benchmark (``benchmarks/bench_io.py``)
+directly exposes the paper's core claim: fewer units => fewer pages =>
+fewer faults for the same query load.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.core.index import IntervalTCIndex
+from repro.baselines.full_closure import FullTCIndex
+from repro.errors import NodeNotFoundError, StorageError
+from repro.graph.digraph import Node
+
+#: Units (words) per page.  1989-flavoured default: 1 KiB pages of 32-bit
+#: words.
+DEFAULT_PAGE_CAPACITY = 256
+
+
+@dataclass
+class IOCounters:
+    """Cumulative buffer-pool statistics."""
+
+    logical_reads: int = 0
+    page_faults: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of logical reads served from the pool."""
+        if self.logical_reads == 0:
+            return 1.0
+        return 1.0 - self.page_faults / self.logical_reads
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.logical_reads = 0
+        self.page_faults = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """A fixed-capacity LRU page cache with fault accounting."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise StorageError("buffer pool needs capacity for at least one page")
+        self.capacity_pages = capacity_pages
+        self.counters = IOCounters()
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, page_id: int) -> bool:
+        """Touch ``page_id``; returns ``True`` on a pool hit."""
+        self.counters.logical_reads += 1
+        if page_id in self._resident:
+            self._resident.move_to_end(page_id)
+            return True
+        self.counters.page_faults += 1
+        if len(self._resident) >= self.capacity_pages:
+            self._resident.popitem(last=False)
+            self.counters.evictions += 1
+        self._resident[page_id] = None
+        return False
+
+    def flush(self) -> None:
+        """Empty the pool (cold restart)."""
+        self._resident.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently cached."""
+        return len(self._resident)
+
+
+@dataclass
+class _Record:
+    """Placement of one node's record: page span plus payload."""
+
+    first_page: int
+    last_page: int
+    payload: tuple
+
+
+class _PagedStore:
+    """Common machinery: pack per-node records into fixed-size pages.
+
+    Records are laid out contiguously in node-iteration order; a record
+    larger than a page spans several.  Subclasses define the payload and
+    the query semantics over it.
+    """
+
+    def __init__(self, page_capacity: int, pool: BufferPool) -> None:
+        if page_capacity < 2:
+            raise StorageError("page capacity must hold at least one interval")
+        self.page_capacity = page_capacity
+        self.pool = pool
+        self._records: Dict[Node, _Record] = {}
+        self.num_pages = 0
+        self.total_units = 0
+
+    def _pack(self, sized_payloads: Iterable[Tuple[Node, int, tuple]]) -> None:
+        cursor = 0  # unit offset within the linear file
+        for node, units, payload in sized_payloads:
+            units = max(units, 1)
+            first_page = cursor // self.page_capacity
+            last_page = (cursor + units - 1) // self.page_capacity
+            self._records[node] = _Record(first_page, last_page, payload)
+            cursor += units
+        self.total_units = cursor
+        self.num_pages = (cursor + self.page_capacity - 1) // self.page_capacity
+
+    def _fetch(self, node: Node) -> tuple:
+        try:
+            record = self._records[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        for page_id in range(record.first_page, record.last_page + 1):
+            self.pool.access(page_id)
+        return record.payload
+
+    def pages_of(self, node: Node) -> int:
+        """How many pages the node's record spans."""
+        record = self._records[node]
+        return record.last_page - record.first_page + 1
+
+
+class PagedSuccessorStore(_PagedStore):
+    """The full materialised closure laid out on pages."""
+
+    def __init__(self, closure: FullTCIndex, nodes: Sequence[Node], *,
+                 page_capacity: int = DEFAULT_PAGE_CAPACITY,
+                 pool: BufferPool = None) -> None:
+        super().__init__(page_capacity, pool or BufferPool(capacity_pages=64))
+        self._pack(
+            (node, len(closure.successors(node, reflexive=False)),
+             (frozenset(closure.successors(node, reflexive=False)),))
+            for node in nodes
+        )
+
+    def reachable(self, source: Node, destination: Node) -> bool:
+        """Fetch the source's pages, then probe the successor set."""
+        (successors,) = self._fetch(source)
+        return source == destination or destination in successors
+
+
+class PagedIntervalStore(_PagedStore):
+    """The compressed closure laid out on pages (two units per interval)."""
+
+    def __init__(self, index: IntervalTCIndex, *,
+                 page_capacity: int = DEFAULT_PAGE_CAPACITY,
+                 pool: BufferPool = None) -> None:
+        super().__init__(page_capacity, pool or BufferPool(capacity_pages=64))
+        self._postorder = dict(index.postorder)
+        self._pack(
+            (node, 2 * len(index.intervals[node]), (index.intervals[node].copy(),))
+            for node in index.nodes()
+        )
+
+    def reachable(self, source: Node, destination: Node) -> bool:
+        """Fetch the source's pages, then run the range comparison."""
+        (intervals,) = self._fetch(source)
+        try:
+            number = self._postorder[destination]
+        except KeyError:
+            raise NodeNotFoundError(destination) from None
+        return intervals.covers(number)

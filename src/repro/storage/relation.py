@@ -1,0 +1,168 @@
+"""Binary relations and the closure as a materialised view.
+
+Section 2 motivates the whole paper with *view materialisation*: "the
+problem of managing views which are the transitive closure of some
+relationship is of considerable interest".  This module provides that
+database framing:
+
+* :class:`BinaryRelation` — a two-column table of ``(source,
+  destination)`` tuples with the usual relational operations;
+* :class:`MaterializedClosureView` — the transitive closure of a relation
+  kept permanently in sync through the paper's Section 4 incremental
+  algorithms, so that closure queries are index lookups instead of
+  recursive query evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set, Tuple
+
+from repro.core.index import DEFAULT_GAP, IntervalTCIndex
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph, Node
+
+Tuple2 = Tuple[Node, Node]
+
+
+class BinaryRelation:
+    """A set-semantics table with ``source`` and ``destination`` columns."""
+
+    def __init__(self, tuples: Iterable[Tuple2] = ()) -> None:
+        self._tuples: Set[Tuple2] = set()
+        for source, destination in tuples:
+            self.insert(source, destination)
+
+    def insert(self, source: Node, destination: Node) -> bool:
+        """Add a tuple; returns ``False`` when it was already present."""
+        if source == destination:
+            raise GraphError("relation tuples must relate distinct values")
+        before = len(self._tuples)
+        self._tuples.add((source, destination))
+        return len(self._tuples) != before
+
+    def delete(self, source: Node, destination: Node) -> bool:
+        """Remove a tuple; returns ``False`` when it was absent."""
+        try:
+            self._tuples.remove((source, destination))
+        except KeyError:
+            return False
+        return True
+
+    def __contains__(self, pair: Tuple2) -> bool:
+        return pair in self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple2]:
+        return iter(self._tuples)
+
+    def sources(self) -> Set[Node]:
+        """Distinct values of the source column."""
+        return {source for source, _ in self._tuples}
+
+    def destinations(self) -> Set[Node]:
+        """Distinct values of the destination column."""
+        return {destination for _, destination in self._tuples}
+
+    def domain(self) -> Set[Node]:
+        """All values appearing in either column."""
+        return self.sources() | self.destinations()
+
+    def select_by_source(self, source: Node) -> List[Tuple2]:
+        """All tuples with the given source (a relational selection)."""
+        return [pair for pair in self._tuples if pair[0] == source]
+
+    def select_by_destination(self, destination: Node) -> List[Tuple2]:
+        """All tuples with the given destination."""
+        return [pair for pair in self._tuples if pair[1] == destination]
+
+    def to_graph(self) -> DiGraph:
+        """The directed graph induced by the relation (paper, Section 3)."""
+        return DiGraph(self._tuples)
+
+
+class MaterializedClosureView:
+    """The transitive closure of a relation, maintained incrementally.
+
+    Every ``insert``/``delete`` on the base relation is pushed through the
+    Section 4 update algorithms, so the view is always consistent and
+    closure queries never recompute anything.
+
+    >>> view = MaterializedClosureView.over(BinaryRelation([("a", "b")]))
+    >>> view.insert("b", "c")
+    >>> view.query("a", "c")
+    True
+    """
+
+    def __init__(self, relation: BinaryRelation, index: IntervalTCIndex) -> None:
+        self.relation = relation
+        self._index = index
+
+    @classmethod
+    def over(cls, relation: BinaryRelation, *, gap: int = DEFAULT_GAP,
+             merge: bool = False) -> "MaterializedClosureView":
+        """Materialise the closure view of an existing relation."""
+        index = IntervalTCIndex.build(relation.to_graph(), gap=gap, merge=merge)
+        return cls(relation, index)
+
+    # ------------------------------------------------------------------
+    # base-relation updates, propagated incrementally
+    # ------------------------------------------------------------------
+    def insert(self, source: Node, destination: Node) -> None:
+        """Insert a base tuple and propagate it into the view."""
+        if not self.relation.insert(source, destination):
+            return
+        known_source = source in self._index
+        known_destination = destination in self._index
+        if known_source and known_destination:
+            self._index.add_arc(source, destination)
+        elif known_source:
+            self._index.add_node(destination, parents=[source])
+        elif known_destination:
+            # New source value: hang it off the virtual root, then run the
+            # ordinary non-tree arc propagation for its one outgoing arc.
+            self._index.add_node(source)
+            self._index.add_arc(source, destination)
+        else:
+            self._index.add_node(source)
+            self._index.add_node(destination, parents=[source])
+
+    def delete(self, source: Node, destination: Node) -> None:
+        """Delete a base tuple and retract it from the view.
+
+        Values that no longer appear in any tuple are dropped from the
+        index as well, keeping the view's domain equal to the relation's.
+        """
+        if not self.relation.delete(source, destination):
+            return
+        self._index.remove_arc(source, destination)
+        for value in (source, destination):
+            if not self.relation.select_by_source(value) and \
+                    not self.relation.select_by_destination(value):
+                self._index.remove_node(value)
+
+    # ------------------------------------------------------------------
+    # view queries
+    # ------------------------------------------------------------------
+    def query(self, source: Node, destination: Node) -> bool:
+        """Is ``(source, destination)`` in the closure view?  (Reflexive.)"""
+        if source not in self._index or destination not in self._index:
+            return source == destination and (
+                source in self._index or source in self.relation.domain()
+            )
+        return self._index.reachable(source, destination)
+
+    def successors(self, source: Node) -> Set[Node]:
+        """All destinations transitively related to ``source``."""
+        return self._index.successors(source)
+
+    @property
+    def storage_units(self) -> int:
+        """Paper units of the materialised view."""
+        return self._index.storage_units
+
+    @property
+    def index(self) -> IntervalTCIndex:
+        """The underlying interval index (read-mostly; prefer view methods)."""
+        return self._index

@@ -1,0 +1,50 @@
+"""Property test: every exact index answers every query identically."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    BitMatrixTCIndex,
+    ChainTCIndex,
+    FullTCIndex,
+    InverseTCIndex,
+    PointerChasingIndex,
+)
+from repro.core.condensation import CondensedIndex
+from repro.core.index import IntervalTCIndex
+from repro.graph.digraph import DiGraph
+
+
+@st.composite
+def small_dags(draw):
+    n = draw(st.integers(1, 10))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=25))
+    graph = DiGraph(nodes=range(n))
+    for a, b in pairs:
+        if a != b:
+            graph.add_arc(min(a, b), max(a, b))
+    return graph
+
+
+@settings(max_examples=40)
+@given(small_dags(), st.integers(0, 10 ** 6))
+def test_all_exact_indexes_agree(graph, probe_seed):
+    """Seven implementations, one truth."""
+    indexes = [
+        IntervalTCIndex.build(graph, gap=1),
+        IntervalTCIndex.build(graph, gap=8, merge=True),
+        FullTCIndex.build(graph),
+        InverseTCIndex.build(graph),
+        BitMatrixTCIndex.build(graph),
+        PointerChasingIndex.build(graph),
+        ChainTCIndex.build(graph, "greedy"),
+        CondensedIndex.build(graph),
+    ]
+    nodes = list(graph.nodes())
+    for source in nodes:
+        for destination in nodes:
+            answers = {index.reachable(source, destination) for index in indexes}
+            assert len(answers) == 1, (
+                f"disagreement on {source} ->* {destination}: "
+                f"{[type(index).__name__ for index in indexes]}"
+            )

@@ -1,0 +1,49 @@
+"""Tests for the bit-matrix closure."""
+
+import pytest
+
+from repro.baselines.boolean_matrix import BitMatrixTCIndex
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import reachable_from
+
+
+class TestCorrectness:
+    def test_diamond(self, diamond):
+        matrix = BitMatrixTCIndex.build(diamond)
+        assert matrix.reachable("a", "d")
+        assert not matrix.reachable("d", "a")
+        assert matrix.reachable("b", "b")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        graph = random_dag(45, 2.5, seed)
+        matrix = BitMatrixTCIndex.build(graph)
+        for node in graph:
+            assert matrix.successors(node) == reachable_from(graph, node)
+
+    def test_successors_irreflexive(self, diamond):
+        matrix = BitMatrixTCIndex.build(diamond)
+        assert matrix.successors("a", reflexive=False) == {"b", "c", "d"}
+
+    def test_unknown_nodes(self, diamond):
+        matrix = BitMatrixTCIndex.build(diamond)
+        with pytest.raises(NodeNotFoundError):
+            matrix.reachable("ghost", "a")
+        with pytest.raises(NodeNotFoundError):
+            matrix.reachable("a", "ghost")
+        with pytest.raises(NodeNotFoundError):
+            matrix.successors("ghost")
+
+
+class TestStorage:
+    def test_quadratic_regardless_of_content(self):
+        empty = BitMatrixTCIndex.build(DiGraph(nodes=range(10)))
+        dense = BitMatrixTCIndex.build(random_dag(10, 4, 1))
+        assert empty.storage_bits == dense.storage_bits == 100
+
+    def test_unit_conversion(self):
+        matrix = BitMatrixTCIndex.build(DiGraph(nodes=range(10)))
+        assert matrix.storage_units == (100 + 31) // 32
+        assert matrix.num_nodes == 10

@@ -1,0 +1,64 @@
+"""Tests for the materialised full closure."""
+
+import pytest
+
+from repro.baselines.full_closure import FullTCIndex
+from repro.errors import NodeNotFoundError
+from repro.graph.generators import random_dag
+from repro.graph.traversal import reachable_from
+
+
+class TestBuild:
+    def test_diamond(self, diamond):
+        closure = FullTCIndex.build(diamond)
+        assert closure.successors("a") == {"a", "b", "c", "d"}
+        assert closure.successors("a", reflexive=False) == {"b", "c", "d"}
+
+    def test_matches_ground_truth(self, paper_dag):
+        closure = FullTCIndex.build(paper_dag)
+        for node in paper_dag:
+            assert closure.successors(node) == reachable_from(paper_dag, node)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        graph = random_dag(50, 2, seed)
+        closure = FullTCIndex.build(graph)
+        for node in graph:
+            assert closure.successors(node) == reachable_from(graph, node)
+
+
+class TestQueries:
+    def test_reflexive(self, diamond):
+        closure = FullTCIndex.build(diamond)
+        assert closure.reachable("d", "d")
+
+    def test_direction(self, diamond):
+        closure = FullTCIndex.build(diamond)
+        assert closure.reachable("a", "d")
+        assert not closure.reachable("d", "a")
+
+    def test_predecessors(self, diamond):
+        closure = FullTCIndex.build(diamond)
+        assert closure.predecessors("d") == {"a", "b", "c", "d"}
+        assert closure.predecessors("d", reflexive=False) == {"a", "b", "c"}
+        assert closure.predecessors("a", reflexive=False) == set()
+
+    def test_unknown_nodes(self, diamond):
+        closure = FullTCIndex.build(diamond)
+        for call in (lambda: closure.reachable("ghost", "a"),
+                     lambda: closure.reachable("a", "ghost"),
+                     lambda: closure.successors("ghost"),
+                     lambda: closure.predecessors("ghost")):
+            with pytest.raises(NodeNotFoundError):
+                call()
+
+
+class TestStorage:
+    def test_pairs_exclude_reflexive(self, chain5):
+        closure = FullTCIndex.build(chain5)
+        # Chain of 5: 4+3+2+1 = 10 ordered pairs.
+        assert closure.num_pairs == 10
+        assert closure.storage_units == 10
+
+    def test_len(self, diamond):
+        assert len(FullTCIndex.build(diamond)) == 4

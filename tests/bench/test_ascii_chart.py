@@ -1,0 +1,74 @@
+"""Tests for the ASCII line-chart renderer."""
+
+import pytest
+
+from repro.bench.report import ascii_chart
+
+
+def plotted(chart: str, marker: str = "*") -> int:
+    """Count markers inside the plot area (legend and labels excluded)."""
+    return sum(line.split("|", 1)[1].count(marker)
+               for line in chart.splitlines() if "|" in line)
+
+ROWS = [
+    {"x": 1, "up": 1.0, "down": 100.0},
+    {"x": 2, "up": 10.0, "down": 10.0},
+    {"x": 3, "up": 100.0, "down": 1.0},
+]
+
+
+class TestBasics:
+    def test_contains_axis_and_legend(self):
+        chart = ascii_chart(ROWS, "x", ["up", "down"])
+        assert "* up" in chart and "o down" in chart
+        assert "x ->" in chart
+        assert "+---" in chart
+
+    def test_title(self):
+        assert ascii_chart(ROWS, "x", ["up"], title="T").startswith("T")
+
+    def test_extreme_labels(self):
+        chart = ascii_chart(ROWS, "x", ["up"])
+        assert "100" in chart and "1" in chart
+
+    def test_markers_placed(self):
+        chart = ascii_chart(ROWS, "x", ["up"], width=20, height=6)
+        assert plotted(chart) == 3
+
+    def test_crossing_series(self):
+        # 'up' rises, 'down' falls: the top row must contain both a start
+        # and an end marker across the two series.
+        chart = ascii_chart(ROWS, "x", ["up", "down"], width=30, height=8)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        top = lines[0].split("|", 1)[1]
+        assert "*" in top or "o" in top
+
+    def test_log_scale(self):
+        linear = ascii_chart(ROWS, "x", ["up"], width=20, height=8)
+        logged = ascii_chart(ROWS, "x", ["up"], width=20, height=8, log_y=True)
+        assert linear != logged
+        assert plotted(logged) == 3
+
+
+class TestDegenerateInputs:
+    def test_empty(self):
+        assert ascii_chart([], "x", ["up"]) == "(no numeric data)"
+
+    def test_non_numeric_cells_skipped(self):
+        rows = [{"x": 1, "y": "n/a"}, {"x": 2, "y": 5.0}]
+        chart = ascii_chart(rows, "x", ["y"])
+        assert plotted(chart) == 1
+
+    def test_flat_series(self):
+        rows = [{"x": 1, "y": 3.0}, {"x": 2, "y": 3.0}]
+        chart = ascii_chart(rows, "x", ["y"])
+        assert plotted(chart) == 2
+
+    def test_single_point(self):
+        chart = ascii_chart([{"x": 1, "y": 2.0}], "x", ["y"])
+        assert plotted(chart) == 1
+
+    def test_log_scale_skips_nonpositive(self):
+        rows = [{"x": 1, "y": 0.0}, {"x": 2, "y": 10.0}]
+        chart = ascii_chart(rows, "x", ["y"], log_y=True)
+        assert plotted(chart) == 1

@@ -1,0 +1,68 @@
+"""Tests for the text-report renderer."""
+
+from repro.bench.report import (
+    format_histogram,
+    format_table,
+    print_report,
+    summarize_series,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 200, "b": "z"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "200" in lines[3]
+        # Every body line is as wide as the header line.
+        assert len(set(map(len, lines))) <= 2
+
+    def test_title(self):
+        assert format_table([{"x": 1}], title="hello").startswith("hello")
+
+    def test_float_formatting(self):
+        text = format_table([{"value": 3.14159}])
+        assert "3.142" in text
+
+    def test_explicit_columns_and_missing_cells(self):
+        text = format_table([{"a": 1}], columns=["a", "missing"])
+        assert "missing" in text
+
+    def test_empty_rows(self):
+        assert format_table([], columns=["a"]) .startswith("a")
+
+    def test_print_report(self, capsys):
+        print_report([{"k": 1}], title="t")
+        out = capsys.readouterr().out
+        assert "t" in out and "k" in out
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        text = format_histogram({1: 10, 2: 5}, bar_width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_sorted_keys(self):
+        text = format_histogram({5: 1, 2: 1, 9: 1})
+        keys = [line.split("|")[0].strip() for line in text.splitlines()]
+        assert keys == ["2", "5", "9"]
+
+    def test_empty(self):
+        assert "(empty)" in format_histogram({})
+
+    def test_title(self):
+        assert format_histogram({1: 1}, title="census").startswith("census")
+
+
+class TestSummaries:
+    def test_direction_detection(self):
+        rows = [{"x": 1, "up": 1.0, "down": 9.0},
+                {"x": 2, "up": 2.0, "down": 3.0}]
+        lines = summarize_series(rows, "x", ["up", "down"])
+        assert any("rising" in line for line in lines)
+        assert any("falling" in line for line in lines)
+
+    def test_short_series_skipped(self):
+        assert summarize_series([{"x": 1, "y": 2.0}], "x", ["y"]) == []

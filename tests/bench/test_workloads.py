@@ -1,0 +1,52 @@
+"""Tests for the workload registry and the cross-family experiment."""
+
+import pytest
+
+from repro.bench.experiments import compression_by_workload
+from repro.bench.workloads import WORKLOADS, make_workload, workload_names
+from repro.errors import ReproError
+from repro.graph.traversal import is_acyclic
+
+
+class TestRegistry:
+    def test_names_sorted_and_complete(self):
+        names = workload_names()
+        assert names == sorted(names)
+        assert set(names) == set(WORKLOADS)
+        assert {"uniform", "local", "tree", "hierarchy", "bipartite"} <= set(names)
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            make_workload("martian", 10)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_family_builds_acyclic(self, name):
+        graph = make_workload(name, 60, 2.0, seed=3)
+        assert graph.num_nodes > 0
+        assert is_acyclic(graph)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_deterministic_by_seed(self, name):
+        first = make_workload(name, 40, 2.0, seed=5)
+        second = make_workload(name, 40, 2.0, seed=5)
+        assert first == second
+
+    def test_descriptions_exist(self):
+        assert all(workload.description for workload in WORKLOADS.values())
+
+
+class TestCompressionByWorkload:
+    def test_rows_cover_requested_names(self):
+        rows = compression_by_workload(50, 2.0, names=["tree", "uniform"])
+        assert [row["workload"] for row in rows] == ["tree", "uniform"]
+
+    def test_tree_bound(self):
+        (row,) = compression_by_workload(80, 2.0, names=["tree"])
+        assert row["units_per_node"] == pytest.approx(2.0)
+        assert row["intervals"] == row["nodes"]
+
+    def test_all_rows_have_metrics(self):
+        rows = compression_by_workload(40, 2.0, names=["uniform", "grid"])
+        for row in rows:
+            for key in ("depth", "width", "closure_pairs", "compression"):
+                assert key in row

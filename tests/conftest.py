@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graph.digraph import DiGraph
+
+# A calmer default hypothesis profile: the property tests build whole
+# indexes per example, which is slow under the default deadline.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def paper_dag() -> DiGraph:
+    """A small multi-path DAG in the spirit of the paper's Figure 3.2.
+
+    Shape::
+
+          a
+         / \\
+        b   c
+       /|   |\\
+      d e   f g        (plus cross arcs c->e and e->h)
+        |   |
+        h   h
+    """
+    return DiGraph([
+        ("a", "b"), ("a", "c"),
+        ("b", "d"), ("b", "e"),
+        ("c", "e"), ("c", "f"), ("c", "g"),
+        ("e", "h"), ("f", "h"),
+    ])
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """The smallest multi-parent DAG: a -> {b, c} -> d."""
+    return DiGraph([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+@pytest.fixture
+def chain5() -> DiGraph:
+    """A five-node path 0 -> 1 -> 2 -> 3 -> 4."""
+    return DiGraph([(i, i + 1) for i in range(4)])

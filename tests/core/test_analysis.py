@@ -1,0 +1,99 @@
+"""Executable versions of the paper's analytical storage claims."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    bipartite_interval_count,
+    bipartite_worst_case_peak,
+    chain_interval_count,
+    intermediary_interval_count,
+    inverse_closure_size,
+    maximum_closure_pairs,
+    measured_interval_count,
+    paper_intermediary_formula,
+    tree_interval_count,
+    tree_storage_units,
+)
+from repro.baselines.full_closure import FullTCIndex
+from repro.baselines.inverse_closure import InverseTCIndex
+from repro.errors import ReproError
+from repro.graph.generators import (
+    bipartite_with_intermediary,
+    bipartite_worst_case,
+    path_graph,
+    random_dag,
+    random_tree,
+)
+
+
+class TestTreeBound:
+    @pytest.mark.parametrize("n", [1, 2, 10, 57])
+    def test_trees_match_formula(self, n):
+        tree = random_tree(n, n)
+        assert measured_interval_count(tree) == tree_interval_count(n)
+        assert tree_storage_units(n) == 2 * n
+
+    def test_chains_match_formula(self):
+        assert measured_interval_count(path_graph(23)) == chain_interval_count(23)
+
+
+class TestBipartiteFormulas:
+    @pytest.mark.parametrize("m,k", [(1, 1), (2, 3), (3, 4), (5, 5),
+                                     (15, 16), (2, 9), (9, 2)])
+    def test_worst_case_exact(self, m, k):
+        measured = measured_interval_count(bipartite_worst_case(m, k))
+        assert measured == bipartite_interval_count(m, k)
+
+    @pytest.mark.parametrize("m,k", [(1, 1), (2, 3), (3, 4), (5, 5), (15, 16)])
+    def test_intermediary_exact(self, m, k):
+        measured = measured_interval_count(bipartite_with_intermediary(m, k))
+        assert measured == intermediary_interval_count(m, k)
+
+    def test_peak_is_quadratic(self):
+        # The paper: maximum (n+1)^2/4 at n = 2m+1.
+        for m in (2, 5, 10):
+            n = 2 * m + 1
+            peak = bipartite_worst_case_peak(n)
+            measured = measured_interval_count(bipartite_worst_case(m, m + 1))
+            # The formula is the paper's rounding of the exact count;
+            # they agree to within the linear boundary terms.
+            assert abs(measured - peak) <= 2 * n
+
+    def test_paper_2n_minus_m_formula(self):
+        # The paper's accounting and ours agree up to the two boundary
+        # intervals it folds differently.
+        for m, k in [(3, 4), (15, 16)]:
+            n = m + k
+            ours = intermediary_interval_count(m, k)
+            theirs = paper_intermediary_formula(n, m)
+            assert abs(ours - theirs) <= 2
+
+    def test_hub_beats_direct_asymptotically(self):
+        for m in (5, 10, 20):
+            assert intermediary_interval_count(m, m) * m < \
+                bipartite_interval_count(m, m) * 3
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            bipartite_interval_count(0, 3)
+        with pytest.raises(ReproError):
+            intermediary_interval_count(3, 0)
+
+
+class TestClosureAccounting:
+    @given(st.integers(0, 200))
+    def test_maximum_pairs(self, n):
+        assert maximum_closure_pairs(n) == n * (n - 1) // 2
+
+    @settings(max_examples=15)
+    @given(st.integers(2, 35), st.integers(0, 1000))
+    def test_inverse_complement_identity(self, n, seed):
+        graph = random_dag(n, min(2.0, (n - 1) / 2), seed)
+        closure_pairs = FullTCIndex.build(graph).num_pairs
+        predicted = inverse_closure_size(n, closure_pairs)
+        assert predicted == InverseTCIndex.build(graph).num_pairs
+
+    def test_impossible_closure_rejected(self):
+        with pytest.raises(ReproError):
+            inverse_closure_size(3, 100)

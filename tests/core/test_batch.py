@@ -1,0 +1,153 @@
+"""Tests for batched maintenance (one recompute per deletion run)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import (
+    apply_diff,
+    apply_operations,
+    operations_from_pairs,
+    parse_diff,
+)
+from repro.core.index import IntervalTCIndex
+from repro.errors import GraphError, IndexStateError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import reachable_from
+
+
+def build(graph, **kwargs):
+    kwargs.setdefault("gap", 16)
+    return IntervalTCIndex.build(graph, **kwargs)
+
+
+class TestApplyOperations:
+    def test_mixed_batch_is_exact(self, paper_dag):
+        index = build(paper_dag)
+        apply_operations(index, [
+            ("remove-arc", "a", "c"),
+            ("remove-arc", "e", "h"),
+            ("add-node", "x", ["b"]),
+            ("remove-node", "f"),
+            ("add-arc", "d", "g"),
+        ])
+        index.check_invariants()
+        index.verify()
+
+    def test_deletion_run_pays_one_pass(self, paper_dag):
+        index = build(paper_dag)
+        arcs_to_drop = [("a", "c"), ("b", "d"), ("e", "h"), ("c", "g")]
+        passes = apply_operations(
+            index, operations_from_pairs(remove=arcs_to_drop))
+        assert passes == 1
+        index.verify()
+
+    def test_interleaved_adds_force_flushes(self, paper_dag):
+        index = build(paper_dag)
+        passes = apply_operations(index, [
+            ("remove-arc", "a", "c"),
+            ("add-arc", "d", "g"),       # reads intervals -> flush
+            ("remove-arc", "e", "h"),
+            ("add-arc", "f", "g"),       # flush again
+        ])
+        assert passes == 2
+        index.verify()
+
+    def test_batch_equals_sequential(self):
+        graph = random_dag(40, 2, 5)
+        batched = build(graph)
+        sequential = build(graph.copy())
+        operations = [("remove-arc", *arc) for arc in list(graph.arcs())[:8]]
+        operations.append(("add-node", "z", [0]))
+        apply_operations(batched, operations)
+        for kind, *payload in operations:
+            if kind == "remove-arc":
+                sequential.remove_arc(*payload)
+            else:
+                sequential.add_node(payload[0], payload[1])
+        for node in batched.nodes():
+            assert batched.successors(node) == sequential.successors(node)
+
+    def test_unknown_operation(self, diamond):
+        with pytest.raises(IndexStateError):
+            apply_operations(build(diamond), [("teleport", "a")])
+
+    def test_empty_batch(self, diamond):
+        assert apply_operations(build(diamond), []) == 0
+
+
+class TestParseDiff:
+    def test_basic_lines(self):
+        operations = parse_diff("""
+        # a comment
+        + a b
+        - c d
+        + lonely
+        - gone
+        """)
+        assert operations == [("+arc", "a", "b"), ("remove-arc", "c", "d"),
+                              ("add-node", "lonely", []), ("remove-node", "gone")]
+
+    def test_malformed_lines(self):
+        with pytest.raises(GraphError):
+            parse_diff("~ a b")
+        with pytest.raises(GraphError):
+            parse_diff("+ a b c")
+        with pytest.raises(GraphError):
+            parse_diff("+")
+
+
+class TestApplyDiff:
+    def test_new_destination_becomes_tree_insert(self, paper_dag):
+        index = build(paper_dag)
+        apply_diff(index, "+ b shiny\n")
+        assert index.reachable("a", "shiny")
+        index.verify()
+
+    def test_new_source(self, paper_dag):
+        index = build(paper_dag)
+        apply_diff(index, "+ upstream a\n")
+        assert index.reachable("upstream", "h")
+        index.verify()
+
+    def test_both_new(self, paper_dag):
+        index = build(paper_dag)
+        apply_diff(index, "+ p q\n")
+        assert index.reachable("p", "q")
+        index.verify()
+
+    def test_full_scenario(self, paper_dag):
+        index = build(paper_dag)
+        passes = apply_diff(index, """
+        - a c          # drop a subtree link
+        - e h
+        + d h          # new shortcut
+        + c new-leaf   # fresh node under c
+        - f            # retire f entirely
+        """)
+        assert passes >= 1
+        assert index.reachable("c", "new-leaf")
+        assert "f" not in index
+        index.check_invariants()
+        index.verify()
+
+
+@settings(max_examples=25)
+@given(st.integers(0, 5000), st.integers(0, 12), st.integers(0, 8))
+def test_random_batches_stay_exact(seed, removals, additions):
+    rng = random.Random(seed)
+    graph = random_dag(25, 2, seed)
+    index = build(graph)
+    operations = []
+    arcs = list(graph.arcs())
+    rng.shuffle(arcs)
+    operations.extend(("remove-arc", s, d) for s, d in arcs[:removals])
+    for counter in range(additions):
+        operations.append(("add-node", ("n", counter),
+                           [rng.randrange(25)]))
+    apply_operations(index, operations)
+    index.check_invariants()
+    for node in index.nodes():
+        assert index.successors(node) == reachable_from(index.graph, node)

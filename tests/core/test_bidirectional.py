@@ -1,0 +1,100 @@
+"""Tests for the forward+backward index pair."""
+
+import random
+
+import pytest
+
+from repro.core.bidirectional import BidirectionalTCIndex
+from repro.errors import CycleError, IndexStateError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import ancestors_of, reachable_from
+
+
+class TestQueries:
+    def test_both_directions(self, paper_dag):
+        index = BidirectionalTCIndex.build(paper_dag)
+        for node in paper_dag:
+            assert index.successors(node) == reachable_from(paper_dag, node)
+            assert index.predecessors(node) == ancestors_of(paper_dag, node)
+
+    def test_predecessors_match_forward_scan(self, paper_dag):
+        index = BidirectionalTCIndex.build(paper_dag)
+        for node in paper_dag:
+            assert index.predecessors(node) == index.forward.predecessors(node)
+
+    def test_count_predecessors(self, paper_dag):
+        index = BidirectionalTCIndex.build(paper_dag)
+        for node in paper_dag:
+            assert index.count_predecessors(node) == len(index.predecessors(node))
+
+    def test_container_protocol(self, diamond):
+        index = BidirectionalTCIndex.build(diamond)
+        assert "a" in index and "ghost" not in index
+        assert len(index) == 4
+        assert set(index.nodes()) == set(diamond.nodes())
+
+    def test_storage_is_sum_of_sides(self, paper_dag):
+        index = BidirectionalTCIndex.build(paper_dag)
+        assert index.storage_units == \
+            index.forward.storage_units + index.backward.storage_units
+
+
+class TestUpdates:
+    def test_add_node(self, paper_dag):
+        index = BidirectionalTCIndex.build(paper_dag)
+        index.add_node("new", parents=["b", "c"])
+        assert index.reachable("a", "new")
+        assert index.predecessors("new") == \
+            ancestors_of(index.forward.graph, "new")
+        index.check_invariants()
+        index.verify()
+
+    def test_add_and_remove_arc(self, paper_dag):
+        index = BidirectionalTCIndex.build(paper_dag)
+        index.add_arc("d", "f")
+        assert "d" in index.predecessors("f")
+        index.remove_arc("d", "f")
+        assert "d" not in index.predecessors("f")
+        index.check_invariants()
+        index.verify()
+
+    def test_remove_node(self, paper_dag):
+        index = BidirectionalTCIndex.build(paper_dag)
+        index.remove_node("c")
+        assert "c" not in index
+        index.check_invariants()
+        index.verify()
+
+    def test_cycle_rejected_consistently(self, chain5):
+        index = BidirectionalTCIndex.build(chain5)
+        with pytest.raises(CycleError):
+            index.add_arc(4, 0)
+        index.check_invariants()   # the failed add must not desync the pair
+
+    def test_divergence_detected(self, diamond):
+        index = BidirectionalTCIndex.build(diamond)
+        index.forward.graph.add_arc("b", "c")   # bypass the pair API
+        with pytest.raises(IndexStateError):
+            index.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_stream(self, seed):
+        rng = random.Random(seed)
+        index = BidirectionalTCIndex.build(random_dag(30, 2, seed), gap=16)
+        for step in range(30):
+            nodes = list(index.nodes())
+            roll = rng.random()
+            if roll < 0.4:
+                index.add_node(("x", step), parents=rng.sample(nodes, 2))
+            elif roll < 0.6:
+                source, destination = rng.sample(nodes, 2)
+                if not index.reachable(destination, source) and \
+                        not index.forward.graph.has_arc(source, destination):
+                    index.add_arc(source, destination)
+            elif roll < 0.8 and index.forward.graph.num_arcs > 5:
+                index.remove_arc(*rng.choice(list(index.forward.graph.arcs())))
+            elif len(nodes) > 3:
+                index.remove_node(rng.choice(nodes))
+        index.check_invariants()
+        index.verify()

@@ -1,0 +1,161 @@
+"""Tests for the cyclic-graph wrapper (SCC condensation index)."""
+
+import random
+
+import pytest
+
+from repro.core.condensation import CondensedIndex
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import ancestors_of, reachable_from
+
+
+class TestBasics:
+    def test_simple_cycle(self):
+        graph = DiGraph([("a", "b"), ("b", "a"), ("b", "c")])
+        index = CondensedIndex.build(graph)
+        assert index.reachable("a", "b") and index.reachable("b", "a")
+        assert index.reachable("a", "c")
+        assert not index.reachable("c", "a")
+        assert index.num_components == 2
+
+    def test_acyclic_graph_works_too(self, paper_dag):
+        index = CondensedIndex.build(paper_dag)
+        for source in paper_dag:
+            assert index.successors(source) == reachable_from(paper_dag, source)
+
+    def test_component_of(self):
+        graph = DiGraph([("a", "b"), ("b", "a"), ("x", "a")])
+        index = CondensedIndex.build(graph)
+        assert index.component_of("a") == frozenset(["a", "b"])
+        assert index.component_of("x") == frozenset(["x"])
+        with pytest.raises(NodeNotFoundError):
+            index.component_of("ghost")
+
+    def test_reflexive_inside_component(self):
+        graph = DiGraph([("a", "b"), ("b", "a")])
+        index = CondensedIndex.build(graph)
+        assert index.reachable("a", "a")
+        # Irreflexive view: a genuinely reaches itself through the cycle.
+        assert "a" in index.successors("a", reflexive=False)
+
+    def test_irreflexive_for_singletons(self):
+        graph = DiGraph([("a", "b")])
+        index = CondensedIndex.build(graph)
+        assert "a" not in index.successors("a", reflexive=False)
+        assert "b" not in index.predecessors("b", reflexive=False)
+
+    def test_storage_units_counts_condensation(self):
+        graph = DiGraph([("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")])
+        index = CondensedIndex.build(graph)
+        assert index.storage_units == index.dag_index.storage_units
+
+
+class TestRandomCyclicGraphs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_pointer_chasing(self, seed):
+        rng = random.Random(seed)
+        graph = DiGraph(nodes=range(25))
+        for _ in range(55):
+            a, b = rng.randrange(25), rng.randrange(25)
+            if a != b:
+                graph.add_arc(a, b)
+        index = CondensedIndex.build(graph)
+        for source in graph:
+            assert index.successors(source) == reachable_from(graph, source), source
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_predecessors_match(self, seed):
+        rng = random.Random(seed + 50)
+        graph = DiGraph(nodes=range(18))
+        for _ in range(40):
+            a, b = rng.randrange(18), rng.randrange(18)
+            if a != b:
+                graph.add_arc(a, b)
+        index = CondensedIndex.build(graph)
+        for node in graph:
+            assert index.predecessors(node) == ancestors_of(graph, node)
+
+
+class TestUpdates:
+    def test_add_node(self):
+        index = CondensedIndex.build(DiGraph([("a", "b")]))
+        index.add_node("island")
+        assert index.reachable("island", "island")
+        assert not index.reachable("a", "island")
+        index.verify()
+
+    def test_duplicate_node_rejected(self):
+        from repro.errors import IndexStateError
+        index = CondensedIndex.build(DiGraph([("a", "b")]))
+        with pytest.raises(IndexStateError):
+            index.add_node("a")
+
+    def test_incremental_cross_component_arc(self):
+        index = CondensedIndex.build(DiGraph([("a", "b"), ("x", "y")]))
+        assert index.add_arc("b", "x") is True
+        assert index.reachable("a", "y")
+        index.verify()
+
+    def test_internal_arc_is_cheap(self):
+        graph = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        index = CondensedIndex.build(graph)
+        assert index.add_arc("a", "c") is True
+        index.verify()
+
+    def test_cycle_closing_arc_rebuilds(self):
+        index = CondensedIndex.build(DiGraph([("a", "b"), ("b", "c")]))
+        assert index.add_arc("c", "a") is False    # merges {a,b,c}
+        assert index.num_components == 1
+        assert index.reachable("c", "b")
+        index.verify()
+
+    def test_new_endpoints_created(self):
+        index = CondensedIndex.build(DiGraph([("a", "b")]))
+        index.add_arc("b", "fresh")
+        assert index.reachable("a", "fresh")
+        index.verify()
+
+    def test_remove_arc_can_split_component(self):
+        graph = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        index = CondensedIndex.build(graph)
+        assert index.num_components == 1
+        index.remove_arc("c", "a")
+        assert index.num_components == 3
+        assert index.reachable("a", "c")
+        assert not index.reachable("c", "a")
+        index.verify()
+
+    def test_remove_node(self):
+        index = CondensedIndex.build(DiGraph([("a", "b"), ("b", "c")]))
+        index.remove_node("b")
+        assert not index.reachable("a", "c")
+        index.verify()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_update_stream(self, seed):
+        rng = random.Random(seed)
+        index = CondensedIndex.build(DiGraph(nodes=range(10)))
+        for step in range(40):
+            roll = rng.random()
+            nodes = list(index.graph.nodes())
+            if roll < 0.55:
+                a, b = rng.sample(nodes, 2)
+                index.add_arc(a, b)
+            elif roll < 0.75 and index.graph.num_arcs:
+                index.remove_arc(*rng.choice(list(index.graph.arcs())))
+            elif roll < 0.9:
+                index.add_node(("n", step))
+            elif len(nodes) > 3:
+                index.remove_node(rng.choice(nodes))
+        index.verify()
+
+
+class TestBigCycle:
+    def test_one_giant_component(self):
+        n = 300
+        graph = DiGraph([(i, (i + 1) % n) for i in range(n)])
+        index = CondensedIndex.build(graph)
+        assert index.num_components == 1
+        assert index.successors(0) == set(range(n))
+        assert index.reachable(n - 1, 0)

@@ -1,0 +1,113 @@
+"""Tests for the explain/debug renderers."""
+
+import pytest
+
+from repro.core.explain import (
+    describe,
+    explain_reachability,
+    heaviest_nodes,
+    interval_histogram,
+    non_tree_arcs,
+    render_tree,
+)
+from repro.core.index import IntervalTCIndex
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import bipartite_worst_case, random_dag
+
+
+class TestRenderTree:
+    def test_contains_every_node(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag)
+        rendered = render_tree(index)
+        for node in paper_dag:
+            assert repr(node) in rendered
+
+    def test_indentation_tracks_depth(self, chain5):
+        index = IntervalTCIndex.build(chain5)
+        lines = render_tree(index).splitlines()
+        indents = [len(line) - len(line.lstrip()) for line in lines]
+        assert indents == [0, 4, 8, 12, 16]
+
+    def test_empty_index(self):
+        index = IntervalTCIndex.build(DiGraph())
+        assert render_tree(index) == "(empty index)"
+
+
+class TestNonTreeArcs:
+    def test_diamond_has_one(self, diamond):
+        index = IntervalTCIndex.build(diamond)
+        extra = non_tree_arcs(index)
+        assert len(extra) == 1
+        assert extra[0][1] == "d"
+
+    def test_tree_has_none(self, chain5):
+        index = IntervalTCIndex.build(chain5)
+        assert non_tree_arcs(index) == []
+
+    def test_count_matches_arcs_minus_tree(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag)
+        tree_arc_count = sum(1 for _ in index.cover.tree_arcs())
+        assert len(non_tree_arcs(index)) == paper_dag.num_arcs - tree_arc_count
+
+
+class TestExplainReachability:
+    def test_positive_tree_path(self, chain5):
+        index = IntervalTCIndex.build(chain5)
+        text = explain_reachability(index, 0, 4)
+        assert "reaches" in text and "tree interval" in text
+
+    def test_positive_non_tree_path(self, diamond):
+        index = IntervalTCIndex.build(diamond)
+        non_tree_parent = next(source for source, _ in non_tree_arcs(index))
+        text = explain_reachability(index, non_tree_parent, "d")
+        assert "non-tree interval" in text
+
+    def test_negative(self, diamond):
+        index = IntervalTCIndex.build(diamond)
+        text = explain_reachability(index, "d", "a")
+        assert "does NOT reach" in text
+
+    def test_unknown_nodes(self, diamond):
+        index = IntervalTCIndex.build(diamond)
+        with pytest.raises(NodeNotFoundError):
+            explain_reachability(index, "ghost", "a")
+        with pytest.raises(NodeNotFoundError):
+            explain_reachability(index, "a", "ghost")
+
+
+class TestHistogramsAndHotspots:
+    def test_histogram_sums_to_node_count(self):
+        graph = random_dag(50, 2, 3)
+        index = IntervalTCIndex.build(graph)
+        histogram = interval_histogram(index)
+        assert sum(histogram.values()) == 50
+
+    def test_tree_histogram_is_single_bucket(self, chain5):
+        index = IntervalTCIndex.build(chain5)
+        assert interval_histogram(index) == {1: 5}
+
+    def test_heaviest_nodes_are_sources_in_worst_case(self):
+        index = IntervalTCIndex.build(bipartite_worst_case(5, 6))
+        heavy = heaviest_nodes(index, limit=5)
+        assert all(node[0] == "s" for node, _ in heavy)
+        counts = [count for _, count in heavy]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_limit_respected(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag)
+        assert len(heaviest_nodes(index, limit=3)) == 3
+
+
+class TestDescribe:
+    def test_sections_present(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag)
+        text = describe(index)
+        assert "IntervalTCIndex over" in text
+        assert "intervals:" in text
+        assert "tree cover:" in text
+        assert "heaviest nodes:" in text
+
+    def test_tree_section_optional(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag)
+        assert "tree cover:" not in describe(index, tree=False)

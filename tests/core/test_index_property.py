@@ -1,0 +1,88 @@
+"""Property tests: the index always equals pointer-chasing ground truth."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import IntervalTCIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import reachable_from
+
+
+@st.composite
+def small_dags(draw):
+    """Arbitrary DAGs: arcs forced forward along a drawn permutation."""
+    n = draw(st.integers(1, 14))
+    permutation = draw(st.permutations(range(n)))
+    rank = {node: position for position, node in enumerate(permutation)}
+    pair_list = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=40))
+    graph = DiGraph(nodes=range(n))
+    for a, b in pair_list:
+        if a == b:
+            continue
+        if rank[a] > rank[b]:
+            a, b = b, a
+        graph.add_arc(a, b)
+    return graph
+
+
+@given(small_dags(), st.sampled_from([1, 3, 32]),
+       st.booleans())
+def test_index_matches_ground_truth(graph, gap, merge):
+    index = IntervalTCIndex.build(graph, gap=gap, merge=merge)
+    index.check_invariants()
+    for source in graph:
+        assert index.successors(source) == reachable_from(graph, source)
+
+
+@given(small_dags(), st.sampled_from(["alg1", "first_parent", "last_parent",
+                                      "random", "min_pred"]))
+def test_every_policy_matches_ground_truth(graph, policy):
+    index = IntervalTCIndex.build(graph, policy=policy, gap=1, rng=7)
+    for source in graph:
+        assert index.successors(source) == reachable_from(graph, source)
+
+
+@given(small_dags())
+def test_predecessors_are_inverse_of_successors(graph):
+    index = IntervalTCIndex.build(graph, gap=1)
+    for destination in graph:
+        predecessors = index.predecessors(destination)
+        for source in graph:
+            assert (source in predecessors) == index.reachable(source, destination)
+
+
+@given(small_dags())
+def test_storage_counts_are_consistent(graph):
+    index = IntervalTCIndex.build(graph, gap=1)
+    assert index.num_intervals == sum(
+        len(interval_set) for interval_set in index.intervals.values())
+    assert index.storage_units == 2 * index.num_intervals
+    # Every node pays at least its tree interval.
+    assert index.num_intervals >= graph.num_nodes
+
+
+@given(small_dags())
+def test_transitivity_of_answers(graph):
+    """If u reaches v and v reaches w then u reaches w (index-internal)."""
+    index = IntervalTCIndex.build(graph, gap=1)
+    nodes = list(graph.nodes())[:8]
+    for u in nodes:
+        for v in nodes:
+            if not index.reachable(u, v):
+                continue
+            for w in nodes:
+                if index.reachable(v, w):
+                    assert index.reachable(u, w)
+
+
+@settings(max_examples=25)
+@given(st.integers(0, 1000), st.integers(10, 60),
+       st.floats(0.5, 3.0))
+def test_larger_random_dags(seed, n, degree):
+    graph = random_dag(n, min(degree, (n - 1) / 2), seed)
+    index = IntervalTCIndex.build(graph)
+    index.check_invariants()
+    nodes = list(graph.nodes())
+    for source in nodes[:12]:
+        assert index.successors(source) == reachable_from(graph, source)

@@ -1,0 +1,148 @@
+"""Tests for the merge-aware sibling-ordering heuristic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import IntervalTCIndex
+from repro.core.labeling import label_graph
+from repro.core.merge_ordering import (
+    order_children_for_merging,
+    subtree_external_predecessors,
+)
+from repro.core.tree_cover import build_tree_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_tree
+from repro.graph.traversal import reachable_from
+
+
+@pytest.fixture
+def fan_with_skips():
+    """p fans out to c1..c4; x targets {c1, c3} and y targets {c2, c4}.
+
+    The default (topological) sibling order is c1, c2, c3, c4, which
+    interleaves the two affinity pairs: both x and y pay an extra interval
+    after merging.  The heuristic groups each pair adjacently.
+    """
+    return DiGraph([
+        ("r", "p"), ("r", "x"), ("r", "y"),
+        ("p", "c1"), ("p", "c2"), ("p", "c3"), ("p", "c4"),
+        ("x", "c1"), ("x", "c3"),
+        ("y", "c2"), ("y", "c4"),
+    ])
+
+
+def scrambled_cover(graph, order):
+    """A tree cover with the children of 'p' forced into ``order``."""
+    cover = build_tree_cover(graph)
+    cover.children["p"] = list(order)
+    return cover
+
+
+class TestExternalPredecessors:
+    def test_direct_arcs_collected(self, fan_with_skips):
+        cover = build_tree_cover(fan_with_skips)
+        external = subtree_external_predecessors(fan_with_skips, cover)
+        assert external["c1"] == frozenset({"x"})
+        assert external["c3"] == frozenset({"x"})
+        assert external["c2"] == frozenset({"y"})
+
+    def test_subtree_arcs_collected(self):
+        graph = DiGraph([("r", "p"), ("r", "x"),
+                         ("p", "c"), ("c", "grand"), ("x", "grand")])
+        cover = build_tree_cover(graph)
+        external = subtree_external_predecessors(graph, cover)
+        # The arc into the grandchild surfaces at the child's subtree.
+        assert external["c"] == frozenset({"x"})
+
+    def test_arcs_within_subtree_excluded(self):
+        graph = DiGraph([("r", "a"), ("a", "b"), ("a", "c"), ("b", "c")])
+        cover = build_tree_cover(graph)
+        external = subtree_external_predecessors(graph, cover)
+        # The b->c arc is internal to a's subtree.
+        assert external["a"] == frozenset()
+
+    def test_tree_arcs_never_counted(self):
+        tree = random_tree(30, 3)
+        cover = build_tree_cover(tree)
+        external = subtree_external_predecessors(tree, cover)
+        assert all(not sources for sources in external.values())
+
+
+class TestOrdering:
+    def test_affine_children_made_adjacent(self, fan_with_skips):
+        cover = build_tree_cover(fan_with_skips)
+        order_children_for_merging(fan_with_skips, cover)
+        children = cover.tree_children("p")
+        assert abs(children.index("c1") - children.index("c3")) == 1
+
+    def test_returns_changed_count(self, fan_with_skips):
+        # Force the interleaved (bad) order; the heuristic must change it.
+        cover = scrambled_cover(fan_with_skips, ["c1", "c2", "c3", "c4"])
+        changed = order_children_for_merging(fan_with_skips, cover)
+        assert changed >= 1
+
+    def test_deterministic(self, fan_with_skips):
+        orders = []
+        for _ in range(3):
+            cover = scrambled_cover(fan_with_skips, ["c1", "c2", "c3", "c4"])
+            order_children_for_merging(fan_with_skips, cover)
+            orders.append(list(cover.tree_children("p")))
+        assert orders[0] == orders[1] == orders[2]
+
+    def test_reduces_merged_intervals(self, fan_with_skips):
+        # The interleaved order splits both affinity pairs: neither x nor
+        # y can merge.  The heuristic regroups them.
+        bad = scrambled_cover(fan_with_skips, ["c1", "c2", "c3", "c4"])
+        plain = label_graph(fan_with_skips, bad, 1, merge=True)
+        smart = scrambled_cover(fan_with_skips, ["c1", "c2", "c3", "c4"])
+        order_children_for_merging(fan_with_skips, smart)
+        ordered = label_graph(fan_with_skips, smart, 1, merge=True)
+        assert ordered.total_intervals <= plain.total_intervals - 2
+
+    def test_kahn_order_often_groups_already(self, fan_with_skips):
+        """Without scrambling, topological child order may already pair the
+        affinity groups (predecessors release siblings together) — the
+        heuristic then keeps the good order."""
+        cover = build_tree_cover(fan_with_skips)
+        before = label_graph(fan_with_skips, build_tree_cover(fan_with_skips),
+                             1, merge=True).total_intervals
+        order_children_for_merging(fan_with_skips, cover)
+        after = label_graph(fan_with_skips, cover, 1, merge=True).total_intervals
+        assert after <= before
+
+
+class TestBuildIntegration:
+    def test_build_flag(self, fan_with_skips):
+        plain = IntervalTCIndex.build(fan_with_skips, gap=1, merge=True)
+        smart = IntervalTCIndex.build(fan_with_skips, gap=1, merge=True,
+                                      merge_ordering=True)
+        assert smart.num_intervals <= plain.num_intervals
+        smart.verify()
+
+    def test_ordered_index_supports_updates(self, fan_with_skips):
+        index = IntervalTCIndex.build(fan_with_skips, gap=8, merge=True,
+                                      merge_ordering=True)
+        index.add_node("late", parents=["c2"])
+        index.remove_arc("x", "c3")
+        index.check_invariants()
+        index.verify()
+
+
+@settings(max_examples=30)
+@given(st.integers(5, 35), st.floats(1.0, 3.0), st.integers(0, 5000))
+def test_ordering_never_breaks_correctness(n, degree, seed):
+    graph = random_dag(n, min(degree, (n - 1) / 2), seed)
+    index = IntervalTCIndex.build(graph, gap=1, merge=True, merge_ordering=True)
+    index.check_invariants()
+    for node in graph:
+        assert index.successors(node) == reachable_from(graph, node)
+
+
+@settings(max_examples=20)
+@given(st.integers(10, 40), st.integers(0, 2000))
+def test_ordering_never_hurts_unmerged_count(n, seed):
+    """Sibling permutation cannot change the subsumption-only count."""
+    graph = random_dag(n, 2, seed)
+    plain = IntervalTCIndex.build(graph, gap=1)
+    ordered = IntervalTCIndex.build(graph, gap=1, merge_ordering=True)
+    assert ordered.num_intervals == plain.num_intervals

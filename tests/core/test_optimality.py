@@ -1,0 +1,77 @@
+"""Theorem 1 re-verified: Alg1's tree cover minimises the interval count.
+
+The proof in the paper is constructive; here we brute-force every possible
+tree cover of small graphs (every way of choosing a tree parent per node)
+and check Alg1 is never beaten.  The paper's optimality is stated for the
+interval count *without* adjacent-interval merging, which is what we
+compare.
+"""
+
+import pytest
+
+from repro.core.labeling import label_graph
+from repro.core.tree_cover import all_tree_covers, build_tree_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import enumerate_dags, random_dag
+
+
+def intervals_under_cover(graph, cover):
+    return label_graph(graph, cover, gap=1).total_intervals
+
+
+def brute_force_minimum(graph):
+    return min(intervals_under_cover(graph, cover)
+               for cover in all_tree_covers(graph))
+
+
+def alg1_count(graph):
+    return intervals_under_cover(graph, build_tree_cover(graph, "alg1"))
+
+
+class TestExhaustiveSmallGraphs:
+    def test_all_4_node_dags(self):
+        """All 64 fixed-order DAGs on 4 nodes."""
+        for graph in enumerate_dags(4):
+            assert alg1_count(graph) == brute_force_minimum(graph), \
+                sorted(graph.arcs())
+
+    def test_all_5_node_dags_subsample(self):
+        """Every 7th of the 1024 fixed-order DAGs on 5 nodes."""
+        for position, graph in enumerate(enumerate_dags(5)):
+            if position % 7:
+                continue
+            assert alg1_count(graph) == brute_force_minimum(graph), \
+                sorted(graph.arcs())
+
+
+class TestRandomGraphs:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_6_node_dags(self, seed):
+        graph = random_dag(6, 1.5, seed)
+        assert alg1_count(graph) == brute_force_minimum(graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_7_node_denser_dags(self, seed):
+        graph = random_dag(7, 2.0, seed + 100)
+        assert alg1_count(graph) == brute_force_minimum(graph)
+
+
+class TestPaperExamples:
+    def test_known_suboptimal_choice_exists(self):
+        """A graph where the naive first-parent cover is strictly worse."""
+        # d's predecessors: b (pred {a}) and c (pred {a, b}).  Keeping (b, d)
+        # forces c's interval for d to survive at more ancestors.
+        graph = DiGraph([("a", "b"), ("a", "c"), ("b", "c"),
+                         ("b", "d"), ("c", "d"), ("a", "e"), ("e", "d")])
+        optimal = alg1_count(graph)
+        assert optimal == brute_force_minimum(graph)
+        worst = max(intervals_under_cover(graph, cover)
+                    for cover in all_tree_covers(graph))
+        assert worst > optimal
+
+    def test_tree_needs_no_search(self):
+        """For a tree there is a single cover, and it costs n intervals."""
+        graph = DiGraph([("r", "x"), ("r", "y"), ("x", "z")])
+        covers = list(all_tree_covers(graph))
+        assert len(covers) == 1
+        assert alg1_count(graph) == 4

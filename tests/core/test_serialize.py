@@ -1,0 +1,82 @@
+"""Tests for JSON serialisation of built indexes."""
+
+import json
+
+import pytest
+
+from repro.core.index import IntervalTCIndex
+from repro.core.serialize import (
+    index_from_dict,
+    index_to_dict,
+    load_index,
+    save_index,
+)
+from repro.errors import ReproError
+from repro.graph.generators import random_dag
+
+
+def assert_equivalent(first, second):
+    assert set(first.nodes()) == set(second.nodes())
+    for node in first.nodes():
+        assert first.successors(node) == second.successors(node)
+    assert first.num_intervals == second.num_intervals
+    assert first.gap == second.gap
+    assert first.policy == second.policy
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag)
+        again = index_from_dict(index_to_dict(index))
+        assert_equivalent(index, again)
+        again.check_invariants()
+        again.verify()
+
+    def test_json_serialisable(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag)
+        document = json.loads(json.dumps(index_to_dict(index)))
+        assert_equivalent(index, index_from_dict(document))
+
+    def test_file_round_trip(self, tmp_path, paper_dag):
+        index = IntervalTCIndex.build(paper_dag, gap=4, merge=True)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert_equivalent(index, loaded)
+        assert loaded.merged is True
+
+    def test_random_graph_round_trip(self):
+        graph = random_dag(60, 2.5, 17)
+        index = IntervalTCIndex.build(graph, gap=1)
+        again = index_from_dict(index_to_dict(index))
+        assert_equivalent(index, again)
+        again.verify()
+
+    def test_loaded_index_is_updatable(self, tmp_path, paper_dag):
+        index = IntervalTCIndex.build(paper_dag)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        loaded.add_node("post-load", parents=["b"])
+        loaded.remove_arc("a", "c")
+        loaded.check_invariants()
+        loaded.verify()
+
+    def test_empty_index_round_trip(self):
+        from repro.graph.digraph import DiGraph
+        index = IntervalTCIndex.build(DiGraph())
+        assert_equivalent(index, index_from_dict(index_to_dict(index)))
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, paper_dag):
+        document = index_to_dict(IntervalTCIndex.build(paper_dag))
+        document["format_version"] = 99
+        with pytest.raises(ReproError):
+            index_from_dict(document)
+
+    def test_missing_version_rejected(self, paper_dag):
+        document = index_to_dict(IntervalTCIndex.build(paper_dag))
+        del document["format_version"]
+        with pytest.raises(ReproError):
+            index_from_dict(document)

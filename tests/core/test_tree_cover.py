@@ -1,0 +1,132 @@
+"""Tests for tree-cover construction (Alg1 and the ablation policies)."""
+
+import pytest
+
+from repro.core.tree_cover import (
+    POLICIES,
+    VIRTUAL_ROOT,
+    all_tree_covers,
+    build_tree_cover,
+)
+from repro.errors import CycleError, GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+
+
+class TestVirtualRoot:
+    def test_singleton(self):
+        from repro.core.tree_cover import _VirtualRoot
+        assert _VirtualRoot() is VIRTUAL_ROOT
+
+    def test_repr(self):
+        assert repr(VIRTUAL_ROOT) == "<virtual-root>"
+
+
+class TestBuildBasics:
+    def test_roots_hang_off_virtual_root(self, diamond):
+        cover = build_tree_cover(diamond)
+        assert cover.parent["a"] is VIRTUAL_ROOT
+        assert cover.tree_children(VIRTUAL_ROOT) == ["a"]
+
+    def test_every_node_has_parent(self, paper_dag):
+        cover = build_tree_cover(paper_dag)
+        assert set(cover.parent) == set(paper_dag.nodes())
+        cover.check_spanning(paper_dag)
+
+    def test_parents_are_graph_arcs(self, paper_dag):
+        cover = build_tree_cover(paper_dag)
+        for child, parent in cover.parent.items():
+            if parent is not VIRTUAL_ROOT:
+                assert paper_dag.has_arc(parent, child)
+
+    def test_tree_arcs_count(self, paper_dag):
+        cover = build_tree_cover(paper_dag)
+        roots = sum(1 for parent in cover.parent.values() if parent is VIRTUAL_ROOT)
+        assert len(list(cover.tree_arcs())) == paper_dag.num_nodes - roots
+
+    def test_is_tree_arc(self, diamond):
+        cover = build_tree_cover(diamond)
+        tree_parent = cover.parent["d"]
+        assert cover.is_tree_arc(tree_parent, "d")
+        other = ({"b", "c"} - {tree_parent}).pop()
+        assert not cover.is_tree_arc(other, "d")
+
+    def test_depth(self, chain5):
+        cover = build_tree_cover(chain5)
+        assert cover.depth_of(0) == 1
+        assert cover.depth_of(4) == 5
+
+    def test_disconnected_components(self):
+        graph = DiGraph([("a", "b"), ("x", "y")])
+        cover = build_tree_cover(graph)
+        assert cover.parent["a"] is VIRTUAL_ROOT
+        assert cover.parent["x"] is VIRTUAL_ROOT
+        assert len(cover.tree_children(VIRTUAL_ROOT)) == 2
+
+    def test_cyclic_graph_rejected(self):
+        graph = DiGraph([("a", "b"), ("b", "a")])
+        with pytest.raises(CycleError):
+            build_tree_cover(graph)
+
+    def test_unknown_policy(self, diamond):
+        with pytest.raises(GraphError):
+            build_tree_cover(diamond, "nonsense")
+
+
+class TestAlg1Choice:
+    def test_prefers_largest_pred_set(self):
+        # d has predecessors b (pred set {a}) and c (pred set {a, b}):
+        # Alg1 must pick c.
+        graph = DiGraph([("a", "b"), ("a", "c"), ("b", "c"),
+                         ("b", "d"), ("c", "d")])
+        cover = build_tree_cover(graph, "alg1")
+        assert cover.parent["d"] == "c"
+
+    def test_tie_breaks_deterministically(self, diamond):
+        covers = [build_tree_cover(diamond, "alg1") for _ in range(3)]
+        assert all(c.parent == covers[0].parent for c in covers)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_policies_span(self, policy, paper_dag):
+        cover = build_tree_cover(paper_dag, policy, rng=0)
+        cover.check_spanning(paper_dag)
+
+    def test_first_vs_last_parent(self):
+        graph = DiGraph([("a", "c"), ("b", "c"), ("r", "a"), ("r", "b")])
+        first = build_tree_cover(graph, "first_parent")
+        last = build_tree_cover(graph, "last_parent")
+        assert first.parent["c"] != last.parent["c"]
+
+    def test_random_policy_seeded(self, paper_dag):
+        one = build_tree_cover(paper_dag, "random", rng=42)
+        two = build_tree_cover(paper_dag, "random", rng=42)
+        assert one.parent == two.parent
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_policies_on_random_graphs(self, seed):
+        graph = random_dag(40, 2, seed)
+        for policy in POLICIES:
+            build_tree_cover(graph, policy, rng=seed).check_spanning(graph)
+
+
+class TestEnumeration:
+    def test_count_is_product_of_indegrees(self, diamond):
+        covers = list(all_tree_covers(diamond))
+        # a has no preds (1 choice), b and c have one pred, d has two.
+        assert len(covers) == 2
+
+    def test_all_covers_are_valid(self, paper_dag):
+        count = 0
+        for cover in all_tree_covers(paper_dag):
+            cover.check_spanning(paper_dag)
+            count += 1
+        expected = 1
+        for node in paper_dag:
+            expected *= max(1, paper_dag.in_degree(node))
+        assert count == expected
+
+    def test_alg1_cover_is_among_enumerated(self, diamond):
+        alg1 = build_tree_cover(diamond, "alg1")
+        assert any(cover.parent == alg1.parent for cover in all_tree_covers(diamond))

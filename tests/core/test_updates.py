@@ -1,0 +1,354 @@
+"""Unit tests for the Section 4 incremental update algorithms."""
+
+import pytest
+
+from repro.core.index import IntervalTCIndex
+from repro.core.tree_cover import VIRTUAL_ROOT
+from repro.core.updates import claim_slot, free_ranges_under
+from repro.errors import (
+    ArcNotFoundError,
+    CycleError,
+    GraphError,
+    IndexStateError,
+    NodeNotFoundError,
+    NumberingExhaustedError,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_hierarchy
+
+
+def build(graph, **kwargs):
+    kwargs.setdefault("gap", 16)
+    return IntervalTCIndex.build(graph, **kwargs)
+
+
+class TestAddNode:
+    def test_add_leaf(self, paper_dag):
+        index = build(paper_dag)
+        index.add_node("new", parents=["b"])
+        assert index.reachable("b", "new")
+        assert index.reachable("a", "new")
+        assert not index.reachable("c", "new")
+        index.check_invariants()
+        index.verify()
+
+    def test_add_root(self, paper_dag):
+        index = build(paper_dag)
+        index.add_node("isolated")
+        assert index.reachable("isolated", "isolated")
+        assert not index.reachable("a", "isolated")
+        assert not index.reachable("isolated", "a")
+        index.verify()
+
+    def test_add_with_multiple_parents(self, paper_dag):
+        index = build(paper_dag)
+        index.add_node("multi", parents=["d", "f"])
+        assert index.reachable("d", "multi")
+        assert index.reachable("f", "multi")
+        assert index.reachable("a", "multi")
+        assert index.reachable("c", "multi")  # via f
+        index.verify()
+
+    def test_existing_labels_untouched_by_tree_insert(self, paper_dag):
+        index = build(paper_dag)
+        before = {node: index.intervals[node].copy() for node in index.nodes()}
+        index.add_node("cheap", parents=["e"])
+        for node, intervals in before.items():
+            assert index.intervals[node] == intervals, node
+
+    def test_chain_of_inserts(self, diamond):
+        index = build(diamond)
+        parent = "d"
+        for step in range(20):
+            child = ("chain", step)
+            index.add_node(child, parents=[parent])
+            parent = child
+        assert index.reachable("a", ("chain", 19))
+        index.check_invariants()
+        index.verify()
+
+    def test_duplicate_node_rejected(self, diamond):
+        index = build(diamond)
+        with pytest.raises(IndexStateError):
+            index.add_node("a")
+
+    def test_unknown_parent_rejected(self, diamond):
+        index = build(diamond)
+        with pytest.raises(NodeNotFoundError):
+            index.add_node("new", parents=["ghost"])
+
+    def test_duplicate_parents_rejected(self, diamond):
+        index = build(diamond)
+        with pytest.raises(GraphError):
+            index.add_node("new", parents=["b", "b"])
+
+    def test_insert_into_empty_index(self):
+        index = build(DiGraph())
+        index.add_node("first")
+        index.add_node("second", parents=["first"])
+        assert index.reachable("first", "second")
+        index.verify()
+
+
+class TestNumberingExhaustion:
+    def test_gap_1_exhausts_and_auto_renumbers(self, diamond):
+        index = IntervalTCIndex.build(diamond, gap=1)
+        index.add_node("x", parents=["d"])  # no free slot under a gap-1 leaf
+        assert index.reachable("a", "x")
+        assert index.gap >= 2  # auto-renumber widened the stride
+        index.verify()
+
+    def test_auto_renumber_disabled_raises(self, diamond):
+        index = IntervalTCIndex.build(diamond, gap=1, auto_renumber=False)
+        with pytest.raises(NumberingExhaustedError):
+            index.add_node("x", parents=["d"])
+
+    def test_exhaustion_of_one_parent_slot(self):
+        index = IntervalTCIndex.build(DiGraph(nodes=["p"]), gap=4,
+                                      auto_renumber=False)
+        added = 0
+        with pytest.raises(NumberingExhaustedError):
+            for step in range(10):
+                index.add_node(("c", step), parents=["p"])
+                added += 1
+        assert 1 <= added < 10
+        index.verify()  # failed insert must not corrupt the index
+
+    def test_manual_renumber_restores_headroom(self):
+        index = IntervalTCIndex.build(DiGraph(nodes=["p"]), gap=4,
+                                      auto_renumber=False)
+        for step in range(2):
+            index.add_node(("c", step), parents=["p"])
+        # Each sibling insertion halves the remaining free range under the
+        # parent, so k inserts need a stride of at least ~2^k.
+        index.renumber(gap=4096)
+        for step in range(2, 12):
+            index.add_node(("c", step), parents=["p"])
+        index.verify()
+
+
+class TestFreeRanges:
+    def test_virtual_root_always_has_room(self, diamond):
+        index = build(diamond)
+        ranges = free_ranges_under(index, VIRTUAL_ROOT)
+        assert len(ranges) == 1
+        lo, hi = ranges[0]
+        assert lo > max(index.used_numbers)
+
+    def test_leaf_reserve(self, chain5):
+        index = IntervalTCIndex.build(chain5, gap=10)
+        # Node 4 is the deepest leaf: interval [1, 10], own number 10.
+        ranges = free_ranges_under(index, 4)
+        assert ranges == [(1, 9)]
+
+    def test_claim_slot_midpoint(self, chain5):
+        index = IntervalTCIndex.build(chain5, gap=10)
+        number, interval = claim_slot(index, 4)
+        assert 1 <= number <= 9
+        assert interval.hi == number
+        assert interval.lo == 1
+
+    def test_free_ranges_disjoint_from_used(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag, gap=8)
+        for node in index.nodes():
+            for lo, hi in free_ranges_under(index, node):
+                for used in index.used_numbers:
+                    assert not (lo <= used <= hi)
+
+
+class TestAddArc:
+    def test_basic_propagation(self, paper_dag):
+        index = build(paper_dag)
+        assert not index.reachable("d", "h")
+        index.add_arc("d", "h")
+        assert index.reachable("d", "h")
+        assert index.reachable("b", "h")   # b -> d -> h
+        index.verify()
+
+    def test_cycle_rejected(self, chain5):
+        index = build(chain5)
+        with pytest.raises(CycleError):
+            index.add_arc(4, 0)
+        index.verify()  # rejection must leave the index untouched
+
+    def test_self_loop_rejected(self, diamond):
+        index = build(diamond)
+        with pytest.raises(GraphError):
+            index.add_arc("a", "a")
+
+    def test_existing_arc_is_noop(self, diamond):
+        index = build(diamond)
+        before = index.num_intervals
+        index.add_arc("a", "b")
+        assert index.num_intervals == before
+        index.verify()
+
+    def test_unknown_endpoints(self, diamond):
+        index = build(diamond)
+        with pytest.raises(NodeNotFoundError):
+            index.add_arc("ghost", "a")
+        with pytest.raises(NodeNotFoundError):
+            index.add_arc("a", "ghost")
+
+    def test_subsumption_cutoff_stops_propagation(self, paper_dag):
+        """Refinement: predecessors that already subsume gain no intervals."""
+        index = build(paper_dag)
+        index.add_node("z", parents=["e"])
+        before_a = index.intervals["a"].copy()
+        before_b = index.intervals["b"].copy()
+        index.add_arc("z", "h")  # z -> h; but e (and all above) reach h already
+        assert index.intervals["a"] == before_a
+        assert index.intervals["b"] == before_b
+        index.verify()
+
+    def test_redundant_arc_changes_nothing(self, paper_dag):
+        index = build(paper_dag)
+        before = index.num_intervals
+        index.add_arc("a", "h")  # a already reaches h
+        assert index.num_intervals == before
+        index.verify()
+
+
+class TestDeleteArc:
+    def test_delete_non_tree_arc(self, diamond):
+        index = build(diamond)
+        tree_parent = index.cover.parent["d"]
+        other = ({"b", "c"} - {tree_parent}).pop()
+        index.remove_arc(other, "d")
+        assert index.reachable("a", "d")       # still via tree parent
+        assert not index.reachable(other, "d")
+        index.check_invariants()
+        index.verify()
+
+    def test_delete_tree_arc(self, diamond):
+        index = build(diamond)
+        tree_parent = index.cover.parent["d"]
+        other = ({"b", "c"} - {tree_parent}).pop()
+        index.remove_arc(tree_parent, "d")
+        assert index.reachable(other, "d")     # re-hung, still reachable via other
+        assert not index.reachable(tree_parent, "d")
+        assert index.reachable("a", "d")
+        index.check_invariants()
+        index.verify()
+
+    def test_delete_tree_arc_detaches_subtree(self, chain5):
+        index = build(chain5)
+        index.remove_arc(1, 2)
+        assert not index.reachable(0, 2)
+        assert not index.reachable(1, 4)
+        assert index.reachable(2, 4)           # subtree internally intact
+        assert index.cover.parent[2] is VIRTUAL_ROOT
+        index.check_invariants()
+        index.verify()
+
+    def test_subtree_numbers_move_above_old_max(self, chain5):
+        index = build(chain5)
+        old_max = max(index.used_numbers)
+        index.remove_arc(0, 1)
+        for node in (1, 2, 3, 4):
+            assert index.postorder[node] > old_max
+
+    def test_delete_missing_arc(self, diamond):
+        index = build(diamond)
+        with pytest.raises(ArcNotFoundError):
+            index.remove_arc("b", "c")
+
+    def test_reinsert_after_tree_delete(self, chain5):
+        index = build(chain5)
+        index.remove_arc(1, 2)
+        index.add_arc(1, 2)
+        assert index.reachable(0, 4)
+        index.check_invariants()
+        index.verify()
+
+
+class TestRemoveNode:
+    def test_remove_leaf(self, diamond):
+        index = build(diamond)
+        index.remove_node("d")
+        assert "d" not in index
+        assert index.successors("a") == {"a", "b", "c"}
+        index.check_invariants()
+        index.verify()
+
+    def test_remove_internal_node(self, paper_dag):
+        index = build(paper_dag)
+        index.remove_node("c")
+        assert "c" not in index
+        assert index.reachable("a", "e")        # via b
+        assert not index.reachable("a", "f")    # only path was through c
+        index.check_invariants()
+        index.verify()
+
+    def test_remove_root(self, paper_dag):
+        index = build(paper_dag)
+        index.remove_node("a")
+        assert not index.reachable("b", "c")
+        assert index.reachable("b", "h")
+        index.check_invariants()
+        index.verify()
+
+    def test_remove_unknown(self, diamond):
+        with pytest.raises(NodeNotFoundError):
+            build(diamond).remove_node("ghost")
+
+    def test_number_retired(self, diamond):
+        index = build(diamond)
+        number = index.postorder["d"]
+        index.remove_node("d")
+        assert number not in index.node_of_number
+        assert number not in index.used_numbers
+
+
+class TestRenumber:
+    def test_renumber_preserves_answers(self, paper_dag):
+        index = build(paper_dag)
+        answers = {node: index.successors(node) for node in index.nodes()}
+        index.renumber(gap=5)
+        assert {node: index.successors(node) for node in index.nodes()} == answers
+        index.check_invariants()
+
+    def test_renumber_bad_gap(self, diamond):
+        with pytest.raises(GraphError):
+            build(diamond).renumber(gap=0)
+
+    def test_renumber_after_updates(self, paper_dag):
+        index = build(paper_dag)
+        index.add_node("x", parents=["b"])
+        index.add_arc("d", "g")
+        index.renumber()
+        index.check_invariants()
+        index.verify()
+
+
+class TestMixedStreams:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_long_mixed_stream_stays_exact(self, seed):
+        import random
+        rng = random.Random(seed)
+        index = build(random_hierarchy(40, rng=seed))
+        for step in range(60):
+            choice = rng.random()
+            nodes = list(index.nodes())
+            if choice < 0.45:
+                index.add_node(("n", seed, step),
+                               parents=rng.sample(nodes, k=min(2, len(nodes))))
+            elif choice < 0.70 and index.graph.num_arcs:
+                source, destination = rng.sample(nodes, k=2)
+                if not index.reachable(destination, source) and \
+                        not index.graph.has_arc(source, destination):
+                    index.add_arc(source, destination)
+            elif choice < 0.85 and index.graph.num_arcs:
+                index.remove_arc(*rng.choice(list(index.graph.arcs())))
+            elif len(nodes) > 5:
+                index.remove_node(rng.choice(nodes))
+        index.check_invariants()
+        index.verify()
+
+    def test_merged_index_survives_updates(self, paper_dag):
+        index = IntervalTCIndex.build(paper_dag, gap=16, merge=True)
+        index.add_node("m1", parents=["c"])
+        index.add_arc("d", "f")
+        index.remove_arc("a", "b")
+        index.check_invariants()
+        index.verify()

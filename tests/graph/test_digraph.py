@@ -1,0 +1,151 @@
+"""Unit tests for the DiGraph container."""
+
+import pytest
+
+from repro.errors import ArcNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_arcs == 0
+        assert list(graph.nodes()) == []
+        assert list(graph.arcs()) == []
+
+    def test_from_arcs(self):
+        graph = DiGraph([("a", "b"), ("b", "c")])
+        assert graph.num_nodes == 3
+        assert graph.num_arcs == 2
+        assert graph.has_arc("a", "b")
+
+    def test_from_nodes_and_arcs(self):
+        graph = DiGraph(arcs=[("a", "b")], nodes=["z"])
+        assert graph.has_node("z")
+        assert graph.num_nodes == 3
+
+    def test_add_node_idempotent(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.num_nodes == 1
+
+    def test_add_arc_idempotent(self):
+        graph = DiGraph()
+        graph.add_arc("a", "b")
+        graph.add_arc("a", "b")
+        assert graph.num_arcs == 1
+
+    def test_add_arc_creates_nodes(self):
+        graph = DiGraph()
+        graph.add_arc(1, 2)
+        assert graph.has_node(1) and graph.has_node(2)
+
+    def test_self_loop_rejected(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError):
+            graph.add_arc("a", "a")
+
+    def test_heterogeneous_labels(self):
+        graph = DiGraph([(1, "two"), (("t", 3), 1)])
+        assert graph.has_arc(("t", 3), 1)
+
+
+class TestRemoval:
+    def test_remove_arc(self):
+        graph = DiGraph([("a", "b"), ("a", "c")])
+        graph.remove_arc("a", "b")
+        assert not graph.has_arc("a", "b")
+        assert graph.num_arcs == 1
+        assert "b" in graph  # node survives
+
+    def test_remove_missing_arc_raises(self):
+        graph = DiGraph([("a", "b")])
+        with pytest.raises(ArcNotFoundError):
+            graph.remove_arc("b", "a")
+
+    def test_remove_arc_unknown_source_raises(self):
+        graph = DiGraph([("a", "b")])
+        with pytest.raises(ArcNotFoundError):
+            graph.remove_arc("zzz", "b")
+
+    def test_remove_node_detaches_arcs(self):
+        graph = DiGraph([("a", "b"), ("b", "c"), ("d", "b")])
+        graph.remove_node("b")
+        assert graph.num_arcs == 0
+        assert graph.num_nodes == 3
+        assert "b" not in graph
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            DiGraph().remove_node("ghost")
+
+
+class TestInspection:
+    def test_successors_predecessors(self, diamond):
+        assert diamond.successors("a") == {"b", "c"}
+        assert diamond.predecessors("d") == {"b", "c"}
+        assert diamond.predecessors("a") == set()
+
+    def test_successors_unknown_node(self, diamond):
+        with pytest.raises(NodeNotFoundError):
+            diamond.successors("zzz")
+        with pytest.raises(NodeNotFoundError):
+            diamond.predecessors("zzz")
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("d") == 2
+        assert diamond.average_out_degree() == pytest.approx(1.0)
+
+    def test_average_out_degree_empty(self):
+        assert DiGraph().average_out_degree() == 0.0
+
+    def test_roots_and_leaves(self, diamond):
+        assert diamond.roots() == ["a"]
+        assert diamond.leaves() == ["d"]
+
+    def test_contains_len_iter(self, diamond):
+        assert "a" in diamond and "zzz" not in diamond
+        assert len(diamond) == 4
+        assert set(iter(diamond)) == {"a", "b", "c", "d"}
+
+    def test_arcs_iteration_complete(self, diamond):
+        assert sorted(diamond.arcs()) == [("a", "b"), ("a", "c"),
+                                          ("b", "d"), ("c", "d")]
+
+
+class TestDerivation:
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.add_arc("d", "e")
+        assert "e" not in diamond
+        assert clone.num_arcs == diamond.num_arcs + 1
+
+    def test_copy_equality(self, diamond):
+        assert diamond.copy() == diamond
+
+    def test_reverse(self, diamond):
+        flipped = diamond.reverse()
+        assert flipped.has_arc("d", "b")
+        assert flipped.successors("d") == {"b", "c"}
+        assert flipped.num_arcs == diamond.num_arcs
+
+    def test_subgraph(self, paper_dag):
+        sub = paper_dag.subgraph(["a", "b", "d"])
+        assert sub.num_nodes == 3
+        assert sub.has_arc("a", "b") and sub.has_arc("b", "d")
+        assert not sub.has_node("c")
+
+    def test_subgraph_unknown_node(self, paper_dag):
+        with pytest.raises(NodeNotFoundError):
+            paper_dag.subgraph(["a", "ghost"])
+
+    def test_eq_different_type(self, diamond):
+        assert diamond != "not a graph"
+
+    def test_to_dot_contains_arcs(self, diamond):
+        dot = diamond.to_dot()
+        assert '"a" -> "b";' in dot
+        assert dot.startswith("digraph")

@@ -1,0 +1,198 @@
+"""Tests for the synthetic workload generators."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    bipartite_with_intermediary,
+    bipartite_worst_case,
+    enumerate_dags,
+    grid_dag,
+    layered_dag,
+    path_graph,
+    random_dag,
+    random_dag_local,
+    random_hierarchy,
+    random_tree,
+    sample_dags,
+)
+from repro.graph.traversal import is_acyclic, reachable_from, topological_order
+
+
+class TestRandomDag:
+    def test_counts(self):
+        graph = random_dag(100, 2.5, 1)
+        assert graph.num_nodes == 100
+        assert graph.num_arcs == 250
+
+    def test_acyclic(self):
+        for seed in range(5):
+            assert is_acyclic(random_dag(50, 3, seed))
+
+    def test_deterministic_for_seed(self):
+        first = random_dag(40, 2, 123)
+        second = random_dag(40, 2, 123)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert random_dag(40, 2, 1) != random_dag(40, 2, 2)
+
+    def test_rng_instance_accepted(self):
+        rng = random.Random(7)
+        graph = random_dag(20, 1, rng)
+        assert graph.num_arcs == 20
+
+    def test_too_dense_raises(self):
+        with pytest.raises(GraphError):
+            random_dag(10, 10, 0)  # 100 arcs > 45 possible
+
+    def test_maximum_density_is_total_order(self):
+        graph = random_dag(8, 3.5, 0)  # 28 arcs = all pairs
+        assert graph.num_arcs == 28
+        order = topological_order(graph)
+        assert reachable_from(graph, order[0]) == set(graph.nodes())
+
+    def test_connected_variant(self):
+        graph = random_dag(60, 1.5, 3, connect=True)
+        roots = [node for node in graph if graph.in_degree(node) == 0]
+        assert len(roots) == 1
+        assert reachable_from(graph, roots[0]) == set(graph.nodes())
+
+    def test_negative_nodes_raises(self):
+        with pytest.raises(GraphError):
+            random_dag(-1, 1, 0)
+
+    def test_empty(self):
+        assert random_dag(0, 0, 0).num_nodes == 0
+
+
+class TestLocalDag:
+    def test_window_respected(self):
+        graph = random_dag_local(100, 2, 5, window=7)
+        # Labels equal topological positions in this generator.
+        for source, destination in graph.arcs():
+            assert 0 < destination - source <= 7
+
+    def test_counts_and_acyclicity(self):
+        graph = random_dag_local(200, 3, 9)
+        assert graph.num_arcs == 600
+        assert is_acyclic(graph)
+
+    def test_bad_window(self):
+        with pytest.raises(GraphError):
+            random_dag_local(10, 1, 0, window=0)
+
+    def test_too_dense_for_window(self):
+        with pytest.raises(GraphError):
+            random_dag_local(10, 5, 0, window=2)
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        tree = random_tree(50, 2)
+        assert tree.num_arcs == 49
+        assert is_acyclic(tree)
+        assert all(tree.in_degree(node) == 1 for node in tree if node != 0)
+
+    def test_root_reaches_all(self):
+        tree = random_tree(30, 4)
+        assert reachable_from(tree, 0) == set(range(30))
+
+    def test_max_children_bound(self):
+        tree = random_tree(40, 5, max_children=2)
+        assert all(tree.out_degree(node) <= 2 for node in tree)
+
+    def test_single_node(self):
+        tree = random_tree(1, 0)
+        assert tree.num_nodes == 1 and tree.num_arcs == 0
+
+
+class TestSpecialShapes:
+    def test_path(self):
+        graph = path_graph(5)
+        assert list(graph.arcs()).__len__() == 4
+        assert reachable_from(graph, 0) == {0, 1, 2, 3, 4}
+
+    def test_bipartite_worst_case(self):
+        graph = bipartite_worst_case(3, 4)
+        assert graph.num_nodes == 7
+        assert graph.num_arcs == 12
+        assert all(graph.out_degree(("s", i)) == 4 for i in range(3))
+
+    def test_bipartite_hub_preserves_reachability(self):
+        direct = bipartite_worst_case(3, 4)
+        hubbed = bipartite_with_intermediary(3, 4)
+        for i in range(3):
+            direct_reach = {node for node in reachable_from(direct, ("s", i))
+                            if node[0] == "t"}
+            hub_reach = {node for node in reachable_from(hubbed, ("s", i))
+                         if node[0] == "t"}
+            assert direct_reach == hub_reach
+
+    def test_grid(self):
+        graph = grid_dag(3, 4)
+        assert graph.num_nodes == 12
+        assert is_acyclic(graph)
+        assert reachable_from(graph, (0, 0)) == set(graph.nodes())
+
+    def test_layered(self):
+        graph = layered_dag([3, 5, 7], 2.0, 3)
+        assert graph.num_nodes == 15
+        assert is_acyclic(graph)
+        # Every non-top node has at least one predecessor.
+        top = set(range(3))
+        for node in graph:
+            if node not in top:
+                assert graph.in_degree(node) >= 1
+
+
+class TestHierarchy:
+    def test_rooted_and_acyclic(self):
+        graph = random_hierarchy(80, 5)
+        assert is_acyclic(graph)
+        assert reachable_from(graph, 0) == set(range(80))
+
+    def test_multi_parents_appear(self):
+        graph = random_hierarchy(200, 1, multi_parent_probability=0.9)
+        assert any(graph.in_degree(node) > 1 for node in graph)
+
+    def test_parent_bound(self):
+        graph = random_hierarchy(100, 2, max_parents=2,
+                                 multi_parent_probability=1.0)
+        assert all(graph.in_degree(node) <= 2 for node in graph)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 8), (4, 64)])
+    def test_counts(self, n, expected):
+        graphs = list(enumerate_dags(n))
+        assert len(graphs) == expected
+
+    def test_all_distinct(self):
+        seen = {frozenset(g.arcs()) for g in enumerate_dags(3)}
+        assert len(seen) == 8
+
+    def test_all_acyclic(self):
+        assert all(is_acyclic(g) for g in enumerate_dags(4))
+
+    def test_sampling_matches_family(self):
+        for graph in sample_dags(5, 50, 3):
+            assert graph.num_nodes == 5
+            # Arcs always go from lower to higher label: the fixed order.
+            assert all(source < destination for source, destination in graph.arcs())
+
+    def test_sampling_deterministic(self):
+        first = [frozenset(g.arcs()) for g in sample_dags(4, 10, 11)]
+        second = [frozenset(g.arcs()) for g in sample_dags(4, 10, 11)]
+        assert first == second
+
+
+@given(st.integers(1, 30), st.integers(0, 5000))
+def test_generator_average_degree_is_exact(n, seed):
+    degree = min(1.0, (n - 1) / 2)
+    graph = random_dag(n, degree, seed)
+    assert graph.num_arcs == round(n * degree)

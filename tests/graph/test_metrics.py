@@ -1,0 +1,98 @@
+"""Tests for the DAG structural metrics."""
+
+import pytest
+
+from repro.baselines.full_closure import FullTCIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph, random_dag, random_tree
+from repro.graph.metrics import (
+    GraphProfile,
+    level_of,
+    longest_path_length,
+    profile,
+    reachability_count,
+    reachability_density,
+    redundant_arcs,
+    transitive_reduction_size,
+    width_by_levels,
+)
+
+
+class TestDepthAndLevels:
+    def test_path_depth(self):
+        assert longest_path_length(path_graph(5)) == 4
+
+    def test_antichain_depth(self):
+        assert longest_path_length(DiGraph(nodes=range(4))) == 0
+
+    def test_diamond_levels(self, diamond):
+        levels = level_of(diamond)
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+        assert longest_path_length(diamond) == 2
+
+    def test_longest_not_shortest(self):
+        graph = DiGraph([("r", "z"), ("r", "a"), ("a", "b"), ("b", "z")])
+        assert level_of(graph)["z"] == 3
+
+    def test_width(self, diamond):
+        assert width_by_levels(diamond) == 2
+
+    def test_empty(self):
+        assert longest_path_length(DiGraph()) == 0
+        assert width_by_levels(DiGraph()) == 0
+
+
+class TestReachability:
+    def test_counts_match_full_closure(self):
+        for seed in range(4):
+            graph = random_dag(40, 2, seed)
+            assert reachability_count(graph) == \
+                FullTCIndex.build(graph).num_pairs
+
+    def test_density_of_chain(self):
+        assert reachability_density(path_graph(5)) == pytest.approx(1.0)
+
+    def test_density_of_antichain(self):
+        assert reachability_density(DiGraph(nodes=range(5))) == 0.0
+
+    def test_density_empty(self):
+        assert reachability_density(DiGraph()) == 0.0
+
+
+class TestRedundancy:
+    def test_shortcut_is_redundant(self):
+        graph = DiGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        assert redundant_arcs(graph) == [("a", "c")]
+        assert transitive_reduction_size(graph) == 2
+
+    def test_tree_has_no_redundancy(self):
+        tree = random_tree(40, 1)
+        assert redundant_arcs(tree) == []
+        assert transitive_reduction_size(tree) == tree.num_arcs
+
+    def test_removing_redundant_preserves_reachability(self):
+        graph = random_dag(35, 3, 9)
+        reduced = graph.copy()
+        for source, destination in redundant_arcs(graph):
+            reduced.remove_arc(source, destination)
+        assert reachability_count(reduced) == reachability_count(graph)
+
+    def test_diamond_plus_shortcut(self, diamond):
+        graph = diamond.copy()
+        graph.add_arc("a", "d")
+        assert ("a", "d") in redundant_arcs(graph)
+
+
+class TestProfile:
+    def test_fields(self, paper_dag):
+        shape = profile(paper_dag)
+        assert isinstance(shape, GraphProfile)
+        assert shape.num_nodes == paper_dag.num_nodes
+        assert shape.num_arcs == paper_dag.num_arcs
+        assert shape.depth == 3
+        assert shape.reachable_pairs == reachability_count(paper_dag)
+        assert 0 < shape.density < 1
+        assert "depth" in shape.as_dict()
+
+    def test_degree(self, diamond):
+        assert profile(diamond).avg_out_degree == pytest.approx(1.0)

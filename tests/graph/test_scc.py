@@ -1,0 +1,118 @@
+"""Tests for Tarjan SCC and condensation, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condensation, strongly_connected_components
+from repro.graph.traversal import is_acyclic
+
+
+def _components_as_sets(graph):
+    return {frozenset(c) for c in strongly_connected_components(graph)}
+
+
+class TestKnownGraphs:
+    def test_dag_components_are_singletons(self, paper_dag):
+        components = _components_as_sets(paper_dag)
+        assert components == {frozenset([node]) for node in paper_dag.nodes()}
+
+    def test_single_cycle(self):
+        graph = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        assert _components_as_sets(graph) == {frozenset(["a", "b", "c"])}
+
+    def test_two_cycles_with_bridge(self):
+        graph = DiGraph([("a", "b"), ("b", "a"),
+                         ("b", "x"),
+                         ("x", "y"), ("y", "x")])
+        assert _components_as_sets(graph) == {frozenset(["a", "b"]),
+                                              frozenset(["x", "y"])}
+
+    def test_emission_order_is_reverse_topological(self):
+        graph = DiGraph([("a", "b"), ("b", "c")])
+        components = strongly_connected_components(graph)
+        position = {component: i for i, component in enumerate(components)}
+        # 'c' (a sink) must be emitted before 'a' (a source).
+        assert position[frozenset(["c"])] < position[frozenset(["a"])]
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(DiGraph()) == []
+
+    def test_isolated_nodes(self):
+        graph = DiGraph(nodes=["p", "q"])
+        assert _components_as_sets(graph) == {frozenset(["p"]), frozenset(["q"])}
+
+
+class TestCondensation:
+    def test_condensation_is_acyclic(self):
+        graph = DiGraph([("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"),
+                         ("d", "c"), ("a", "d")])
+        dag, member_of = condensation(graph)
+        assert is_acyclic(dag)
+        assert member_of["a"] == member_of["b"]
+        assert member_of["c"] == member_of["d"]
+        assert dag.has_arc(member_of["a"], member_of["c"])
+
+    def test_internal_arcs_dropped(self):
+        graph = DiGraph([("a", "b"), ("b", "a")])
+        dag, _ = condensation(graph)
+        assert dag.num_nodes == 1
+        assert dag.num_arcs == 0
+
+    def test_member_map_total(self, paper_dag):
+        _, member_of = condensation(paper_dag)
+        assert set(member_of) == set(paper_dag.nodes())
+
+
+@st.composite
+def random_digraphs(draw):
+    """Arbitrary digraphs (cycles allowed) with up to 12 nodes."""
+    n = draw(st.integers(1, 12))
+    arcs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=40,
+    ))
+    graph = DiGraph(nodes=range(n))
+    for source, destination in arcs:
+        if source != destination:
+            graph.add_arc(source, destination)
+    return graph
+
+
+class TestAgainstNetworkx:
+    @given(random_digraphs())
+    def test_components_match_networkx(self, graph):
+        reference = nx.DiGraph()
+        reference.add_nodes_from(graph.nodes())
+        reference.add_edges_from(graph.arcs())
+        expected = {frozenset(c) for c in nx.strongly_connected_components(reference)}
+        assert _components_as_sets(graph) == expected
+
+    def test_deep_recursion_safety(self):
+        # A 5000-node cycle would overflow a recursive Tarjan.
+        n = 5000
+        arcs = [(i, (i + 1) % n) for i in range(n)]
+        graph = DiGraph(arcs)
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert len(components[0]) == n
+
+
+class TestRandomizedCondensation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_condensation_reachability_consistent(self, seed):
+        rng = random.Random(seed)
+        graph = DiGraph(nodes=range(30))
+        for _ in range(60):
+            a, b = rng.randrange(30), rng.randrange(30)
+            if a != b:
+                graph.add_arc(a, b)
+        dag, member_of = condensation(graph)
+        assert is_acyclic(dag)
+        # Components partition the nodes.
+        assert sorted(node for component in dag.nodes() for node in component) \
+            == sorted(graph.nodes())
+        assert all(node in member_of[node] for node in graph.nodes())

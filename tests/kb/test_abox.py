@@ -1,0 +1,128 @@
+"""Tests for the ABox (individuals over a taxonomy)."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.kb.abox import ABox
+from repro.kb.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def world():
+    taxonomy = Taxonomy()
+    for concept, parents in [
+        ("animal", []), ("mammal", ["animal"]), ("bird", ["animal"]),
+        ("dog", ["mammal"]), ("cat", ["mammal"]),
+        ("pet", ["animal"]), ("pet-dog", ["dog", "pet"]),
+    ]:
+        taxonomy.define(concept, parents)
+    box = ABox(taxonomy)
+    box.assert_instance("rex", "pet-dog")
+    box.assert_instance("tom", "cat")
+    box.assert_instance("tweety", "bird")
+    box.assert_instance("generic", "animal")
+    return taxonomy, box
+
+
+class TestAssertions:
+    def test_assert_under_unknown_concept(self, world):
+        _, box = world
+        with pytest.raises(TaxonomyError):
+            box.assert_instance("x", "unicorn")
+
+    def test_individuals(self, world):
+        _, box = world
+        assert box.individuals() == {"rex", "tom", "tweety", "generic"}
+        assert len(box) == 4
+
+    def test_multiple_assertions(self, world):
+        _, box = world
+        box.assert_instance("rex", "cat")   # chimera, but legal
+        assert box.asserted_concepts("rex") == {"pet-dog", "cat"}
+
+    def test_retract(self, world):
+        _, box = world
+        box.retract_instance("tweety", "bird")
+        assert "tweety" not in box.individuals()
+
+    def test_retract_unknown(self, world):
+        _, box = world
+        with pytest.raises(TaxonomyError):
+            box.retract_instance("rex", "bird")
+
+    def test_forget_individual(self, world):
+        _, box = world
+        box.forget_individual("rex")
+        assert "rex" not in box.individuals()
+        assert box.instances_of("dog") == set()
+
+    def test_unknown_individual(self, world):
+        _, box = world
+        with pytest.raises(TaxonomyError):
+            box.asserted_concepts("ghost")
+
+
+class TestRetrieval:
+    def test_is_instance_transitive(self, world):
+        _, box = world
+        assert box.is_instance("rex", "animal")
+        assert box.is_instance("rex", "pet")
+        assert not box.is_instance("rex", "bird")
+        assert not box.is_instance("generic", "dog")
+
+    def test_is_instance_unknown_concept(self, world):
+        _, box = world
+        with pytest.raises(TaxonomyError):
+            box.is_instance("rex", "unicorn")
+
+    def test_instances_of(self, world):
+        _, box = world
+        assert box.instances_of("mammal") == {"rex", "tom"}
+        assert box.instances_of("animal") == {"rex", "tom", "tweety", "generic"}
+        assert box.instances_of("pet") == {"rex"}
+
+    def test_instances_of_direct(self, world):
+        _, box = world
+        assert box.instances_of("animal", direct=True) == {"generic"}
+        assert box.instances_of("dog", direct=True) == set()
+
+    def test_count(self, world):
+        _, box = world
+        assert box.count_instances("mammal") == 2
+
+    def test_concepts_of(self, world):
+        _, box = world
+        assert box.concepts_of("rex") == \
+            {"pet-dog", "dog", "pet", "mammal", "animal", "THING"}
+
+    def test_concepts_of_most_specific(self, world):
+        _, box = world
+        box.assert_instance("rex", "dog")   # redundant: pet-dog already below
+        assert box.concepts_of("rex", most_specific=True) == {"pet-dog"}
+
+    def test_common_concepts(self, world):
+        _, box = world
+        shared = box.common_concepts(["rex", "tom"])
+        assert "mammal" in shared and "bird" not in shared
+
+    def test_common_concepts_empty(self, world):
+        _, box = world
+        assert box.common_concepts([]) == set()
+
+
+class TestInteractionWithIgnore:
+    def test_ignored_concept_hides_instances(self, world):
+        taxonomy, box = world
+        taxonomy.ignore("pet-dog")
+        # rex's only assertion is under the ignored concept: dormant.
+        assert box.instances_of("dog") == set()
+        assert not box.is_instance("rex", "animal")
+        taxonomy.restore("pet-dog")
+        assert box.is_instance("rex", "animal")
+
+    def test_growing_taxonomy_extends_retrieval(self, world):
+        taxonomy, box = world
+        taxonomy.define("puppy", ["dog"])
+        box.assert_instance("spot", "puppy")
+        assert box.is_instance("spot", "mammal")
+        assert box.instances_of("dog") == {"rex", "spot"}

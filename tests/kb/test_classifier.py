@@ -1,0 +1,128 @@
+"""Tests for the terminological classifier (Section 2.1's key inference)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TaxonomyError
+from repro.kb.classifier import Classifier
+
+
+@pytest.fixture
+def devices():
+    classifier = Classifier()
+    classifier.define("device", features=["artifact"])
+    classifier.define("electronic", ["device"], features=["powered"])
+    classifier.define("sensor", ["electronic"], features=["measures"])
+    classifier.define("implant", ["device"], features=["implantable", "sterile"])
+    return classifier
+
+
+class TestDefinitions:
+    def test_features_accumulate_from_parents(self, devices):
+        assert devices.features_of("sensor") == \
+            frozenset({"artifact", "powered", "measures"})
+
+    def test_duplicate_name_rejected(self, devices):
+        with pytest.raises(TaxonomyError):
+            devices.define("sensor")
+
+    def test_unknown_parent_rejected(self, devices):
+        with pytest.raises(TaxonomyError):
+            devices.effective_features(["ghost"], [])
+
+    def test_equivalent_definition_returns_existing(self, devices):
+        # Same effective feature set as 'sensor', different syntax.
+        result = devices.define("measuring-electronic-device", ["device"],
+                                features=["powered", "measures"])
+        assert result == "sensor"
+        assert "measuring-electronic-device" not in devices.concepts()
+
+
+class TestClassification:
+    def test_inserted_below_most_specific_subsumer(self, devices):
+        devices.define("thermometer", ["sensor"], features=["temperature"])
+        assert devices.subsumes("sensor", "thermometer")
+        assert devices.subsumes("device", "thermometer")
+        assert not devices.subsumes("implant", "thermometer")
+
+    def test_definition_order_does_not_matter(self):
+        first = Classifier()
+        first.define("a", features=["x"])
+        first.define("b", features=["x", "y"])
+        first.define("c", features=["x", "y", "z"])
+
+        second = Classifier()
+        second.define("c", features=["x", "y", "z"])
+        second.define("a", features=["x"])
+        second.define("b", features=["x", "y"])
+
+        for general, specific in [("a", "b"), ("b", "c"), ("a", "c")]:
+            assert first.subsumes(general, specific)
+            assert second.subsumes(general, specific)
+        first.check_lattice_consistency()
+        second.check_lattice_consistency()
+
+    def test_late_general_concept_adopts_existing(self, devices):
+        """Defining a *generalisation* after its specialisations exist."""
+        devices.define("implantable-sensor", ["sensor", "implant"])
+        devices.define("sterile-thing", features=["artifact", "sterile"])
+        # sterile-thing subsumes implant (and transitively implantable-sensor)
+        # even though it was defined later.
+        assert devices.subsumes("sterile-thing", "implant")
+        assert devices.subsumes("sterile-thing", "implantable-sensor")
+        devices.check_lattice_consistency()
+
+    def test_multiple_inheritance_meet(self, devices):
+        devices.define("implantable-sensor", ["sensor", "implant"])
+        assert devices.subsumes("sensor", "implantable-sensor")
+        assert devices.subsumes("implant", "implantable-sensor")
+        devices.check_lattice_consistency()
+
+    def test_incomparable_stay_incomparable(self, devices):
+        assert not devices.subsumes("sensor", "implant")
+        assert not devices.subsumes("implant", "sensor")
+
+
+class TestLatticeSearch:
+    def test_most_specific_subsumers(self, devices):
+        subsumers = devices.most_specific_subsumers(
+            frozenset({"artifact", "powered", "measures", "temperature"}))
+        assert subsumers == {"sensor"}
+
+    def test_root_is_fallback(self, devices):
+        assert devices.most_specific_subsumers(frozenset({"unrelated"})) == \
+            {devices.taxonomy.root}
+
+    def test_most_general_subsumees(self, devices):
+        # {artifact} equals device's own denotation (handled by the
+        # equivalence short-circuit), so the strict subsumees are device's
+        # incomparable children.
+        below = devices.most_general_subsumees(frozenset({"artifact"}))
+        assert below == {"electronic", "implant"}
+
+    def test_most_general_subsumees_strict(self, devices):
+        below = devices.most_general_subsumees(frozenset())
+        assert below == {"device"}
+
+    def test_subsumees_of_unmatched_denotation(self, devices):
+        assert devices.most_general_subsumees(
+            frozenset({"no-such-feature"})) == set()
+
+
+@settings(max_examples=30)
+@given(st.lists(st.sets(st.sampled_from("abcdef"), max_size=4), max_size=10),
+       st.integers(0, 10 ** 6))
+def test_structural_order_equals_feature_inclusion(feature_sets, seed):
+    """The classified taxonomy's order IS feature-set inclusion, always."""
+    rng = random.Random(seed)
+    rng.shuffle(feature_sets)
+    classifier = Classifier()
+    for counter, features in enumerate(feature_sets):
+        try:
+            classifier.define(("c", counter), features=sorted(features))
+        except TaxonomyError:
+            pytest.fail("definition unexpectedly rejected")
+    classifier.check_lattice_consistency()
+    classifier.taxonomy.index.verify()

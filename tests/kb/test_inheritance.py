@@ -1,0 +1,92 @@
+"""Tests for property inheritance along the compressed closure."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.kb.inheritance import InheritanceEngine
+from repro.kb.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def engine():
+    taxonomy = Taxonomy()
+    taxonomy.define("vehicle")
+    taxonomy.define("motorized", ["vehicle"])
+    taxonomy.define("two-wheeler", ["vehicle"])
+    taxonomy.define("car", ["motorized"])
+    taxonomy.define("motorcycle", ["motorized", "two-wheeler"])
+    taxonomy.define("bicycle", ["two-wheeler"])
+    engine = InheritanceEngine(taxonomy)
+    engine.set_property("vehicle", "wheels", 4)
+    engine.set_property("two-wheeler", "wheels", 2)
+    engine.set_property("motorized", "engine", True)
+    return engine
+
+
+class TestLocalProperties:
+    def test_set_and_get(self, engine):
+        assert engine.local_properties("vehicle") == {"wheels": 4}
+        assert engine.local_properties("car") == {}
+
+    def test_unknown_concept(self, engine):
+        with pytest.raises(TaxonomyError):
+            engine.set_property("ghost", "x", 1)
+        with pytest.raises(TaxonomyError):
+            engine.local_properties("ghost")
+
+
+class TestInheritance:
+    def test_plain_inheritance(self, engine):
+        assert engine.effective_property("car", "wheels") == 4
+        assert engine.effective_property("car", "engine") is True
+
+    def test_most_specific_wins(self, engine):
+        # motorcycle inherits wheels from two-wheeler (more specific than
+        # vehicle's default of 4).
+        assert engine.effective_property("motorcycle", "wheels") == 2
+        assert engine.effective_property("bicycle", "wheels") == 2
+
+    def test_missing_property_is_none(self, engine):
+        assert engine.effective_property("bicycle", "engine") is None
+
+    def test_own_value_beats_inherited(self, engine):
+        engine.set_property("car", "wheels", 3)   # quirky trike-car
+        assert engine.effective_property("car", "wheels") == 3
+
+    def test_effective_properties_bundle(self, engine):
+        assert engine.effective_properties("motorcycle") == \
+            {"wheels": 2, "engine": True}
+
+    def test_unknown_concept(self, engine):
+        with pytest.raises(TaxonomyError):
+            engine.effective_properties("ghost")
+
+
+class TestConflicts:
+    def test_incomparable_conflict_raises(self, engine):
+        engine.taxonomy.define("amphibious", ["vehicle"])
+        engine.set_property("amphibious", "wheels", 6)
+        engine.taxonomy.define("amphibious-bike", ["amphibious", "two-wheeler"])
+        with pytest.raises(TaxonomyError) as excinfo:
+            engine.effective_property("amphibious-bike", "wheels")
+        assert "conflict" in str(excinfo.value)
+
+    def test_agreeing_values_do_not_conflict(self, engine):
+        engine.taxonomy.define("sidecar", ["vehicle"])
+        engine.set_property("sidecar", "wheels", 2)   # agrees with two-wheeler
+        engine.taxonomy.define("rig", ["sidecar", "two-wheeler"])
+        assert engine.effective_property("rig", "wheels") == 2
+
+
+class TestProviders:
+    def test_providers_most_specific_first(self, engine):
+        ranked = engine.providers("motorcycle", "wheels")
+        assert ranked[0] == "two-wheeler"
+        assert "vehicle" in ranked
+
+    def test_concepts_with_property(self, engine):
+        holders = engine.concepts_with_property("engine")
+        assert holders == {"motorized", "car", "motorcycle"}
+
+    def test_concepts_with_unknown_property(self, engine):
+        assert engine.concepts_with_property("wings") == set()

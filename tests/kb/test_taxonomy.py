@@ -1,0 +1,155 @@
+"""Tests for the IS-A taxonomy abstract data type."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.kb.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def animals():
+    taxonomy = Taxonomy()
+    taxonomy.define("animal")
+    taxonomy.define("mammal", ["animal"])
+    taxonomy.define("bird", ["animal"])
+    taxonomy.define("dog", ["mammal"])
+    taxonomy.define("cat", ["mammal"])
+    taxonomy.define("pet", ["animal"])
+    taxonomy.define("pet-dog", ["dog", "pet"])
+    return taxonomy
+
+
+class TestDefinition:
+    def test_root_exists(self):
+        taxonomy = Taxonomy(root="TOP")
+        assert "TOP" in taxonomy
+        assert len(taxonomy) == 1
+
+    def test_default_parent_is_root(self):
+        taxonomy = Taxonomy()
+        taxonomy.define("thing")
+        assert taxonomy.is_a("thing", "THING")
+
+    def test_duplicate_concept_rejected(self, animals):
+        with pytest.raises(TaxonomyError):
+            animals.define("dog", ["animal"])
+
+    def test_unknown_parent_rejected(self, animals):
+        with pytest.raises(TaxonomyError):
+            animals.define("unicorn", ["mythical"])
+
+    def test_from_edges_any_order(self):
+        taxonomy = Taxonomy.from_edges([
+            ("mammal", "dog"),            # child before parent is defined
+            ("animal", "mammal"),
+            ("THING", "animal"),
+        ])
+        assert taxonomy.is_a("dog", "animal")
+
+    def test_from_edges_undefined_parent(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy.from_edges([("ghost", "dog")], root="TOP")
+
+
+class TestSubsumption:
+    def test_is_a_transitive(self, animals):
+        assert animals.is_a("pet-dog", "animal")
+        assert animals.is_a("dog", "animal")
+        assert not animals.is_a("animal", "dog")
+
+    def test_is_a_reflexive(self, animals):
+        assert animals.is_a("dog", "dog")
+
+    def test_is_a_unknown_concepts(self, animals):
+        with pytest.raises(TaxonomyError):
+            animals.is_a("ghost", "animal")
+        with pytest.raises(TaxonomyError):
+            animals.is_a("animal", "ghost")
+
+    def test_sub_and_superconcepts(self, animals):
+        assert animals.subconcepts("mammal") == {"dog", "cat", "pet-dog"}
+        assert animals.subconcepts("mammal", strict=False) >= {"mammal", "dog"}
+        assert animals.superconcepts("pet-dog") == \
+            {"dog", "pet", "mammal", "animal", "THING"}
+
+    def test_parents_children(self, animals):
+        assert animals.parents("pet-dog") == {"dog", "pet"}
+        assert animals.children("mammal") == {"dog", "cat"}
+
+    def test_add_subsumption(self, animals):
+        animals.define("guard-animal", ["animal"])
+        animals.add_subsumption("guard-animal", "dog")
+        assert animals.is_a("dog", "guard-animal")
+        assert animals.is_a("pet-dog", "guard-animal")
+        animals.index.verify()
+
+    def test_self_subsumption_rejected(self, animals):
+        with pytest.raises(TaxonomyError):
+            animals.add_subsumption("dog", "dog")
+
+
+class TestReasoning:
+    def test_least_common_subsumers(self, animals):
+        assert animals.least_common_subsumers(["dog", "cat"]) == {"mammal"}
+        assert animals.least_common_subsumers(["dog", "bird"]) == {"animal"}
+        assert animals.least_common_subsumers(["pet-dog"]) == {"pet-dog"}
+
+    def test_disjointness(self, animals):
+        assert animals.are_disjoint("bird", "mammal")
+        assert not animals.are_disjoint("pet", "dog")       # pet-dog below both
+        assert not animals.are_disjoint("mammal", "dog")    # comparable
+
+    def test_classify_finds_existing(self, animals):
+        assert animals.classify(parents=["dog", "pet"]) == "pet-dog"
+
+    def test_classify_returns_none_when_absent(self, animals):
+        assert animals.classify(parents=["bird", "pet"]) is None
+
+    def test_classify_with_children_bound(self, animals):
+        assert animals.classify(parents=["mammal"], children=["dog", "cat"]) \
+            is None or animals.is_a("dog", "mammal")
+
+    def test_depth(self, animals):
+        assert animals.depth("THING") == 0
+        assert animals.depth("animal") == 1
+        assert animals.depth("pet-dog") == 4   # THING/animal/mammal/dog/pet-dog
+
+
+class TestForget:
+    def test_forget_leaf(self, animals):
+        animals.forget("pet-dog")
+        assert "pet-dog" not in animals
+        animals.index.verify()
+
+    def test_forget_internal_keeps_others(self, animals):
+        animals.forget("mammal")
+        assert "dog" in animals
+        assert not animals.is_a("dog", "animal")   # only path went via mammal
+        animals.index.verify()
+
+    def test_forget_root_rejected(self, animals):
+        with pytest.raises(TaxonomyError):
+            animals.forget("THING")
+
+    def test_forget_unknown_rejected(self, animals):
+        with pytest.raises(TaxonomyError):
+            animals.forget("ghost")
+
+
+class TestScale:
+    def test_thousand_concepts_incrementally(self):
+        import random
+        rng = random.Random(42)
+        taxonomy = Taxonomy(gap=64)
+        names = []
+        for step in range(400):
+            name = f"c{step}"
+            if names and rng.random() < 0.8:
+                parents = rng.sample(names, k=min(len(names), rng.randint(1, 2)))
+            else:
+                parents = []
+            taxonomy.define(name, parents)
+            names.append(name)
+        assert len(taxonomy) == 401
+        taxonomy.index.check_invariants()
+        taxonomy.index.verify()

@@ -1,0 +1,104 @@
+"""Tests for logical deletion ("deleted to be ignored", Section 4.2)."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.kb.taxonomy import Taxonomy
+
+
+@pytest.fixture
+def taxonomy():
+    t = Taxonomy()
+    for concept, parents in [
+        ("a", []), ("b", ["a"]), ("c", ["a"]), ("d", ["b", "c"]),
+    ]:
+        t.define(concept, parents)
+    return t
+
+
+class TestIgnore:
+    def test_ignored_concept_disappears(self, taxonomy):
+        taxonomy.ignore("b")
+        assert "b" not in taxonomy
+        assert taxonomy.is_ignored("b")
+        assert len(taxonomy) == 4   # THING + a, c, d
+
+    def test_no_index_update_happens(self, taxonomy):
+        """The paper's point: ignoring is free — the closure is untouched."""
+        before = taxonomy.index.num_intervals
+        snapshot = {node: taxonomy.index.intervals[node].copy()
+                    for node in taxonomy.index.nodes()}
+        taxonomy.ignore("b")
+        assert taxonomy.index.num_intervals == before
+        for node, intervals in snapshot.items():
+            assert taxonomy.index.intervals[node] == intervals
+
+    def test_remaining_relationships_unchanged(self, taxonomy):
+        taxonomy.ignore("b")
+        assert taxonomy.is_a("d", "a")        # still, via the structure
+        assert taxonomy.is_a("d", "c")
+
+    def test_query_results_filtered(self, taxonomy):
+        taxonomy.ignore("b")
+        assert "b" not in taxonomy.subconcepts("a")
+        assert "b" not in taxonomy.superconcepts("d")
+        assert taxonomy.parents("d") == {"c"}
+        assert taxonomy.children("a") == {"c"}
+
+    def test_queries_on_ignored_concept_fail(self, taxonomy):
+        taxonomy.ignore("b")
+        with pytest.raises(TaxonomyError):
+            taxonomy.subconcepts("b")
+        with pytest.raises(TaxonomyError):
+            taxonomy.is_a("b", "a")
+        with pytest.raises(TaxonomyError):
+            taxonomy.define("e", ["b"])
+
+    def test_cannot_ignore_root(self, taxonomy):
+        with pytest.raises(TaxonomyError):
+            taxonomy.ignore("THING")
+
+    def test_cannot_ignore_twice_implicitly(self, taxonomy):
+        taxonomy.ignore("b")
+        with pytest.raises(TaxonomyError):
+            taxonomy.ignore("b")   # already invisible
+
+
+class TestRestore:
+    def test_restore_brings_back(self, taxonomy):
+        taxonomy.ignore("b")
+        taxonomy.restore("b")
+        assert "b" in taxonomy
+        assert taxonomy.is_a("b", "a")
+        assert "b" in taxonomy.superconcepts("d")
+
+    def test_restore_unknown(self, taxonomy):
+        with pytest.raises(TaxonomyError):
+            taxonomy.restore("b")
+
+
+class TestInteractionWithReasoning:
+    def test_lcs_skips_ignored(self, taxonomy):
+        taxonomy.define("e", ["b"])
+        taxonomy.define("f", ["b"])
+        assert taxonomy.least_common_subsumers(["e", "f"]) == {"b"}
+        taxonomy.ignore("b")
+        # With b gone the most specific common subsumer bubbles up to a.
+        assert taxonomy.least_common_subsumers(["e", "f"]) == {"a"}
+
+    def test_disjointness_ignores_tombstoned_witness(self, taxonomy):
+        # d is the only common descendant of b and c.
+        assert not taxonomy.are_disjoint("b", "c")
+        taxonomy.ignore("d")
+        assert taxonomy.are_disjoint("b", "c")
+
+    def test_classify_skips_ignored(self, taxonomy):
+        assert taxonomy.classify(parents=["b", "c"]) == "d"
+        taxonomy.ignore("d")
+        assert taxonomy.classify(parents=["b", "c"]) is None
+
+    def test_forget_clears_tombstone(self, taxonomy):
+        taxonomy.ignore("b")
+        taxonomy.forget("b")
+        with pytest.raises(TaxonomyError):
+            taxonomy.restore("b")

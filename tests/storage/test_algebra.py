@@ -1,0 +1,174 @@
+"""Tests for the alpha-extended relational algebra."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage.algebra import (
+    AlgebraEngine,
+    Alpha,
+    AlphaPlus,
+    Compose,
+    Difference,
+    Intersect,
+    Inverse,
+    Rel,
+    Select,
+    Steps,
+    Union,
+    ancestors_query,
+    reachable_within,
+    same_generation_seed,
+)
+from repro.storage.relation import BinaryRelation
+
+
+@pytest.fixture
+def engine():
+    parent = BinaryRelation([
+        ("tom", "bob"), ("tom", "liz"),
+        ("bob", "ann"), ("bob", "pat"),
+        ("pat", "jim"),
+    ])
+    manages = BinaryRelation([("tom", "hr"), ("bob", "it")])
+    return AlgebraEngine({"parent": parent, "manages": manages})
+
+
+class TestBaseOperators:
+    def test_rel(self, engine):
+        assert ("tom", "bob") in engine.evaluate(Rel("parent"))
+
+    def test_unknown_relation(self, engine):
+        with pytest.raises(ReproError):
+            engine.evaluate(Rel("ghost"))
+
+    def test_union(self, engine):
+        result = engine.evaluate(Union(Rel("parent"), Rel("manages")))
+        assert ("tom", "hr") in result and ("pat", "jim") in result
+
+    def test_difference(self, engine):
+        result = engine.evaluate(
+            Difference(Alpha(Rel("parent")), Rel("parent")))
+        assert ("tom", "ann") in result        # derived, not base
+        assert ("tom", "bob") not in result    # base tuple removed
+
+    def test_intersect(self, engine):
+        result = engine.evaluate(
+            Intersect(Alpha(Rel("parent")), Rel("parent")))
+        assert result == engine.evaluate(Rel("parent"))
+
+    def test_inverse(self, engine):
+        assert ("bob", "tom") in engine.evaluate(Inverse(Rel("parent")))
+
+    def test_select(self, engine):
+        result = engine.evaluate(
+            Select(Rel("parent"), lambda a, b: a == "bob"))
+        assert result == frozenset({("bob", "ann"), ("bob", "pat")})
+
+    def test_compose(self, engine):
+        grandparents = engine.evaluate(Compose(Rel("parent"), Rel("parent")))
+        assert grandparents == frozenset(
+            {("tom", "ann"), ("tom", "pat"), ("bob", "jim")})
+
+    def test_register(self, engine):
+        engine.register("likes", BinaryRelation([("ann", "jim")]))
+        assert engine.evaluate(Rel("likes")) == frozenset({("ann", "jim")})
+
+
+class TestAlpha:
+    def test_reflexive_closure(self, engine):
+        closure = engine.evaluate(Alpha(Rel("parent")))
+        assert ("tom", "jim") in closure
+        assert ("tom", "tom") in closure       # reflexive on the domain
+        assert ("jim", "tom") not in closure
+
+    def test_strict_closure(self, engine):
+        closure = engine.evaluate(AlphaPlus(Rel("parent")))
+        assert ("tom", "jim") in closure
+        assert ("tom", "tom") not in closure
+
+    def test_alpha_matches_naive_fixpoint(self, engine):
+        base = set(engine.evaluate(Rel("parent")))
+        fixpoint = set(base)
+        while True:
+            new = {(a, d) for a, b in fixpoint for c, d in base if b == c}
+            if new <= fixpoint:
+                break
+            fixpoint |= new
+        strict = engine.evaluate(AlphaPlus(Rel("parent")))
+        assert strict == frozenset(fixpoint)
+
+    def test_alpha_over_cyclic_operand(self, engine):
+        symmetric = Union(Rel("parent"), Inverse(Rel("parent")))
+        closure = engine.evaluate(Alpha(symmetric))
+        # The family is one connected component: everyone reaches everyone.
+        assert ("jim", "liz") in closure
+        strict = engine.evaluate(AlphaPlus(symmetric))
+        assert ("tom", "tom") in strict        # self-reachable via the cycle
+
+    def test_alpha_of_empty(self):
+        engine = AlgebraEngine({"empty": BinaryRelation()})
+        assert engine.evaluate(Alpha(Rel("empty"))) == frozenset()
+
+    def test_alpha_cached_within_evaluation(self, engine):
+        # Two occurrences of the same Alpha node: evaluation must succeed
+        # and be consistent (caching is an internal optimisation).
+        expression = Intersect(Alpha(Rel("parent")), Alpha(Rel("parent")))
+        assert engine.evaluate(expression) == engine.evaluate(Alpha(Rel("parent")))
+
+    def test_self_loop_in_operand(self):
+        engine = AlgebraEngine({"r": BinaryRelation([("a", "b")])})
+        # Build a self-loop through composition with the inverse.
+        loops = engine.evaluate(
+            AlphaPlus(Compose(Rel("r"), Inverse(Rel("r")))))
+        assert ("a", "a") in loops
+
+
+class TestSteps:
+    def test_one_step_is_the_base(self, engine):
+        assert engine.evaluate(Steps(Rel("parent"), 1)) == \
+            engine.evaluate(Rel("parent"))
+
+    def test_two_steps_add_grandparents(self, engine):
+        two = engine.evaluate(Steps(Rel("parent"), 2))
+        assert ("tom", "ann") in two          # grandparent
+        assert ("tom", "jim") not in two      # great-grandchild: 3 hops
+
+    def test_converges_to_strict_closure(self, engine):
+        deep = engine.evaluate(Steps(Rel("parent"), 10))
+        assert deep == engine.evaluate(AlphaPlus(Rel("parent")))
+
+    def test_monotone_in_k(self, engine):
+        previous = frozenset()
+        for k in range(1, 5):
+            current = engine.evaluate(Steps(Rel("parent"), k))
+            assert previous <= current
+            previous = current
+
+    def test_bad_k(self, engine):
+        with pytest.raises(ReproError):
+            engine.evaluate(Steps(Rel("parent"), 0))
+
+
+class TestConvenienceQueries:
+    def test_ancestors_query(self, engine):
+        result = engine.evaluate(ancestors_query("parent"))
+        assert ("jim", "tom") in result
+        assert ("tom", "jim") not in result
+
+    def test_reachable_within(self, engine):
+        result = engine.evaluate(
+            reachable_within("parent", lambda a, b: b == "jim"))
+        assert set(result) == {("tom", "jim"), ("bob", "jim"),
+                               ("pat", "jim"), ("jim", "jim")}
+
+    def test_same_generation_seed(self, engine):
+        result = engine.evaluate(same_generation_seed("parent"))
+        assert ("ann", "pat") in result and ("bob", "liz") in result
+
+
+class TestErrors:
+    def test_unknown_expression_type(self, engine):
+        class Weird(object):
+            pass
+        with pytest.raises(ReproError):
+            engine.evaluate(Weird())

@@ -1,0 +1,107 @@
+"""Tests for the closure database facade."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.algebra import Alpha, Compose, Rel
+from repro.storage.database import ClosureDatabase
+
+
+@pytest.fixture
+def db():
+    database = ClosureDatabase()
+    database.create_relation("part_of", materialize=True, tuples=[
+        ("wheel", "car"), ("bolt", "wheel"), ("engine", "car"),
+    ])
+    database.create_relation("made_by", tuples=[("car", "acme")])
+    return database
+
+
+class TestSchema:
+    def test_names(self, db):
+        assert db.relation_names() == ["made_by", "part_of"]
+
+    def test_duplicate_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.create_relation("part_of")
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(StorageError):
+            ClosureDatabase().create_relation("catalog.json")
+
+    def test_drop(self, db):
+        db.drop_relation("made_by")
+        assert db.relation_names() == ["part_of"]
+        with pytest.raises(StorageError):
+            db.relation("made_by")
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(StorageError):
+            db.insert("ghost", "a", "b")
+
+    def test_materialize_later(self, db):
+        assert not db.has_view("made_by")
+        db.materialize("made_by")
+        assert db.has_view("made_by")
+        assert db.closure("made_by").query("car", "acme")
+
+    def test_closure_requires_view(self, db):
+        with pytest.raises(StorageError):
+            db.closure("made_by")
+
+
+class TestDataManipulation:
+    def test_insert_updates_view(self, db):
+        db.insert("part_of", "piston", "engine")
+        assert db.closure("part_of").query("piston", "car")
+        db.closure("part_of").index.verify()
+
+    def test_delete_updates_view(self, db):
+        db.delete("part_of", "wheel", "car")
+        assert not db.closure("part_of").query("bolt", "car")
+        db.closure("part_of").index.verify()
+
+    def test_insert_without_view(self, db):
+        db.insert("made_by", "wheel", "wheelco")
+        assert ("wheel", "wheelco") in db.relation("made_by")
+
+    def test_storage_units(self, db):
+        assert db.storage_units == db.closure("part_of").storage_units
+
+
+class TestAlgebraIntegration:
+    def test_alpha_over_relation(self, db):
+        closure = db.evaluate(Alpha(Rel("part_of")))
+        assert ("bolt", "car") in closure
+
+    def test_cross_relation_compose(self, db):
+        # Which manufacturer does each part transitively belong to?
+        makers = db.evaluate(Compose(Alpha(Rel("part_of")), Rel("made_by")))
+        assert ("bolt", "acme") in makers
+
+
+class TestPersistence:
+    def test_round_trip(self, db, tmp_path):
+        db.insert("part_of", "piston", "engine")
+        db.save(tmp_path / "dbdir")
+        loaded = ClosureDatabase.load(tmp_path / "dbdir")
+        assert loaded.relation_names() == db.relation_names()
+        assert loaded.has_view("part_of") and not loaded.has_view("made_by")
+        assert loaded.closure("part_of").query("piston", "car")
+        assert ("car", "acme") in loaded.relation("made_by")
+
+    def test_loaded_view_is_fresh_and_updatable(self, db, tmp_path):
+        db.save(tmp_path / "dbdir")
+        loaded = ClosureDatabase.load(tmp_path / "dbdir")
+        loaded.insert("part_of", "rim", "wheel")
+        assert loaded.closure("part_of").query("rim", "car")
+        loaded.closure("part_of").index.verify()
+
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(StorageError):
+            ClosureDatabase.load(tmp_path)
+
+    def test_empty_database_round_trip(self, tmp_path):
+        ClosureDatabase().save(tmp_path / "empty")
+        loaded = ClosureDatabase.load(tmp_path / "empty")
+        assert loaded.relation_names() == []

@@ -1,0 +1,139 @@
+"""Tests for the binary on-disk index format."""
+
+import random
+
+import pytest
+
+from repro.core.index import IntervalTCIndex
+from repro.errors import NodeNotFoundError, StorageError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import reachable_from
+from repro.storage.diskindex import DiskIntervalIndex, write_index
+from repro.storage.pager import BufferPool
+
+
+@pytest.fixture
+def disk_pair(tmp_path):
+    graph = random_dag(80, 2.5, 13)
+    index = IntervalTCIndex.build(graph, gap=1)
+    path = tmp_path / "closure.rtcx"
+    write_index(index, path, page_size=256)
+    return graph, index, path
+
+
+class TestWrite:
+    def test_returns_file_size(self, tmp_path, diamond):
+        index = IntervalTCIndex.build(diamond, gap=1)
+        path = tmp_path / "d.rtcx"
+        written = write_index(index, path)
+        assert written == path.stat().st_size
+
+    def test_tiny_page_rejected(self, tmp_path, diamond):
+        index = IntervalTCIndex.build(diamond)
+        with pytest.raises(StorageError):
+            write_index(index, tmp_path / "d.rtcx", page_size=8)
+
+    def test_fractional_numbering_rejected(self, tmp_path, diamond):
+        index = IntervalTCIndex.build(diamond, gap=2, numbering="fractional")
+        with pytest.raises(StorageError):
+            write_index(index, tmp_path / "d.rtcx")
+
+
+class TestOpen:
+    def test_round_trip_queries(self, disk_pair):
+        graph, index, path = disk_pair
+        with DiskIntervalIndex.open(path) as disk:
+            assert len(disk) == graph.num_nodes
+            rng = random.Random(0)
+            nodes = list(graph.nodes())
+            for _ in range(400):
+                source, destination = rng.choice(nodes), rng.choice(nodes)
+                assert disk.reachable(source, destination) == \
+                    index.reachable(source, destination)
+
+    def test_successor_sets(self, disk_pair):
+        graph, _, path = disk_pair
+        with DiskIntervalIndex.open(path) as disk:
+            for node in list(graph.nodes())[:25]:
+                assert disk.successors(node) == reachable_from(graph, node)
+                assert node not in disk.successors(node, reflexive=False)
+
+    def test_postorder_preserved(self, disk_pair):
+        _, index, path = disk_pair
+        with DiskIntervalIndex.open(path) as disk:
+            for node in index.nodes():
+                assert disk.postorder_of(node) == index.postorder[node]
+
+    def test_contains(self, disk_pair):
+        _, _, path = disk_pair
+        with DiskIntervalIndex.open(path) as disk:
+            assert 0 in disk and "ghost" not in disk
+
+    def test_unknown_node(self, disk_pair):
+        _, _, path = disk_pair
+        with DiskIntervalIndex.open(path) as disk:
+            with pytest.raises(NodeNotFoundError):
+                disk.reachable("ghost", 0)
+            with pytest.raises(NodeNotFoundError):
+                disk.postorder_of("ghost")
+
+    def test_tuple_labels_round_trip(self, tmp_path):
+        graph = DiGraph([(("s", 0), ("t", 1)), (("t", 1), ("t", 2))])
+        index = IntervalTCIndex.build(graph, gap=1)
+        path = tmp_path / "tuples.rtcx"
+        write_index(index, path)
+        with DiskIntervalIndex.open(path) as disk:
+            assert disk.reachable(("s", 0), ("t", 2))
+
+
+class TestFormatErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.rtcx"
+        path.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(StorageError):
+            DiskIntervalIndex.open(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "tiny.rtcx"
+        path.write_bytes(b"RT")
+        with pytest.raises(StorageError):
+            DiskIntervalIndex.open(path)
+
+    def test_wrong_version(self, tmp_path, diamond, monkeypatch):
+        import repro.storage.diskindex as mod
+        index = IntervalTCIndex.build(diamond)
+        path = tmp_path / "v.rtcx"
+        monkeypatch.setattr(mod, "FORMAT_VERSION", 99)
+        write_index(index, path)
+        monkeypatch.undo()
+        with pytest.raises(StorageError):
+            DiskIntervalIndex.open(path)
+
+
+class TestIOAccounting:
+    def test_faults_counted(self, disk_pair):
+        graph, _, path = disk_pair
+        pool = BufferPool(2)
+        with DiskIntervalIndex.open(path, pool=pool) as disk:
+            rng = random.Random(1)
+            nodes = list(graph.nodes())
+            for _ in range(200):
+                disk.reachable(rng.choice(nodes), rng.choice(nodes))
+            assert pool.counters.logical_reads >= 200
+            assert 0 < pool.counters.page_faults <= pool.counters.logical_reads
+
+    def test_hot_node_hits_cache(self, disk_pair):
+        graph, _, path = disk_pair
+        pool = BufferPool(8)
+        with DiskIntervalIndex.open(path, pool=pool) as disk:
+            node = next(iter(graph.nodes()))
+            for other in list(graph.nodes())[:50]:
+                disk.reachable(node, other)
+            # After the first touch the node's page stays resident.
+            assert pool.counters.page_faults <= disk.heap_pages
+
+    def test_heap_pages_positive(self, disk_pair):
+        _, _, path = disk_pair
+        with DiskIntervalIndex.open(path) as disk:
+            assert disk.heap_pages >= 1

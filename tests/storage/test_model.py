@@ -1,0 +1,94 @@
+"""Tests for the paper's storage-accounting model."""
+
+import math
+
+import pytest
+
+from repro.baselines.full_closure import FullTCIndex
+from repro.baselines.inverse_closure import InverseTCIndex
+from repro.core.index import IntervalTCIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_tree
+from repro.storage.model import (
+    StorageComparison,
+    compare_storage,
+    compressed_closure_units,
+    full_closure_units,
+    inverse_closure_units,
+    relation_units,
+)
+
+
+class TestUnitFunctions:
+    def test_relation_units(self, diamond):
+        assert relation_units(diamond) == 4
+
+    def test_full_closure_units(self, chain5):
+        assert full_closure_units(FullTCIndex.build(chain5)) == 10
+
+    def test_compressed_units(self):
+        tree = random_tree(20, 3)
+        index = IntervalTCIndex.build(tree, gap=1)
+        assert compressed_closure_units(index) == 40
+
+    def test_inverse_units(self, chain5):
+        assert inverse_closure_units(InverseTCIndex.build(chain5)) == 0
+
+
+class TestCompareStorage:
+    def test_fields(self, paper_dag):
+        comparison = compare_storage(paper_dag)
+        assert comparison.num_nodes == paper_dag.num_nodes
+        assert comparison.relation == paper_dag.num_arcs
+        assert comparison.inverse is None
+        assert comparison.inverse_multiple is None
+
+    def test_include_inverse(self, paper_dag):
+        comparison = compare_storage(paper_dag, include_inverse=True)
+        assert comparison.inverse is not None
+        assert comparison.inverse_multiple == pytest.approx(
+            comparison.inverse / comparison.relation)
+
+    def test_multiples(self, paper_dag):
+        comparison = compare_storage(paper_dag)
+        assert comparison.full_multiple == pytest.approx(
+            comparison.full_closure / comparison.relation)
+        assert comparison.compressed_multiple == pytest.approx(
+            comparison.compressed / comparison.relation)
+        assert comparison.compression_ratio == pytest.approx(
+            comparison.full_closure / comparison.compressed)
+
+    def test_as_dict_keys(self, paper_dag):
+        row = compare_storage(paper_dag, include_inverse=True).as_dict()
+        for key in ("nodes", "arcs", "relation", "full_closure", "compressed",
+                    "full_multiple", "compressed_multiple", "inverse"):
+            assert key in row
+
+    def test_zero_arc_graph(self):
+        comparison = compare_storage(DiGraph(nodes=range(3)))
+        assert math.isnan(comparison.full_multiple)
+        assert math.isnan(comparison.compressed_multiple)
+
+    def test_merge_option_never_bigger(self):
+        graph = random_dag(60, 3, 2)
+        plain = compare_storage(graph, merge=False)
+        merged = compare_storage(graph, merge=True)
+        assert merged.compressed <= plain.compressed
+
+
+class TestPaperHeadlines:
+    def test_compressed_below_full_on_random_dags(self):
+        for seed, degree in [(0, 2), (1, 3), (2, 5)]:
+            comparison = compare_storage(random_dag(120, degree, seed))
+            assert comparison.compressed < comparison.full_closure
+
+    def test_dense_graph_compresses_below_relation(self):
+        """The Figure 3.9 headline: compressed < original at high degree."""
+        graph = random_dag(150, 20, 4)
+        comparison = compare_storage(graph)
+        assert comparison.compressed_multiple < 1.0
+
+    def test_infinite_ratio_for_empty_compressed(self):
+        empty = StorageComparison(num_nodes=0, num_arcs=0, relation=0,
+                                  full_closure=0, compressed=0)
+        assert empty.compression_ratio == float("inf")

@@ -1,0 +1,146 @@
+"""Tests for the simulated paging layer."""
+
+import random
+
+import pytest
+
+from repro.baselines.full_closure import FullTCIndex
+from repro.core.index import IntervalTCIndex
+from repro.errors import NodeNotFoundError, StorageError
+from repro.graph.generators import random_dag
+from repro.storage.pager import (
+    BufferPool,
+    PagedIntervalStore,
+    PagedSuccessorStore,
+)
+
+
+class TestBufferPool:
+    def test_first_access_faults(self):
+        pool = BufferPool(4)
+        assert not pool.access(1)
+        assert pool.counters.page_faults == 1
+        assert pool.counters.logical_reads == 1
+
+    def test_second_access_hits(self):
+        pool = BufferPool(4)
+        pool.access(1)
+        assert pool.access(1)
+        assert pool.counters.page_faults == 1
+        assert pool.counters.logical_reads == 2
+
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(3)            # evicts 1
+        assert pool.counters.evictions == 1
+        assert not pool.access(1)  # 1 was evicted -> fault
+        assert pool.access(3)      # 3 still resident
+
+    def test_touch_refreshes_recency(self):
+        pool = BufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)            # 1 is now most recent
+        pool.access(3)            # evicts 2, not 1
+        assert pool.access(1)
+        assert not pool.access(2)
+
+    def test_hit_ratio(self):
+        pool = BufferPool(4)
+        assert pool.counters.hit_ratio == 1.0
+        pool.access(1)
+        pool.access(1)
+        assert pool.counters.hit_ratio == pytest.approx(0.5)
+
+    def test_flush(self):
+        pool = BufferPool(4)
+        pool.access(1)
+        pool.flush()
+        assert pool.resident_pages == 0
+        assert not pool.access(1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(0)
+
+    def test_counters_reset(self):
+        pool = BufferPool(2)
+        pool.access(1)
+        pool.counters.reset()
+        assert pool.counters.page_faults == 0
+        assert pool.counters.logical_reads == 0
+
+
+@pytest.fixture
+def stores():
+    graph = random_dag(80, 3, 11)
+    closure = FullTCIndex.build(graph)
+    index = IntervalTCIndex.build(graph, gap=1)
+    full_store = PagedSuccessorStore(closure, list(graph.nodes()),
+                                     pool=BufferPool(16), page_capacity=32)
+    interval_store = PagedIntervalStore(index, pool=BufferPool(16),
+                                        page_capacity=32)
+    return graph, closure, full_store, interval_store
+
+
+class TestPagedStores:
+    def test_answers_match_closure(self, stores):
+        graph, closure, full_store, interval_store = stores
+        rng = random.Random(0)
+        nodes = list(graph.nodes())
+        for _ in range(300):
+            source, destination = rng.choice(nodes), rng.choice(nodes)
+            expected = closure.reachable(source, destination)
+            assert full_store.reachable(source, destination) == expected
+            assert interval_store.reachable(source, destination) == expected
+
+    def test_queries_generate_io(self, stores):
+        graph, _, full_store, interval_store = stores
+        node = next(iter(graph.nodes()))
+        full_store.reachable(node, node)
+        interval_store.reachable(node, node)
+        assert full_store.pool.counters.logical_reads >= 1
+        assert interval_store.pool.counters.logical_reads >= 1
+
+    def test_compressed_store_occupies_fewer_pages(self, stores):
+        _, _, full_store, interval_store = stores
+        assert interval_store.num_pages <= full_store.num_pages
+        assert interval_store.total_units <= full_store.total_units
+
+    def test_pages_of_spans(self, stores):
+        graph, _, full_store, _ = stores
+        for node in list(graph.nodes())[:10]:
+            assert full_store.pages_of(node) >= 1
+
+    def test_unknown_node(self, stores):
+        _, _, full_store, interval_store = stores
+        with pytest.raises(NodeNotFoundError):
+            full_store.reachable("ghost", "ghost")
+        with pytest.raises(NodeNotFoundError):
+            interval_store.reachable("ghost", "ghost")
+
+    def test_unknown_destination(self, stores):
+        graph, _, _, interval_store = stores
+        node = next(iter(graph.nodes()))
+        with pytest.raises(NodeNotFoundError):
+            interval_store.reachable(node, "ghost")
+
+    def test_tiny_page_capacity_rejected(self, stores):
+        graph, closure, _, _ = stores
+        with pytest.raises(StorageError):
+            PagedSuccessorStore(closure, list(graph.nodes()), page_capacity=1)
+
+    def test_large_record_spans_pages(self):
+        graph = random_dag(60, 6, 3)   # dense: some successor lists > 8 units
+        closure = FullTCIndex.build(graph)
+        store = PagedSuccessorStore(closure, list(graph.nodes()),
+                                    pool=BufferPool(64), page_capacity=8)
+        assert any(store.pages_of(node) > 1 for node in graph.nodes())
+
+    def test_default_pool_created(self):
+        graph = random_dag(20, 2, 5)
+        store = PagedIntervalStore(IntervalTCIndex.build(graph, gap=1))
+        node = next(iter(graph.nodes()))
+        assert store.reachable(node, node)

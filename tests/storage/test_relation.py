@@ -1,0 +1,122 @@
+"""Tests for binary relations and the materialised closure view."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph.traversal import reachable_from
+from repro.storage.relation import BinaryRelation, MaterializedClosureView
+
+
+class TestBinaryRelation:
+    def test_insert_and_contains(self):
+        relation = BinaryRelation()
+        assert relation.insert("a", "b")
+        assert ("a", "b") in relation
+        assert not relation.insert("a", "b")   # duplicate
+        assert len(relation) == 1
+
+    def test_delete(self):
+        relation = BinaryRelation([("a", "b")])
+        assert relation.delete("a", "b")
+        assert not relation.delete("a", "b")
+        assert len(relation) == 0
+
+    def test_reflexive_tuple_rejected(self):
+        with pytest.raises(GraphError):
+            BinaryRelation([("a", "a")])
+
+    def test_columns(self):
+        relation = BinaryRelation([("a", "b"), ("b", "c")])
+        assert relation.sources() == {"a", "b"}
+        assert relation.destinations() == {"b", "c"}
+        assert relation.domain() == {"a", "b", "c"}
+
+    def test_selections(self):
+        relation = BinaryRelation([("a", "b"), ("a", "c"), ("b", "c")])
+        assert sorted(relation.select_by_source("a")) == [("a", "b"), ("a", "c")]
+        assert sorted(relation.select_by_destination("c")) == [("a", "c"), ("b", "c")]
+
+    def test_to_graph(self):
+        graph = BinaryRelation([("a", "b")]).to_graph()
+        assert graph.has_arc("a", "b")
+
+    def test_iteration(self):
+        pairs = {("a", "b"), ("c", "d")}
+        assert set(BinaryRelation(pairs)) == pairs
+
+
+class TestMaterializedView:
+    def test_view_answers_closure(self):
+        view = MaterializedClosureView.over(
+            BinaryRelation([("a", "b"), ("b", "c")]))
+        assert view.query("a", "c")
+        assert not view.query("c", "a")
+        assert view.query("a", "a")
+
+    def test_insert_maintains_view(self):
+        view = MaterializedClosureView.over(BinaryRelation([("a", "b")]))
+        view.insert("b", "c")
+        view.insert("x", "a")          # new source value
+        view.insert("p", "q")          # disjoint component
+        assert view.query("x", "c")
+        assert view.query("p", "q")
+        assert not view.query("a", "q")
+        view.index.verify()
+
+    def test_duplicate_insert_is_noop(self):
+        view = MaterializedClosureView.over(BinaryRelation([("a", "b")]))
+        before = view.storage_units
+        view.insert("a", "b")
+        assert view.storage_units == before
+
+    def test_delete_maintains_view(self):
+        view = MaterializedClosureView.over(
+            BinaryRelation([("a", "b"), ("b", "c"), ("a", "c")]))
+        view.delete("a", "c")
+        assert view.query("a", "c")    # still via b
+        view.delete("b", "c")
+        assert not view.query("a", "c")
+        view.index.verify()
+
+    def test_delete_drops_orphan_values(self):
+        view = MaterializedClosureView.over(BinaryRelation([("a", "b")]))
+        view.delete("a", "b")
+        assert not view.relation.domain()
+        assert "a" not in view.index
+
+    def test_delete_absent_tuple_is_noop(self):
+        view = MaterializedClosureView.over(BinaryRelation([("a", "b")]))
+        view.delete("b", "a")
+        assert view.query("a", "b")
+
+    def test_successors(self):
+        view = MaterializedClosureView.over(
+            BinaryRelation([("a", "b"), ("b", "c")]))
+        assert view.successors("a") == {"a", "b", "c"}
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.sampled_from("abcdefgh"), st.sampled_from("abcdefgh")),
+                max_size=25),
+       st.integers(0, 100))
+def test_view_equals_recomputation_after_any_stream(pairs, seed):
+    """The materialised view equals a from-scratch closure at every point."""
+    rng = random.Random(seed)
+    view = MaterializedClosureView.over(BinaryRelation(), gap=8)
+    for source, destination in pairs:
+        if source == destination:
+            continue
+        if rng.random() < 0.7:
+            # Insert if acyclic; the view index refuses cycles.
+            if source in view.index and destination in view.index and \
+                    view.index.reachable(destination, source):
+                continue
+            view.insert(source, destination)
+        else:
+            view.delete(source, destination)
+    graph = view.relation.to_graph()
+    for value in view.relation.domain():
+        assert view.successors(value) == reachable_from(graph, value)

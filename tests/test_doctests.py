@@ -1,0 +1,24 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.condensation
+import repro.graph.digraph
+import repro.storage.database
+import repro.storage.relation
+
+MODULES = [
+    repro.core.condensation,
+    repro.graph.digraph,
+    repro.storage.database,
+    repro.storage.relation,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"

@@ -1,0 +1,96 @@
+"""Moderate-scale sanity: the library handles thousands of nodes briskly.
+
+Not micro-benchmarks (those live in ``benchmarks/``) — these are
+regression tripwires against accidental quadratic behaviour on the paths
+that must stay near-linear.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.index import IntervalTCIndex
+from repro.graph.generators import random_dag, random_dag_local, random_tree
+from repro.graph.traversal import reachable_from
+
+
+def timed(function):
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+class TestBuildScale:
+    def test_5000_node_tree_builds_fast(self):
+        tree = random_tree(5000, 1)
+        index, seconds = timed(lambda: IntervalTCIndex.build(tree, gap=1))
+        assert index.num_intervals == 5000
+        assert seconds < 10
+
+    def test_3000_node_local_dag(self):
+        graph = random_dag_local(3000, 3, 2)
+        index, seconds = timed(lambda: IntervalTCIndex.build(graph, gap=1))
+        assert seconds < 20
+        # Spot-check correctness at scale.
+        rng = random.Random(0)
+        nodes = list(graph.nodes())
+        for _ in range(10):
+            node = rng.choice(nodes)
+            assert index.successors(node) == reachable_from(graph, node)
+
+    def test_2000_node_uniform_dag(self):
+        graph = random_dag(2000, 4, 5)
+        index, seconds = timed(lambda: IntervalTCIndex.build(graph, gap=1))
+        assert seconds < 30
+        index.check_invariants()
+
+
+class TestQueryScale:
+    @pytest.fixture(scope="class")
+    def big_index(self):
+        return IntervalTCIndex.build(random_dag(3000, 3, 11), gap=1)
+
+    def test_100k_reachability_queries(self, big_index):
+        rng = random.Random(1)
+        nodes = list(big_index.nodes())
+        pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(100_000)]
+        hits, seconds = timed(
+            lambda: sum(big_index.reachable(u, v) for u, v in pairs))
+        assert 0 <= hits <= len(pairs)
+        assert seconds < 15
+
+    def test_successor_decoding(self, big_index):
+        rng = random.Random(2)
+        nodes = list(big_index.nodes())
+        sources = [rng.choice(nodes) for _ in range(200)]
+        total, seconds = timed(
+            lambda: sum(len(big_index.successors(s)) for s in sources))
+        assert total >= len(sources)
+        assert seconds < 10
+
+
+class TestUpdateScale:
+    def test_2000_incremental_inserts(self):
+        index = IntervalTCIndex.build(random_dag(500, 2, 3), gap=64)
+        rng = random.Random(4)
+        # Refresh the parent-candidate list every 256 inserts.
+        nodes_cache = list(index.nodes())
+        start = time.perf_counter()
+        for step in range(2000):
+            if step % 256 == 0:
+                nodes_cache = list(index.nodes())
+            index.add_node(("s", step), parents=[rng.choice(nodes_cache)])
+        seconds = time.perf_counter() - start
+        assert seconds < 20
+        index.check_invariants()
+
+    def test_batched_deletion_scale(self):
+        from repro.core.batch import apply_operations, operations_from_pairs
+        graph = random_dag(1000, 3, 6)
+        index = IntervalTCIndex.build(graph, gap=1)
+        victims = list(graph.arcs())[:400]
+        _, seconds = timed(lambda: apply_operations(
+            index, operations_from_pairs(remove=victims)))
+        assert seconds < 20
+        index.check_invariants()
