@@ -19,6 +19,7 @@ Quick start::
 
 from repro.core import (
     CondensedIndex,
+    FrozenTCIndex,
     Interval,
     IntervalSet,
     IntervalTCIndex,
@@ -46,6 +47,7 @@ __all__ = [
     "CondensedIndex",
     "CycleError",
     "DiGraph",
+    "FrozenTCIndex",
     "GraphError",
     "IndexStateError",
     "Interval",

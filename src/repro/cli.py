@@ -35,8 +35,9 @@ from repro.bench import (
 )
 from repro.core import explain
 from repro.core.batch import apply_diff
+from repro.core.frozen import FrozenTCIndex
 from repro.core.index import DEFAULT_GAP, IntervalTCIndex
-from repro.core.serialize import load_index, save_index
+from repro.core.serialize import load_any, load_index, save_frozen_index, save_index
 from repro.core.tree_cover import POLICIES
 from repro.errors import ReproError
 from repro.graph.io import load_edge_list
@@ -49,6 +50,31 @@ def _load_index_or_build(path: str, *, gap: int = DEFAULT_GAP) -> IntervalTCInde
     if path.endswith(".json"):
         return load_index(path)
     return IntervalTCIndex.build(load_edge_list(path), gap=gap)
+
+
+def _load_engine(path: str, engine: Optional[str]):
+    """Resolve a query engine: a saved index (mutable or frozen buffers),
+    or an edge list built on the fly; ``--engine frozen`` compiles."""
+    if path.endswith(".json"):
+        loaded = load_any(path)
+    else:
+        loaded = IntervalTCIndex.build(load_edge_list(path))
+    if isinstance(loaded, FrozenTCIndex):
+        if engine == "dict":
+            raise ReproError(
+                f"{path} holds frozen buffers and cannot serve the dict "
+                f"engine; rebuild from the graph or a saved mutable index")
+        return loaded
+    if engine == "frozen":
+        return loaded.freeze()
+    return loaded
+
+
+def _add_engine_option(command) -> None:
+    command.add_argument(
+        "--engine", choices=("dict", "frozen"), default=None,
+        help="query engine: 'dict' (the updatable interval-set index) or "
+             "'frozen' (flat-array snapshot; default follows the file)")
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -65,23 +91,32 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = _load_index_or_build(args.index)
-    answer = index.reachable(args.source, args.destination)
+    engine = _load_engine(args.index, args.engine)
+    answer = engine.reachable(args.source, args.destination)
     print("reachable" if answer else "not-reachable")
     return 0 if answer else 1
 
 
 def _cmd_successors(args: argparse.Namespace) -> int:
-    index = _load_index_or_build(args.index)
-    for node in sorted(index.successors(args.node, reflexive=False), key=str):
+    engine = _load_engine(args.index, args.engine)
+    for node in sorted(engine.successors(args.node, reflexive=False), key=str):
         print(node)
     return 0
 
 
 def _cmd_predecessors(args: argparse.Namespace) -> int:
-    index = _load_index_or_build(args.index)
-    for node in sorted(index.predecessors(args.node, reflexive=False), key=str):
+    engine = _load_engine(args.index, args.engine)
+    for node in sorted(engine.predecessors(args.node, reflexive=False), key=str):
         print(node)
+    return 0
+
+
+def _cmd_freeze(args: argparse.Namespace) -> int:
+    index = _load_index_or_build(args.index)
+    frozen = index.freeze(backend=args.backend)
+    save_frozen_index(frozen, args.output)
+    print(format_table([frozen.stats()], title="frozen index"))
+    print(f"frozen buffers written to {args.output}")
     return 0
 
 
@@ -193,18 +228,30 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("index", help="saved index (.json) or edge-list file")
     query.add_argument("source")
     query.add_argument("destination")
+    _add_engine_option(query)
     query.set_defaults(handler=_cmd_query)
 
     successors = commands.add_parser("successors", help="list all strict successors")
     successors.add_argument("index")
     successors.add_argument("node")
+    _add_engine_option(successors)
     successors.set_defaults(handler=_cmd_successors)
 
     predecessors = commands.add_parser("predecessors",
                                        help="list all strict predecessors")
     predecessors.add_argument("index")
     predecessors.add_argument("node")
+    _add_engine_option(predecessors)
     predecessors.set_defaults(handler=_cmd_predecessors)
+
+    freeze = commands.add_parser(
+        "freeze", help="compile an index into frozen flat-array buffers")
+    freeze.add_argument("index", help="saved index (.json) or edge-list file")
+    freeze.add_argument("-o", "--output", required=True,
+                        help="write the frozen buffers as JSON")
+    freeze.add_argument("--backend", choices=("numpy", "array"), default=None,
+                        help="buffer backend (default: numpy when installed)")
+    freeze.set_defaults(handler=_cmd_freeze)
 
     update = commands.add_parser(
         "update", help="apply a +/- diff file to an index incrementally")

@@ -2,8 +2,18 @@
 
 from repro.core.bidirectional import BidirectionalTCIndex
 from repro.core.condensation import CondensedIndex
+from repro.core.frozen import FrozenTCIndex
 from repro.core.index import DEFAULT_GAP, IndexStats, IntervalTCIndex
-from repro.core.serialize import index_from_dict, index_to_dict, load_index, save_index
+from repro.core.serialize import (
+    frozen_from_dict,
+    frozen_to_dict,
+    index_from_dict,
+    index_to_dict,
+    load_frozen_index,
+    load_index,
+    save_frozen_index,
+    save_index,
+)
 from repro.core.intervals import Interval, IntervalSet, intervals_from_points
 from repro.core.labeling import (
     Labeling,
@@ -25,6 +35,7 @@ __all__ = [
     "BidirectionalTCIndex",
     "CondensedIndex",
     "DEFAULT_GAP",
+    "FrozenTCIndex",
     "IndexStats",
     "Interval",
     "IntervalSet",
@@ -37,11 +48,15 @@ __all__ = [
     "assign_postorder",
     "build_tree_cover",
     "check_laminar",
+    "frozen_from_dict",
+    "frozen_to_dict",
     "index_from_dict",
     "index_to_dict",
     "intervals_from_points",
     "label_graph",
+    "load_frozen_index",
     "load_index",
+    "save_frozen_index",
     "merge_all",
     "propagate_intervals",
     "save_index",

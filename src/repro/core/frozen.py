@@ -1,0 +1,558 @@
+"""Frozen flat-array query engine over a built interval index.
+
+:class:`~repro.core.index.IntervalTCIndex` answers queries out of one
+Python ``IntervalSet`` object per node.  That representation is ideal for
+the Section 4 incremental updates, but every query pays dict lookups,
+attribute access, and per-object method dispatch — and predecessor-style
+queries degrade to a scan over *all* nodes' interval sets.
+
+:class:`FrozenTCIndex` is the read-optimised compilation of a built index
+into contiguous CSR-style buffers, the layout hop-labeling reachability
+oracles use for speed:
+
+* nodes are interned to dense ids: id ``i`` is the node holding the
+  ``i``-th smallest live postorder number, so the dense id *is* the rank
+  of the node's number and no number array is consulted at query time;
+* every interval end-point is rewritten from postorder-number space to
+  rank space at freeze time (a number interval ``[lo, hi]`` becomes the
+  rank range of the live numbers it contains), after which per-row
+  intervals are coalesced into disjoint, sorted runs — ``successors`` is
+  a plain slice walk and the covered ranks *are* the successor set;
+* all rows live in three flat arrays — ``offsets`` (CSR row starts) plus
+  ``lo``/``hi`` rank arrays — so ``reachable(u, v)`` is two array reads
+  and one :func:`bisect.bisect_right` on a flat buffer;
+* a **reverse interval index** (every interval sorted by ``lo``, with a
+  prefix-max-``hi`` sweep array) answers the stabbing query "which rows
+  cover rank q" in O(log m + scanned) — ``predecessors``,
+  ``reaching_set`` and ``are_disjoint`` no longer scan every node.
+
+When numpy is importable (it is an optional dependency) the buffers are
+numpy arrays and the batch APIs (:meth:`reachable_many`,
+:meth:`successors_many`, …) run vectorised; otherwise pure-stdlib
+``array('q')`` buffers serve the same layout with ``bisect``.
+
+A frozen view is a snapshot: it keeps a reference to its source index and
+the index's version counter at freeze time, and raises
+:class:`~repro.errors.IndexStateError` from every query once the source
+has been updated.  Updates go through the mutable index as before; call
+:meth:`IntervalTCIndex.freeze` again afterwards (the result is cached
+while fresh, so repeated ``freeze()`` calls are free).
+
+Typical use::
+
+    index = IntervalTCIndex.build(graph)
+    frozen = index.freeze()                  # numpy-backed when available
+    frozen.reachable("a", "c")               # two reads + one bisect
+    frozen.reachable_many(pairs)             # vectorised batch
+    frozen.predecessors("c")                 # reverse index, no full scan
+
+    index.add_arc("c", "d")                  # mutate through the index...
+    frozen = index.freeze()                  # ...then re-freeze
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from itertools import chain
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+from repro.errors import IndexStateError, NodeNotFoundError, ReproError
+from repro.graph.digraph import Node
+
+try:  # numpy is an optional dependency (the ``test`` extra installs it)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.index import IntervalTCIndex
+
+#: Buffer backends, best first; ``freeze(backend=...)`` selects explicitly.
+BACKENDS = ("numpy", "array")
+
+
+def default_backend() -> str:
+    """``"numpy"`` when importable, else the pure-stdlib ``"array"``."""
+    return "numpy" if _np is not None else "array"
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    if backend is None:
+        return default_backend()
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unknown frozen backend {backend!r}; choose from {BACKENDS}")
+    if backend == "numpy" and _np is None:
+        raise ReproError("backend 'numpy' requested but numpy is not installed")
+    return backend
+
+
+class FrozenTCIndex:
+    """Read-only flat-array compilation of an :class:`IntervalTCIndex`.
+
+    Construct with :meth:`IntervalTCIndex.freeze` (or :meth:`from_index`);
+    reload persisted buffers with :meth:`from_buffers` /
+    :func:`repro.core.serialize.load_frozen_index`.
+
+    The query surface mirrors the mutable index — :meth:`reachable`,
+    :meth:`successors`, :meth:`predecessors`, :meth:`count_successors` —
+    plus the batch/set forms :meth:`reachable_many`,
+    :meth:`successors_many`, :meth:`predecessors_many`,
+    :meth:`reachable_from_set`, :meth:`reaching_set`, :meth:`any_reachable`
+    and :meth:`are_disjoint`.
+    """
+
+    def __init__(self, *, nodes: Sequence[Node], numbers: Sequence,
+                 offsets: Sequence[int], lows: Sequence[int],
+                 highs: Sequence[int], backend: Optional[str] = None,
+                 source: Optional["IntervalTCIndex"] = None,
+                 source_version: int = 0) -> None:
+        if len(offsets) != len(nodes) + 1:
+            raise ReproError("offsets must hold exactly len(nodes) + 1 entries")
+        if len(lows) != len(highs) or (offsets and offsets[-1] != len(lows)):
+            raise ReproError("interval buffers are inconsistent with offsets")
+        self._backend = _resolve_backend(backend)
+        #: rank -> node; the dense interning order (ascending postorder number).
+        self._nodes: List[Node] = list(nodes)
+        #: rank -> postorder number (ints, or Fractions under fractional
+        #: numbering); queries never touch this, (de)serialisation does.
+        self._numbers: List = list(numbers)
+        self._id_of: Dict[Node, int] = {
+            node: rank for rank, node in enumerate(self._nodes)}
+        if len(self._id_of) != len(self._nodes):
+            raise ReproError("duplicate node labels in frozen buffers")
+        self._source = source
+        self._source_version = source_version
+        if self._backend == "numpy":
+            self._materialize_numpy(offsets, lows, highs)
+        else:
+            self._materialize_array(offsets, lows, highs)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(cls, index: "IntervalTCIndex", *,
+                   backend: Optional[str] = None) -> "FrozenTCIndex":
+        """Compile ``index`` into flat buffers (prefer ``index.freeze()``).
+
+        End-points move from number space to rank space here: each stored
+        interval ``[lo, hi]`` becomes the range of ranks of the live
+        numbers it contains (dropped when it contains none — gap-only
+        intervals cover no node), and per-row ranges are coalesced.
+        """
+        used = index.used_numbers
+        nodes = [index.node_of_number[number] for number in used]
+        offsets: List[int] = [0]
+        lows: List[int] = []
+        highs: List[int] = []
+        for node in nodes:
+            row_top = -1  # hi of the last emitted run for this row
+            for lo, hi in index.intervals[node]:
+                first = bisect_left(used, lo)
+                last = bisect_right(used, hi) - 1
+                if first > last:
+                    continue  # interval spans only numbering gaps
+                if lows and len(lows) > offsets[-1] and first <= row_top + 1:
+                    row_top = max(row_top, last)
+                    highs[-1] = row_top
+                else:
+                    lows.append(first)
+                    highs.append(last)
+                    row_top = last
+            offsets.append(len(lows))
+        return cls(nodes=nodes, numbers=list(used), offsets=offsets,
+                   lows=lows, highs=highs, backend=backend,
+                   source=index, source_version=index.version)
+
+    @classmethod
+    def from_buffers(cls, *, nodes: Sequence[Node], numbers: Sequence,
+                     offsets: Sequence[int], lows: Sequence[int],
+                     highs: Sequence[int],
+                     backend: Optional[str] = None) -> "FrozenTCIndex":
+        """Rehydrate from persisted buffers — no source index, never stale."""
+        return cls(nodes=nodes, numbers=numbers, offsets=offsets, lows=lows,
+                   highs=highs, backend=backend)
+
+    def _materialize_numpy(self, offsets, lows, highs) -> None:
+        np = _np
+        n = len(self._nodes)
+        # Rank-space keys fit int32 for every graph below ~46k nodes; the
+        # keyed array is what searchsorted walks, so the narrower the better.
+        dtype = np.int32 if n * n <= np.iinfo(np.int32).max else np.int64
+        self._dtype = dtype
+        self._off = np.asarray(offsets, dtype=np.int64)
+        self._lo = np.asarray(lows, dtype=dtype)
+        self._hi = np.asarray(highs, dtype=dtype)
+        row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._off))
+        self._lo_keyed = (row_of * n + self._lo).astype(dtype)
+        order = np.argsort(self._lo, kind="stable")
+        self._rev_lo = self._lo[order]
+        self._rev_hi = self._hi[order]
+        self._rev_owner = row_of[order].astype(dtype)
+        self._rev_maxhi = (np.maximum.accumulate(self._rev_hi)
+                           if len(order) else self._rev_hi)
+        self._lut = self._build_lut()
+
+    def _materialize_array(self, offsets, lows, highs) -> None:
+        self._off = array("q", offsets)
+        self._lo = array("q", lows)
+        self._hi = array("q", highs)
+        order = sorted(range(len(self._lo)), key=self._lo.__getitem__)
+        row_of = array("q")
+        for rank in range(len(self._nodes)):
+            row_of.extend([rank] * (self._off[rank + 1] - self._off[rank]))
+        self._rev_lo = array("q", (self._lo[j] for j in order))
+        self._rev_hi = array("q", (self._hi[j] for j in order))
+        self._rev_owner = array("q", (row_of[j] for j in order))
+        maxhi = array("q")
+        top = -1
+        for value in self._rev_hi:
+            top = value if value > top else top
+            maxhi.append(top)
+        self._rev_maxhi = maxhi
+        self._lut = None
+
+    def _build_lut(self):
+        """A label -> id lookup table when labels are small non-negative ints.
+
+        Integer labels are the common case for generated and condensed
+        graphs; the table lets batch translation run as one vectorised
+        gather instead of a Python dict lookup per element.
+        """
+        np = _np
+        n = len(self._nodes)
+        if n == 0:
+            return None
+        top = 0
+        for node in self._nodes:
+            if type(node) is not int or node < 0:
+                return None
+            if node > top:
+                top = node
+        if top > max(65536, 4 * n):  # sparse labels: table not worth the RAM
+            return None
+        table = np.full(top + 1, -1, dtype=np.int64)
+        for node, rank in self._id_of.items():
+            table[node] = rank
+        return table
+
+    # ------------------------------------------------------------------
+    # snapshot bookkeeping
+    # ------------------------------------------------------------------
+    def is_stale(self) -> bool:
+        """Whether the source index changed since this view was frozen."""
+        return (self._source is not None
+                and self._source_version != self._source.version)
+
+    def _check_fresh(self) -> None:
+        if self.is_stale():
+            raise IndexStateError(
+                "frozen view is stale: the source index was updated after "
+                "freeze(); call freeze() again for a fresh view")
+
+    @property
+    def backend(self) -> str:
+        """``"numpy"`` or ``"array"``."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def _id(self, node: Node) -> int:
+        try:
+            return self._id_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._id_of
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """All indexed nodes, in ascending postorder-number order."""
+        return iter(self._nodes)
+
+    # ------------------------------------------------------------------
+    # point queries
+    # ------------------------------------------------------------------
+    def _covers(self, sid: int, rank: int) -> bool:
+        start = int(self._off[sid])
+        stop = int(self._off[sid + 1])
+        position = bisect_right(self._lo, rank, start, stop)
+        return position > start and self._hi[position - 1] >= rank
+
+    def reachable(self, source: Node, destination: Node) -> bool:
+        """Whether ``source`` reaches ``destination`` (reflexive).
+
+        Two array reads (the CSR row bounds) plus one ``bisect`` on the
+        flat ``lo`` buffer.
+        """
+        self._check_fresh()
+        sid = self._id(source)
+        return self._covers(sid, self._id(destination))
+
+    def successors(self, source: Node, *, reflexive: bool = True) -> Set[Node]:
+        """All nodes reachable from ``source`` — a walk over rank slices."""
+        self._check_fresh()
+        sid = self._id(source)
+        result: Set[Node] = set()
+        nodes = self._nodes
+        for position in range(int(self._off[sid]), int(self._off[sid + 1])):
+            result.update(nodes[int(self._lo[position]):
+                                int(self._hi[position]) + 1])
+        if not reflexive:
+            result.discard(source)
+        return result
+
+    def iter_successors(self, source: Node, *,
+                        reflexive: bool = True) -> Iterator[Node]:
+        """Lazily yield successors in postorder-number order (rows are
+        disjoint sorted runs, so the walk is duplicate-free by layout)."""
+        self._check_fresh()
+        sid = self._id(source)
+        nodes = self._nodes
+        for position in range(int(self._off[sid]), int(self._off[sid + 1])):
+            for rank in range(int(self._lo[position]),
+                              int(self._hi[position]) + 1):
+                node = nodes[rank]
+                if not reflexive and node == source:
+                    continue
+                yield node
+
+    def count_successors(self, source: Node, *, reflexive: bool = True) -> int:
+        """Successor count straight off the run widths — no set built."""
+        self._check_fresh()
+        sid = self._id(source)
+        start, stop = int(self._off[sid]), int(self._off[sid + 1])
+        total = sum(int(self._hi[position]) - int(self._lo[position]) + 1
+                    for position in range(start, stop))
+        return total if reflexive else total - 1
+
+    def predecessors(self, destination: Node, *,
+                     reflexive: bool = True) -> Set[Node]:
+        """Every node that reaches ``destination``, via the reverse index.
+
+        A stabbing query at the destination's rank: binary search bounds
+        the candidate window (intervals with ``lo <= q`` and prefix-max
+        ``hi >= q``), then only that window is scanned — no full-index
+        sweep like the mutable engine's O(n log k) fallback.
+        """
+        self._check_fresh()
+        rank = self._id(destination)
+        result = {self._nodes[owner] for owner in self._stab(rank)}
+        if not reflexive:
+            result.discard(destination)
+        return result
+
+    def _stab(self, rank: int):
+        """Owner ids of every interval containing ``rank``."""
+        if self._backend == "numpy":
+            np = _np
+            stop = int(np.searchsorted(self._rev_lo, rank, side="right"))
+            start = int(np.searchsorted(self._rev_maxhi[:stop], rank,
+                                        side="left"))
+            window = self._rev_hi[start:stop]
+            return self._rev_owner[start:stop][window >= rank].tolist()
+        stop = bisect_right(self._rev_lo, rank)
+        start = bisect_left(self._rev_maxhi, rank, 0, stop)
+        return [self._rev_owner[position] for position in range(start, stop)
+                if self._rev_hi[position] >= rank]
+
+    # ------------------------------------------------------------------
+    # batch queries
+    # ------------------------------------------------------------------
+    def reachable_many(self, pairs: Iterable[Tuple[Node, Node]]) -> List[bool]:
+        """Vectorised :meth:`reachable` over ``(source, destination)`` pairs.
+
+        Under the numpy backend every pair becomes one key ``sid * n +
+        dest_rank`` and a single ``searchsorted`` over the row-keyed ``lo``
+        buffer answers the whole batch.
+        """
+        self._check_fresh()
+        pair_list = pairs if isinstance(pairs, list) else list(pairs)
+        if not pair_list:
+            return []
+        if self._backend == "numpy":
+            return self._reachable_many_numpy(pair_list)
+        covers = self._covers
+        intern = self._id
+        return [covers(intern(source), intern(destination))
+                for source, destination in pair_list]
+
+    def _reachable_many_numpy(self, pair_list: List[Tuple[Node, Node]]) -> List[bool]:
+        np = _np
+        if self._lo_keyed.size == 0:  # hand-built buffers with empty rows
+            return [self._covers(self._id(source), self._id(destination))
+                    for source, destination in pair_list]
+        count = len(pair_list)
+        ids = self._ids_table(pair_list, count)
+        if ids is None:
+            intern = self._id
+            ids = np.fromiter(
+                (intern(node) for node in chain.from_iterable(pair_list)),
+                dtype=np.int64, count=2 * count).reshape(count, 2)
+        source_ids = ids[:, 0]
+        dest_ranks = ids[:, 1]
+        keys = (source_ids.astype(np.int64) * len(self._nodes) + dest_ranks)
+        positions = np.searchsorted(self._lo_keyed, keys.astype(self._dtype),
+                                    side="right")
+        inside_row = positions > self._off[source_ids]
+        hits = inside_row & (self._hi[np.where(inside_row, positions - 1, 0)]
+                             >= dest_ranks)
+        return hits.tolist()
+
+    def _ids_table(self, pair_list, count: int):
+        """LUT translation of a pair batch, or ``None`` to use the dict path
+        (non-integer labels, out-of-table labels, or unknown nodes)."""
+        table = self._lut
+        if table is None:
+            return None
+        np = _np
+        try:
+            flat = np.fromiter(chain.from_iterable(pair_list),
+                               dtype=np.int64, count=2 * count)
+        except (TypeError, ValueError):
+            return None
+        if flat.size == 0 or flat.min() < 0 or flat.max() >= table.size:
+            return None
+        ids = table[flat]
+        if (ids < 0).any():
+            return None
+        return ids.reshape(count, 2)
+
+    def successors_many(self, sources: Iterable[Node], *,
+                        reflexive: bool = True) -> List[Set[Node]]:
+        """One successor set per source, in input order."""
+        return [self.successors(source, reflexive=reflexive)
+                for source in sources]
+
+    def predecessors_many(self, destinations: Iterable[Node], *,
+                          reflexive: bool = True) -> List[Set[Node]]:
+        """One predecessor set per destination, in input order."""
+        return [self.predecessors(destination, reflexive=reflexive)
+                for destination in destinations]
+
+    # ------------------------------------------------------------------
+    # set semijoins (the building blocks of recursive query evaluation)
+    # ------------------------------------------------------------------
+    def reachable_from_set(self, sources: Iterable[Node]) -> Set[Node]:
+        """Everything reachable from *any* source (reflexive) — the
+        forward semijoin, one union of rank slices."""
+        self._check_fresh()
+        result: Set[Node] = set()
+        nodes = self._nodes
+        for source in sources:
+            sid = self._id(source)
+            for position in range(int(self._off[sid]),
+                                  int(self._off[sid + 1])):
+                result.update(nodes[int(self._lo[position]):
+                                    int(self._hi[position]) + 1])
+        return result
+
+    def reaching_set(self, destinations: Iterable[Node]) -> Set[Node]:
+        """Everything that reaches *any* destination (reflexive) — one
+        reverse-index stab per distinct destination."""
+        self._check_fresh()
+        ranks = {self._id(destination) for destination in destinations}
+        result: Set[Node] = set()
+        for rank in ranks:
+            result.update(self._nodes[owner] for owner in self._stab(rank))
+        return result
+
+    def any_reachable(self, sources: Iterable[Node],
+                      destinations: Iterable[Node]) -> bool:
+        """Does any source reach any destination?  Early-exit semijoin:
+        destination ranks are sorted once, then each source row needs one
+        bisect per run."""
+        self._check_fresh()
+        targets = sorted({self._id(destination)
+                          for destination in destinations})
+        if not targets:
+            return False
+        for source in sources:
+            sid = self._id(source)
+            for position in range(int(self._off[sid]),
+                                  int(self._off[sid + 1])):
+                slot = bisect_left(targets, int(self._lo[position]))
+                if slot < len(targets) and targets[slot] <= self._hi[position]:
+                    return True
+        return False
+
+    def are_disjoint(self, first: Node, second: Node) -> bool:
+        """Whether the two nodes share no common descendant (reflexive).
+
+        Rank coverage *is* the successor set, so this is a two-pointer
+        walk over two sorted disjoint run lists — O(k1 + k2), no
+        successor sets materialised.  (Comparable nodes always overlap:
+        each node's row covers its own rank.)
+        """
+        self._check_fresh()
+        first_id = self._id(first)
+        second_id = self._id(second)
+        i, i_stop = int(self._off[first_id]), int(self._off[first_id + 1])
+        j, j_stop = int(self._off[second_id]), int(self._off[second_id + 1])
+        while i < i_stop and j < j_stop:
+            if self._hi[i] < self._lo[j]:
+                i += 1
+            elif self._hi[j] < self._lo[i]:
+                j += 1
+            else:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection and persistence
+    # ------------------------------------------------------------------
+    @property
+    def num_intervals(self) -> int:
+        """Stored rank runs (after per-row coalescing at freeze time)."""
+        return len(self._lo)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate buffer footprint (CSR + reverse index), in bytes."""
+        buffers = (self._off, self._lo, self._hi,
+                   self._rev_lo, self._rev_hi, self._rev_owner,
+                   self._rev_maxhi)
+        if self._backend == "numpy":
+            total = sum(buffer.nbytes for buffer in buffers)
+            total += self._lo_keyed.nbytes
+            if self._lut is not None:
+                total += self._lut.nbytes
+            return total
+        return sum(buffer.itemsize * len(buffer) for buffer in buffers)
+
+    def to_buffers(self) -> dict:
+        """Plain-list view of the persistent buffers (see
+        :func:`repro.core.serialize.save_frozen_index`).
+
+        The reverse index and keyed arrays are derived, not stored: a load
+        re-sorts ``lo`` once (O(m log m)) instead of shipping them.
+        """
+        return {
+            "nodes": list(self._nodes),
+            "numbers": list(self._numbers),
+            "offsets": [int(value) for value in self._off],
+            "lows": [int(value) for value in self._lo],
+            "highs": [int(value) for value in self._hi],
+        }
+
+    def stats(self) -> dict:
+        """A small size/shape report for CLI output and benchmarks."""
+        return {
+            "num_nodes": len(self._nodes),
+            "num_intervals": self.num_intervals,
+            "backend": self._backend,
+            "nbytes": self.nbytes,
+            "stale": self.is_stale(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FrozenTCIndex(nodes={len(self._nodes)}, "
+                f"intervals={self.num_intervals}, backend={self._backend!r}"
+                f"{', STALE' if self.is_stale() else ''})")

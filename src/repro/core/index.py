@@ -26,7 +26,8 @@ from __future__ import annotations
 import random
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Union)
 
 from repro.core import updates as _updates
 from repro.core.intervals import Interval, IntervalSet
@@ -35,6 +36,9 @@ from repro.core.tree_cover import TreeCover, build_tree_cover
 from repro.errors import IndexStateError, NodeNotFoundError
 from repro.graph.digraph import DiGraph, Node
 from repro.graph.traversal import reachable_from
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.frozen import FrozenTCIndex
 
 #: Default numbering stride: each node reserves ``DEFAULT_GAP - 1`` spare
 #: postorder numbers for future insertions below it (Section 4).
@@ -113,6 +117,10 @@ class IntervalTCIndex:
         self.node_of_number: Dict[int, Node] = labeling.node_of_number
         #: Sorted list L of postorder numbers currently in use (Section 4).
         self.used_numbers: List[int] = sorted(self.node_of_number)
+        #: Monotone update counter; frozen views compare against it to
+        #: detect staleness (see :meth:`freeze`).
+        self._version = 0
+        self._frozen_cache: Optional["FrozenTCIndex"] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -153,6 +161,52 @@ class IntervalTCIndex:
     def from_arcs(cls, arcs: Iterable[tuple], **kwargs) -> "IntervalTCIndex":
         """Build directly from an iterable of ``(source, destination)`` pairs."""
         return cls.build(DiGraph(arcs), **kwargs)
+
+    # ------------------------------------------------------------------
+    # the frozen query engine
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Update counter: bumped by every mutation, read by frozen views."""
+        return self._version
+
+    def _invalidate(self) -> None:
+        """Record a mutation: staling every frozen view taken so far."""
+        self._version += 1
+        self._frozen_cache = None
+
+    def freeze(self, *, backend: Optional[str] = None,
+               force: bool = False) -> "FrozenTCIndex":
+        """Compile this index into a :class:`~repro.core.frozen.FrozenTCIndex`.
+
+        The flat-array engine answers the same queries faster (and adds
+        batch forms) but is a read-only snapshot: any update through this
+        index stales it, after which its queries raise
+        :class:`~repro.errors.IndexStateError` — update, then call
+        :meth:`freeze` again.  The compiled view is cached while fresh, so
+        repeated calls between updates are free.  ``backend`` picks the
+        buffer implementation (``"numpy"`` or ``"array"``; default: numpy
+        when installed); ``force=True`` recompiles even when fresh.
+        """
+        from repro.core.frozen import FrozenTCIndex
+        cached = self._frozen_cache
+        if (not force and cached is not None and not cached.is_stale()
+                and (backend is None or cached.backend == backend)):
+            return cached
+        frozen = FrozenTCIndex.from_index(self, backend=backend)
+        self._frozen_cache = frozen
+        return frozen
+
+    def frozen_view(self) -> Optional["FrozenTCIndex"]:
+        """The cached frozen view if one exists and is fresh, else ``None``.
+
+        Query helpers use this to route through the fast engine without
+        triggering a compile behind the caller's back.
+        """
+        cached = self._frozen_cache
+        if cached is not None and not cached.is_stale():
+            return cached
+        return None
 
     # ------------------------------------------------------------------
     # queries

@@ -6,27 +6,67 @@ common ancestors, and other properties".  This module implements them on
 top of :class:`~repro.core.index.IntervalTCIndex`, and provides the
 irreflexive (strict) view of reachability for callers who do not want the
 paper's every-node-reaches-itself convention.
+
+Every helper also accepts a :class:`~repro.core.frozen.FrozenTCIndex`
+(except :func:`topological_level`, which needs the graph), and — given a
+mutable index that currently has a fresh frozen view (see
+:meth:`IntervalTCIndex.freeze`) — transparently routes through the flat
+array engine: predecessor-flavoured queries then use the reverse interval
+index instead of scanning every node, and :func:`path_exists_batch` runs
+vectorised.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from bisect import bisect_left
+from typing import Iterable, List, Sequence, Set, Union
 
+from repro.core.frozen import FrozenTCIndex
 from repro.core.index import IntervalTCIndex
+from repro.core.intervals import IntervalSet
 from repro.graph.digraph import Node
 
+#: Anything with the shared query surface (reachable/successors/predecessors).
+Engine = Union[IntervalTCIndex, FrozenTCIndex]
 
-def descendants(index: IntervalTCIndex, node: Node) -> Set[Node]:
+
+def _engine(index: Engine) -> Engine:
+    """The fastest engine available for ``index`` without compiling one.
+
+    A frozen index is used as-is; a mutable index is swapped for its
+    cached frozen view when that view exists and is fresh.  Freezing is
+    never triggered here — callers opt in with ``index.freeze()``.
+    """
+    if isinstance(index, FrozenTCIndex):
+        return index
+    view = index.frozen_view()
+    return index if view is None else view
+
+
+def _covers_any(interval_set: IntervalSet, targets: Sequence[int]) -> bool:
+    """Whether any of the sorted ``targets`` lies inside the set.
+
+    One bisect per stored interval with early exit — O(k log t) instead
+    of the naive O(t log k) of testing every target separately.
+    """
+    for lo, hi in interval_set:
+        position = bisect_left(targets, lo)
+        if position < len(targets) and targets[position] <= hi:
+            return True
+    return False
+
+
+def descendants(index: Engine, node: Node) -> Set[Node]:
     """Strict descendants of ``node`` (successors minus the node itself)."""
-    return index.successors(node, reflexive=False)
+    return _engine(index).successors(node, reflexive=False)
 
 
-def ancestors(index: IntervalTCIndex, node: Node) -> Set[Node]:
+def ancestors(index: Engine, node: Node) -> Set[Node]:
     """Strict ancestors of ``node`` (predecessors minus the node itself)."""
-    return index.predecessors(node, reflexive=False)
+    return _engine(index).predecessors(node, reflexive=False)
 
 
-def strictly_reachable(index: IntervalTCIndex, source: Node, destination: Node) -> bool:
+def strictly_reachable(index: Engine, source: Node, destination: Node) -> bool:
     """Reachability under irreflexive semantics: ``u -> u`` only via a real path.
 
     The stored relation is acyclic, so a node never strictly reaches itself.
@@ -36,62 +76,71 @@ def strictly_reachable(index: IntervalTCIndex, source: Node, destination: Node) 
     return index.reachable(source, destination)
 
 
-def common_ancestors(index: IntervalTCIndex, nodes: Iterable[Node]) -> Set[Node]:
+def common_ancestors(index: Engine, nodes: Iterable[Node]) -> Set[Node]:
     """Nodes that reach *every* node in ``nodes`` (reflexively)."""
     node_list = list(nodes)
     if not node_list:
         return set()
-    result = index.predecessors(node_list[0])
+    engine = _engine(index)
+    result = engine.predecessors(node_list[0])
     for node in node_list[1:]:
-        result &= index.predecessors(node)
+        result &= engine.predecessors(node)
     return result
 
 
-def common_descendants(index: IntervalTCIndex, nodes: Iterable[Node]) -> Set[Node]:
+def common_descendants(index: Engine, nodes: Iterable[Node]) -> Set[Node]:
     """Nodes reachable from *every* node in ``nodes`` (reflexively)."""
     node_list = list(nodes)
     if not node_list:
         return set()
-    result = index.successors(node_list[0])
+    engine = _engine(index)
+    result = engine.successors(node_list[0])
     for node in node_list[1:]:
-        result &= index.successors(node)
+        result &= engine.successors(node)
     return result
 
 
-def least_common_ancestors(index: IntervalTCIndex, nodes: Iterable[Node]) -> Set[Node]:
+def least_common_ancestors(index: Engine, nodes: Iterable[Node]) -> Set[Node]:
     """The minimal elements of the common-ancestor set.
 
     In a lattice-shaped hierarchy this is the greatest lower bound of the
     concepts *above* ``nodes``; in a general DAG there may be several
     incomparable least common ancestors, all of which are returned.
     """
-    candidates = common_ancestors(index, nodes)
+    engine = _engine(index)
+    candidates = common_ancestors(engine, nodes)
     return {candidate for candidate in candidates
-            if not any(candidate is not other and index.reachable(candidate, other)
+            if not any(candidate is not other and engine.reachable(candidate, other)
                        for other in candidates)}
 
 
-def greatest_common_descendants(index: IntervalTCIndex, nodes: Iterable[Node]) -> Set[Node]:
+def greatest_common_descendants(index: Engine, nodes: Iterable[Node]) -> Set[Node]:
     """The maximal elements of the common-descendant set (dual of LCA)."""
-    candidates = common_descendants(index, nodes)
+    engine = _engine(index)
+    candidates = common_descendants(engine, nodes)
     return {candidate for candidate in candidates
-            if not any(candidate is not other and index.reachable(other, candidate)
+            if not any(candidate is not other and engine.reachable(other, candidate)
                        for other in candidates)}
 
 
-def are_disjoint(index: IntervalTCIndex, first: Node, second: Node) -> bool:
+def are_disjoint(index: Engine, first: Node, second: Node) -> bool:
     """Whether two hierarchy nodes share no common descendant.
 
     In an IS-A hierarchy read downward (concept -> subconcept), two
     concepts with no common descendant cannot classify a shared instance —
-    the "disjointness" computation of Section 6.
+    the "disjointness" computation of Section 6.  Under the frozen engine
+    this is a two-pointer walk over the two rank-run lists; no successor
+    set is materialised.
     """
-    if index.reachable(first, second) or index.reachable(second, first):
+    engine = _engine(index)
+    if isinstance(engine, FrozenTCIndex):
+        return engine.are_disjoint(first, second)
+    if engine.reachable(first, second) or engine.reachable(second, first):
         return False
-    return not common_descendants(index, [first, second])
+    return not common_descendants(engine, [first, second])
 
 
-def are_comparable(index: IntervalTCIndex, first: Node, second: Node) -> bool:
+def are_comparable(index: Engine, first: Node, second: Node) -> bool:
     """Whether one of the two nodes reaches the other."""
     return index.reachable(first, second) or index.reachable(second, first)
 
@@ -100,7 +149,8 @@ def topological_level(index: IntervalTCIndex, node: Node) -> int:
     """Length of the longest path from any root down to ``node``.
 
     Computed by memoised pointer chasing over the ancestor cone (cheap,
-    bounded by the cone size); used by reports and examples.
+    bounded by the cone size); used by reports and examples.  Needs the
+    mutable index — a frozen view carries no graph.
     """
     graph = index.graph
     memo = {}
@@ -121,47 +171,76 @@ def topological_level(index: IntervalTCIndex, node: Node) -> int:
     return memo[node]
 
 
-def path_exists_batch(index: IntervalTCIndex,
+def path_exists_batch(index: Engine,
                       pairs: Iterable[tuple]) -> List[bool]:
-    """Vector form of :meth:`IntervalTCIndex.reachable` for benchmark loops."""
-    return [index.reachable(source, destination) for source, destination in pairs]
+    """Vector form of :meth:`IntervalTCIndex.reachable` for benchmark loops.
+
+    Delegates to :meth:`FrozenTCIndex.reachable_many` (one vectorised
+    lookup under numpy) whenever a frozen view is available; the
+    list-of-bools contract is identical either way.
+    """
+    engine = _engine(index)
+    if isinstance(engine, FrozenTCIndex):
+        return engine.reachable_many(pairs)
+    return [engine.reachable(source, destination)
+            for source, destination in pairs]
 
 
-def reachable_from_set(index: IntervalTCIndex,
+def reachable_from_set(index: Engine,
                        sources: Iterable[Node]) -> Set[Node]:
     """Everything reachable from *any* of ``sources`` (reflexive).
 
     The semijoin building block of recursive query evaluation: one
     interval-set union instead of per-source traversals.
     """
+    engine = _engine(index)
+    if isinstance(engine, FrozenTCIndex):
+        return engine.reachable_from_set(sources)
     result: Set[Node] = set()
     for source in sources:
-        result |= index.successors(source)
+        result |= engine.successors(source)
     return result
 
 
-def reaching_set(index: IntervalTCIndex,
+def reaching_set(index: Engine,
                  destinations: Iterable[Node]) -> Set[Node]:
     """Everything that reaches *any* of ``destinations`` (reflexive).
 
-    One pass over the nodes, testing each interval set against all target
-    numbers — O(n * |destinations| * log k) worst case, versus
-    |destinations| full predecessor scans done naively.
+    Frozen engine: one reverse-index stab per distinct destination —
+    O(log m + answers) each.  Mutable engine: the target numbers are
+    sorted once, then each node pays one early-exit bisect pass over its
+    own intervals — O(n k log t) worst case, versus the naive
+    O(n t log k) of testing every target against every node.
     """
-    numbers = [index.postorder[destination] for destination in destinations]
+    engine = _engine(index)
+    if isinstance(engine, FrozenTCIndex):
+        return engine.reaching_set(destinations)
+    targets = sorted({engine.postorder[destination]
+                      for destination in destinations})
+    if not targets:
+        return set()
     result: Set[Node] = set()
-    for node, interval_set in index.intervals.items():
-        if any(interval_set.covers(number) for number in numbers):
+    for node, interval_set in engine.intervals.items():
+        if _covers_any(interval_set, targets):
             result.add(node)
     return result
 
 
-def any_reachable(index: IntervalTCIndex, sources: Iterable[Node],
+def any_reachable(index: Engine, sources: Iterable[Node],
                   destinations: Iterable[Node]) -> bool:
-    """Does any source reach any destination?  Early-exit set semijoin."""
-    targets = [index.postorder[destination] for destination in destinations]
+    """Does any source reach any destination?  Early-exit set semijoin.
+
+    Target numbers are sorted once; each source then needs one bisect per
+    stored interval, stopping at the first hit.
+    """
+    engine = _engine(index)
+    if isinstance(engine, FrozenTCIndex):
+        return engine.any_reachable(sources, destinations)
+    targets = sorted({engine.postorder[destination]
+                      for destination in destinations})
+    if not targets:
+        return False
     for source in sources:
-        interval_set = index.intervals[source]
-        if any(interval_set.covers(number) for number in targets):
+        if _covers_any(engine.intervals[source], targets):
             return True
     return False

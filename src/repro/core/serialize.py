@@ -1,11 +1,18 @@
-"""JSON (de)serialisation of a built index.
+"""JSON (de)serialisation of built indexes — mutable and frozen.
 
 A compressed closure is a one-time computation "repeatedly used to
 efficiently answer queries" (Section 3.2), so persisting it matters.  The
-document stores the graph, the tree cover (as a parent map), the postorder
-numbers and every interval set; loading reconstructs an identical
-:class:`~repro.core.index.IntervalTCIndex` without re-running Alg1 or the
-propagation pass.
+mutable-index document stores the graph, the tree cover (as a parent
+map), the postorder numbers and every interval set; loading reconstructs
+an identical :class:`~repro.core.index.IntervalTCIndex` without
+re-running Alg1 or the propagation pass.
+
+A :class:`~repro.core.frozen.FrozenTCIndex` persists as its raw flat
+buffers (:func:`save_frozen_index` / :func:`load_frozen_index`): loading
+rehydrates the arrays directly — no graph, tree cover, or interval-set
+reconstruction — and only re-derives the reverse interval index with one
+O(m log m) sort.  Frozen documents are self-contained; a view loaded this
+way has no source index and can never go stale.
 
 Node labels must be JSON-representable (strings or numbers); the virtual
 root is encoded as ``None`` in the parent map.
@@ -16,8 +23,9 @@ from __future__ import annotations
 import json
 from fractions import Fraction
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
+from repro.core.frozen import FrozenTCIndex
 from repro.core.index import IntervalTCIndex
 from repro.core.intervals import Interval, IntervalSet
 from repro.core.labeling import Labeling
@@ -28,6 +36,9 @@ from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.graph.traversal import topological_order
 
 FORMAT_VERSION = 1
+FROZEN_FORMAT_VERSION = 1
+#: Document discriminator for frozen-buffer files.
+FROZEN_KIND = "frozen-tc-index"
 
 
 def _encode_number(number) -> object:
@@ -72,6 +83,9 @@ def index_from_dict(document: dict) -> IntervalTCIndex:
     JSON converts non-string dict keys, so all per-node tables are stored
     as pair lists; labels round-trip as long as they are strings/numbers.
     """
+    if document.get("kind") == FROZEN_KIND:
+        raise ReproError(
+            "document holds frozen buffers; load it with load_frozen_index")
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise ReproError(f"unsupported index document version {version!r}")
@@ -114,3 +128,64 @@ def save_index(index: IntervalTCIndex, path: Union[str, Path]) -> None:
 def load_index(path: Union[str, Path]) -> IntervalTCIndex:
     """Read an index previously written by :func:`save_index`."""
     return index_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# frozen buffers
+# ----------------------------------------------------------------------
+def frozen_to_dict(frozen: FrozenTCIndex) -> dict:
+    """A JSON-safe document holding the frozen engine's flat buffers."""
+    buffers = frozen.to_buffers()
+    return {
+        "format_version": FROZEN_FORMAT_VERSION,
+        "kind": FROZEN_KIND,
+        "nodes": buffers["nodes"],
+        "numbers": [_encode_number(number) for number in buffers["numbers"]],
+        "offsets": buffers["offsets"],
+        "lows": buffers["lows"],
+        "highs": buffers["highs"],
+    }
+
+
+def frozen_from_dict(document: dict, *,
+                     backend: Optional[str] = None) -> FrozenTCIndex:
+    """Rehydrate a frozen engine from :func:`frozen_to_dict` output.
+
+    The CSR buffers are adopted as-is (no closure or tree-cover rebuild);
+    only the derived reverse interval index is re-sorted.  ``backend``
+    picks the buffer implementation, defaulting to numpy when installed.
+    """
+    if document.get("kind") != FROZEN_KIND:
+        raise ReproError(
+            "document does not hold frozen buffers; use load_index")
+    version = document.get("format_version")
+    if version != FROZEN_FORMAT_VERSION:
+        raise ReproError(f"unsupported frozen document version {version!r}")
+    return FrozenTCIndex.from_buffers(
+        nodes=document["nodes"],
+        numbers=[_decode_number(number) for number in document["numbers"]],
+        offsets=document["offsets"],
+        lows=document["lows"],
+        highs=document["highs"],
+        backend=backend,
+    )
+
+
+def save_frozen_index(frozen: FrozenTCIndex, path: Union[str, Path]) -> None:
+    """Write a frozen engine's buffers to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(frozen_to_dict(frozen)))
+
+
+def load_frozen_index(path: Union[str, Path], *,
+                      backend: Optional[str] = None) -> FrozenTCIndex:
+    """Read buffers previously written by :func:`save_frozen_index`."""
+    return frozen_from_dict(json.loads(Path(path).read_text()),
+                            backend=backend)
+
+
+def load_any(path: Union[str, Path]) -> Union[IntervalTCIndex, FrozenTCIndex]:
+    """Load whichever index kind ``path`` holds (used by the CLI)."""
+    document = json.loads(Path(path).read_text())
+    if document.get("kind") == FROZEN_KIND:
+        return frozen_from_dict(document)
+    return index_from_dict(document)

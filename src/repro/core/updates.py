@@ -178,6 +178,7 @@ def add_node(index: "IntervalTCIndex", node: Node, parents: Sequence[Node] = ())
             renumber(index, gap=max(index.gap, 2))
         number, interval = claim_slot(index, tree_parent)
 
+    index._invalidate()
     index.graph.add_node(node)
     if tree_parent is not VIRTUAL_ROOT:
         index.graph.add_arc(tree_parent, node)
@@ -223,6 +224,7 @@ def add_non_tree_arc(index: "IntervalTCIndex", source: Node, destination: Node) 
             f"arc ({source!r}, {destination!r}) would create a cycle: "
             f"{destination!r} already reaches {source!r}"
         )
+    index._invalidate()
     index.graph.add_arc(source, destination)
 
     queue = deque([(source, list(index.intervals[destination]))])
@@ -251,6 +253,7 @@ def delete_non_tree_arc(index: "IntervalTCIndex", source: Node, destination: Nod
         raise IndexStateError(
             f"({source!r}, {destination!r}) is a tree arc; use delete_tree_arc"
         )
+    index._invalidate()
     index.graph.remove_arc(source, destination)
     if recompute:
         recompute_non_tree_intervals(index)
@@ -269,6 +272,7 @@ def delete_tree_arc(index: "IntervalTCIndex", source: Node, destination: Node,
     """
     if not index.cover.is_tree_arc(source, destination):
         raise ArcNotFoundError(source, destination)
+    index._invalidate()
     index.graph.remove_arc(source, destination)
     detach_subtree(index, destination)
     if recompute:
@@ -332,6 +336,7 @@ def remove_node(index: "IntervalTCIndex", node: Node, *,
     """
     if node not in index.postorder:
         raise NodeNotFoundError(node)
+    index._invalidate()
     for child in list(index.cover.tree_children(node)):
         index.graph.remove_arc(node, child)
         detach_subtree(index, child)
@@ -380,6 +385,7 @@ def make_room(index: "IntervalTCIndex", parent: Node) -> None:
     """
     if parent is VIRTUAL_ROOT:
         return  # the virtual root always has room above the maximum
+    index._invalidate()
     parent_number = index.postorder[parent]
     numbers = index.used_numbers
     position = numbers.index(parent_number)
@@ -427,6 +433,7 @@ def recompute_non_tree_intervals(index: "IntervalTCIndex") -> None:
     non-tree deletion procedure).  Re-applies interval merging when the
     index was built with ``merge=True``.
     """
+    index._invalidate()
     order = topological_order(index.graph)
     intervals: Dict[Node, IntervalSet] = index.intervals
     for node in reversed(order):
@@ -450,6 +457,7 @@ def renumber(index: "IntervalTCIndex", gap: Optional[int] = None) -> None:
         if gap < 1:
             raise GraphError(f"gap must be >= 1, got {gap}")
         index.gap = gap
+    index._invalidate()
     stride = index.gap
 
     counter = 0

@@ -72,6 +72,61 @@ class TestListing:
         assert capsys.readouterr().out.split() == ["a", "b", "c"]
 
 
+class TestFrozenEngine:
+    def test_query_engine_frozen(self, edges_file, capsys):
+        assert main(["query", edges_file, "a", "d", "--engine", "frozen"]) == 0
+        assert "reachable" in capsys.readouterr().out
+
+    def test_successors_engine_frozen(self, edges_file, capsys):
+        assert main(["successors", edges_file, "a", "--engine", "frozen"]) == 0
+        assert capsys.readouterr().out.split() == ["b", "c", "d"]
+
+    def test_predecessors_engine_frozen(self, edges_file, capsys):
+        assert main(["predecessors", edges_file, "d",
+                     "--engine", "frozen"]) == 0
+        assert capsys.readouterr().out.split() == ["a", "b", "c"]
+
+    def test_freeze_writes_buffers(self, edges_file, tmp_path, capsys):
+        target = str(tmp_path / "frozen.json")
+        assert main(["freeze", edges_file, "-o", target]) == 0
+        out = capsys.readouterr().out
+        assert "frozen index" in out and "frozen buffers written" in out
+        assert main(["query", target, "a", "d"]) == 0
+        capsys.readouterr()
+        assert main(["predecessors", target, "d"]) == 0
+        assert capsys.readouterr().out.split() == ["a", "b", "c"]
+
+    def test_freeze_array_backend(self, edges_file, tmp_path, capsys):
+        target = str(tmp_path / "frozen.json")
+        assert main(["freeze", edges_file, "-o", target,
+                     "--backend", "array"]) == 0
+        assert "array" in capsys.readouterr().out
+
+    def test_freeze_saved_index(self, edges_file, tmp_path, capsys):
+        closure = str(tmp_path / "closure.json")
+        frozen = str(tmp_path / "frozen.json")
+        main(["build", edges_file, "-o", closure])
+        capsys.readouterr()
+        assert main(["freeze", closure, "-o", frozen]) == 0
+        capsys.readouterr()
+        assert main(["query", frozen, "d", "a"]) == 1
+
+    def test_frozen_file_rejects_dict_engine(self, edges_file, tmp_path,
+                                             capsys):
+        target = str(tmp_path / "frozen.json")
+        main(["freeze", edges_file, "-o", target])
+        capsys.readouterr()
+        assert main(["query", target, "a", "d", "--engine", "dict"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_frozen_unknown_node_is_error(self, edges_file, tmp_path, capsys):
+        target = str(tmp_path / "frozen.json")
+        main(["freeze", edges_file, "-o", target])
+        capsys.readouterr()
+        assert main(["query", target, "a", "ghost"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestStats:
     def test_stats(self, edges_file, capsys):
         assert main(["stats", edges_file]) == 0
