@@ -1,16 +1,24 @@
 """A named registry of the synthetic workloads used across experiments.
 
-Benchmarks, tests, and the CLI all need "give me graph family X at size n,
-degree d".  Registering the families by name keeps those call sites
-consistent and lets new experiments sweep *across* families (the
-per-family compression profile is itself informative: deep/narrow graphs
-sit near the tree bound, wide/shallow ones drift toward Figure 3.6).
+Benchmarks, tests, the CLI, and the fuzz harness all need "give me graph
+family X at size n, degree d".  Registering the families by name keeps
+those call sites consistent and lets new experiments sweep *across*
+families (the per-family compression profile is itself informative:
+deep/narrow graphs sit near the tree bound, wide/shallow ones drift
+toward Figure 3.6).
+
+Every factory is deterministic given its ``seed`` argument, which may be
+an ``int`` *or* an explicit :class:`random.Random` instance — the fuzz
+harness threads one shared generator through seed-graph construction so
+whole traces replay from a single integer.  No module-global randomness
+is consulted anywhere.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Union
 
 from repro.errors import ReproError
 from repro.graph.digraph import DiGraph
@@ -24,6 +32,9 @@ from repro.graph.generators import (
     random_tree,
 )
 
+#: Seeds accepted everywhere: a generator, an int, or None (fresh entropy).
+RandomLike = Union[random.Random, int, None]
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -31,33 +42,34 @@ class Workload:
 
     name: str
     description: str
-    make: Callable[[int, float, int], DiGraph]
+    make: Callable[[int, float, RandomLike], DiGraph]
 
 
-def _uniform(num_nodes: int, degree: float, seed: int) -> DiGraph:
+def _uniform(num_nodes: int, degree: float, seed: RandomLike) -> DiGraph:
     return random_dag(num_nodes, degree, seed)
 
 
-def _uniform_connected(num_nodes: int, degree: float, seed: int) -> DiGraph:
+def _uniform_connected(num_nodes: int, degree: float,
+                       seed: RandomLike) -> DiGraph:
     return random_dag(num_nodes, degree, seed, connect=True)
 
 
-def _local(num_nodes: int, degree: float, seed: int) -> DiGraph:
+def _local(num_nodes: int, degree: float, seed: RandomLike) -> DiGraph:
     return random_dag_local(num_nodes, degree, seed, window=20)
 
 
-def _tree(num_nodes: int, degree: float, seed: int) -> DiGraph:
+def _tree(num_nodes: int, degree: float, seed: RandomLike) -> DiGraph:
     max_children = max(2, round(degree)) if degree else None
     return random_tree(num_nodes, seed, max_children=max_children)
 
 
-def _hierarchy(num_nodes: int, degree: float, seed: int) -> DiGraph:
+def _hierarchy(num_nodes: int, degree: float, seed: RandomLike) -> DiGraph:
     probability = min(0.9, max(0.0, degree - 1.0))
     return random_hierarchy(num_nodes, seed,
                             multi_parent_probability=probability)
 
 
-def _layered(num_nodes: int, degree: float, seed: int) -> DiGraph:
+def _layered(num_nodes: int, degree: float, seed: RandomLike) -> DiGraph:
     tiers = max(2, num_nodes // 25)
     per_tier = max(1, num_nodes // tiers)
     sizes = [per_tier] * tiers
@@ -65,12 +77,12 @@ def _layered(num_nodes: int, degree: float, seed: int) -> DiGraph:
     return layered_dag(sizes, degree, seed)
 
 
-def _bipartite(num_nodes: int, degree: float, seed: int) -> DiGraph:
+def _bipartite(num_nodes: int, degree: float, seed: RandomLike) -> DiGraph:
     half = max(1, num_nodes // 2)
     return bipartite_worst_case(half, num_nodes - half)
 
 
-def _grid(num_nodes: int, degree: float, seed: int) -> DiGraph:
+def _grid(num_nodes: int, degree: float, seed: RandomLike) -> DiGraph:
     side = max(1, round(num_nodes ** 0.5))
     return grid_dag(side, side)
 
@@ -99,8 +111,13 @@ WORKLOADS: Dict[str, Workload] = {
 
 
 def make_workload(name: str, num_nodes: int, degree: float = 2.0,
-                  seed: int = 1989) -> DiGraph:
-    """Instantiate a registered workload by name."""
+                  seed: RandomLike = 1989) -> DiGraph:
+    """Instantiate a registered workload by name.
+
+    ``seed`` may be an integer (the historical interface) or a live
+    :class:`random.Random`, in which case the family draws from it
+    directly and the caller's stream advances deterministically.
+    """
     try:
         workload = WORKLOADS[name]
     except KeyError:

@@ -202,6 +202,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.testing.crash import save_crash
+    from repro.testing.fuzzer import TraceFailure, fuzz
+    from repro.testing.shrink import shrink_trace
+
+    engines = tuple(name.strip() for name in args.engines.split(",")
+                    if name.strip())
+    started = time.perf_counter()
+    try:
+        _, report = fuzz(
+            num_ops=args.ops, seed=args.seed, num_nodes=args.nodes,
+            degree=args.degree, gap=args.gap, numbering=args.numbering,
+            workload=args.workload, engines=engines,
+            audit_every=args.audit_every, check_every=args.check_every,
+            fault=args.inject_fault)
+    except TraceFailure as failure:
+        elapsed = time.perf_counter() - started
+        print(f"FAIL after {elapsed:.2f}s: {failure}", file=sys.stderr)
+        if args.no_shrink:
+            shrunk = None
+        else:
+            print("shrinking ...", file=sys.stderr)
+            shrunk = shrink_trace(failure, engines=engines,
+                                  audit_every=args.audit_every,
+                                  check_every=args.check_every)
+            failure = shrunk.failure
+            print(f"shrunk to {shrunk.ops_after} ops / "
+                  f"{shrunk.arcs_after} seed arcs "
+                  f"({shrunk.replays} replays): {failure}", file=sys.stderr)
+        path = save_crash(failure, args.crash_dir, engines=engines,
+                          audit_every=args.audit_every,
+                          check_every=args.check_every, shrink=shrunk)
+        print(f"crash file written to {path}", file=sys.stderr)
+        print("replay with: repro-tc fuzz-replay " + path, file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    row = report.as_dict()
+    row["elapsed_s"] = round(elapsed, 2)
+    print(format_table([row], title=f"fuzz ops={args.ops} seed={args.seed} "
+                                    f"workload={args.workload}"))
+    print("zero invariant violations, zero differential mismatches")
+    return 0
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.testing.crash import replay_crash
+
+    failure, report = replay_crash(args.crash)
+    if failure is not None:
+        print(f"still fails: {failure}", file=sys.stderr)
+        return 1
+    print(format_table([report.as_dict()],
+                       title=f"replay of {args.crash}: passes"))
+    return 0
+
+
 BENCH_CHOICES = ("fig3.9", "fig3.10", "fig3.11", "fig3.12", "merging",
                  "worst-case", "chains", "ablation", "updates", "queries",
                  "io", "workloads")
@@ -294,6 +352,49 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--sample", type=int, default=20000)
     bench.add_argument("--seed", type=int, default=1989)
     bench.set_defaults(handler=_cmd_bench)
+
+    fuzz_cmd = commands.add_parser(
+        "fuzz",
+        help="differential-fuzz the update algorithms against every engine")
+    fuzz_cmd.add_argument("--ops", type=int, default=500,
+                          help="number of operations to generate")
+    fuzz_cmd.add_argument("--seed", type=int, default=None,
+                          help="RNG seed; traces replay from this alone")
+    fuzz_cmd.add_argument("--nodes", type=int, default=24,
+                          help="seed-graph size")
+    fuzz_cmd.add_argument("--degree", type=float, default=1.8,
+                          help="seed-graph average out-degree")
+    fuzz_cmd.add_argument("--gap", type=int, default=8,
+                          help="numbering stride of the index under test")
+    fuzz_cmd.add_argument("--numbering", choices=("integer", "fractional"),
+                          default="integer")
+    fuzz_cmd.add_argument("--workload", default="uniform",
+                          help="seed-graph family (see `repro-tc bench "
+                               "workloads`)")
+    fuzz_cmd.add_argument("--engines",
+                          default="frozen,rebuild,rebuild-merged,baselines",
+                          help="comma-separated differential matrix "
+                               "(interval is always implied; also: all)")
+    fuzz_cmd.add_argument("--audit-every", type=int, default=1,
+                          help="invariant-audit period in applied ops "
+                               "(0 disables)")
+    fuzz_cmd.add_argument("--check-every", type=int, default=50,
+                          help="full differential-check period (0: only at "
+                               "the end)")
+    fuzz_cmd.add_argument("--crash-dir", default="tests/crashes",
+                          help="where to write the crash file on failure")
+    fuzz_cmd.add_argument("--no-shrink", action="store_true",
+                          help="write the raw failing trace without "
+                               "minimisation")
+    fuzz_cmd.add_argument("--inject-fault", default=None,
+                          help="install a named bug from "
+                               "repro.testing.faults (harness self-test)")
+    fuzz_cmd.set_defaults(handler=_cmd_fuzz)
+
+    replay_cmd = commands.add_parser(
+        "fuzz-replay", help="replay a fuzz crash file")
+    replay_cmd.add_argument("crash", help="path to a crash .json")
+    replay_cmd.set_defaults(handler=_cmd_fuzz_replay)
 
     return parser
 

@@ -1,0 +1,75 @@
+"""Differential fuzzing and invariant auditing for the closure engines.
+
+The Section 4 update algorithms (gap claiming, subsumption-cut-off
+propagation, subtree re-hang, renumbering) are the most intricate code in
+the repository, and :class:`~repro.core.frozen.FrozenTCIndex` must stay
+bit-identical to the mutable index across arbitrary update -> refreeze
+cycles.  This package makes "prove that" a first-class, reusable
+subsystem instead of scattered per-module property tests:
+
+* :mod:`repro.testing.oracle` — an independent set-based transitive
+  closure (:class:`SetClosureOracle`) plus a registry of every exact
+  engine, so one call cross-checks them all against ground truth;
+* :mod:`repro.testing.invariants` — :func:`audit_index` checks the
+  paper-level structural properties (Lemma 1 tree intervals, postorder
+  monotonicity, subsumption-freeness, gap accounting, laminarity) after
+  every step;
+* :mod:`repro.testing.fuzzer` — seeded, replayable operation traces of
+  mixed mutations and freeze/query interleavings, executed under the
+  audits and differential checks;
+* :mod:`repro.testing.shrink` — delta-debugging minimisation of a
+  failing trace to a small repro;
+* :mod:`repro.testing.crash` — ``.json`` crash files that the pytest
+  harness auto-replays from ``tests/crashes/``;
+* :mod:`repro.testing.faults` — named, deliberately injected bugs used
+  to mutation-test the harness itself.
+
+Entry points: ``repro fuzz --ops N --seed S`` on the command line, or
+:func:`repro.testing.fuzzer.fuzz` from Python.
+"""
+
+from repro.testing.crash import (
+    load_crash,
+    replay_crash,
+    save_crash,
+)
+from repro.testing.faults import FAULTS, injected_fault
+from repro.testing.fuzzer import (
+    DEFAULT_ENGINES,
+    FuzzReport,
+    FuzzRunner,
+    Trace,
+    TraceFailure,
+    fuzz,
+)
+from repro.testing.invariants import InvariantViolation, audit_index
+from repro.testing.oracle import (
+    DifferentialMismatch,
+    ENGINE_FACTORIES,
+    SetClosureOracle,
+    build_engines,
+    compare_engine,
+)
+from repro.testing.shrink import shrink_trace
+
+__all__ = [
+    "DEFAULT_ENGINES",
+    "DifferentialMismatch",
+    "ENGINE_FACTORIES",
+    "FAULTS",
+    "FuzzReport",
+    "FuzzRunner",
+    "InvariantViolation",
+    "SetClosureOracle",
+    "Trace",
+    "TraceFailure",
+    "audit_index",
+    "build_engines",
+    "compare_engine",
+    "fuzz",
+    "injected_fault",
+    "load_crash",
+    "replay_crash",
+    "save_crash",
+    "shrink_trace",
+]

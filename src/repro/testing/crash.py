@@ -1,0 +1,125 @@
+"""Crash files: serialised minimal repros that pytest auto-replays.
+
+When a fuzz run fails, the shrunk trace is written as a small JSON file.
+``tests/testing/test_crash_replay.py`` globs ``tests/crashes/*.json``
+and replays each one, so every bug the fuzzer ever found becomes a
+permanent regression test with zero extra wiring.
+
+Replay semantics depend on whether the crash records an injected fault:
+
+* ``fault: null`` — a *real* bug was recorded.  Replay asserts the trace
+  now **passes**: the file documents the repro and guards the fix.
+* ``fault: "<name>"`` — a harness self-test artefact produced by
+  mutation testing.  Replay re-installs the named bug and asserts the
+  trace still **fails**, proving the catch/shrink/replay pipeline works
+  end to end.
+
+File layout::
+
+    {
+      "tool": "repro-fuzz",
+      "error": "...",            # message of the recorded failure
+      "step": 12, "op": [...],   # where it fired
+      "engines": [...],          # differential matrix to replay with
+      "audit_every": 1, "check_every": 50,
+      "shrink": {"replays": 93, "ops": [480, 6], "seed_arcs": [41, 2]},
+      "trace": { ... }           # repro.testing.fuzzer.Trace.to_dict()
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.testing.fuzzer import (
+    DEFAULT_ENGINES,
+    FuzzRunner,
+    FuzzReport,
+    Trace,
+    TraceFailure,
+)
+from repro.testing.shrink import ShrinkResult
+
+#: Where the pytest harness looks for crash files, relative to the repo root.
+DEFAULT_CRASH_DIR = os.path.join("tests", "crashes")
+
+
+def crash_payload(failure: TraceFailure, *,
+                  engines: Sequence[str] = DEFAULT_ENGINES,
+                  audit_every: int = 1, check_every: int = 50,
+                  shrink: Optional[ShrinkResult] = None) -> dict:
+    """The JSON-able crash-file dictionary for one failure."""
+    payload = {
+        "tool": "repro-fuzz",
+        "error": str(failure),
+        "cause": type(failure.cause).__name__,
+        "step": failure.step,
+        "op": list(failure.op) if failure.op is not None else None,
+        "engines": list(engines),
+        "audit_every": audit_every,
+        "check_every": check_every,
+        "trace": failure.trace.to_dict(),
+    }
+    if shrink is not None:
+        payload["shrink"] = {
+            "replays": shrink.replays,
+            "ops": [shrink.ops_before, shrink.ops_after],
+            "seed_arcs": [shrink.arcs_before, shrink.arcs_after],
+        }
+    return payload
+
+
+def save_crash(failure: TraceFailure, directory: str = DEFAULT_CRASH_DIR, *,
+               engines: Sequence[str] = DEFAULT_ENGINES,
+               audit_every: int = 1, check_every: int = 50,
+               shrink: Optional[ShrinkResult] = None) -> str:
+    """Write a crash file; the name is content-addressed for stability."""
+    payload = crash_payload(failure, engines=engines,
+                            audit_every=audit_every, check_every=check_every,
+                            shrink=shrink)
+    canonical = json.dumps(payload["trace"], sort_keys=True)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
+    cause = payload["cause"].lower()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"crash-{cause}-{digest}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_crash(path: str) -> dict:
+    """Read a crash file; ``result["trace"]`` is a :class:`Trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("tool") != "repro-fuzz":
+        raise ReproError(f"{path} is not a repro-fuzz crash file")
+    payload["trace"] = Trace.from_dict(payload["trace"])
+    return payload
+
+
+def replay_crash(path: str) -> Tuple[Optional[TraceFailure],
+                                     Optional[FuzzReport]]:
+    """Replay a crash file with its recorded settings and fault.
+
+    Returns ``(failure, None)`` when the trace still fails, or
+    ``(None, report)`` when it now passes.
+    """
+    from repro.testing.faults import injected_fault
+    payload = load_crash(path)
+    trace: Trace = payload["trace"]
+    runner = FuzzRunner(
+        trace,
+        engines=payload.get("engines", DEFAULT_ENGINES),
+        audit_every=payload.get("audit_every", 1),
+        check_every=payload.get("check_every", 50))
+    with injected_fault(trace.fault):
+        try:
+            report = runner.run()
+        except TraceFailure as failure:
+            return failure, None
+    return None, report

@@ -1,0 +1,155 @@
+"""Named, deliberately injected bugs for mutation-testing the harness.
+
+A fuzzing harness that never fires is worse than none.  Each fault here
+monkeypatches one update-path behaviour into a realistic bug — the kind
+a wrong refactor of :mod:`repro.core.updates` would introduce — so tests
+can assert the fuzzer *catches* it, the shrinker minimises it, and the
+crash file replays it.  Faults are context managers and always restore
+the patched attribute:
+
+* ``keep-subsumed`` — interval insertion stops discarding subsumed
+  intervals, breaking the Section 3.2 elimination rule (caught by the
+  subsumption audit);
+* ``cutoff-propagation`` — non-tree arc insertion updates the arc's
+  source but never walks the predecessor lists, losing reachability
+  upstream (caught by the differential check);
+* ``stale-freeze`` — mutations stop bumping the version counter, so
+  frozen views silently serve stale answers (caught by the staleness
+  audit);
+* ``leak-used-numbers`` — the free-range ledger hands out the parent's
+  first *used* slot as well, corrupting gap accounting (caught by the
+  gap audit).
+
+Crash files record the fault name that produced them, so replay can
+re-install the same bug and prove the trace still (or no longer) fails.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+@contextmanager
+def _patched(owner, attribute: str, replacement) -> Iterator[None]:
+    original = getattr(owner, attribute)
+    setattr(owner, attribute, replacement)
+    try:
+        yield
+    finally:
+        setattr(owner, attribute, original)
+
+
+@contextmanager
+def _keep_subsumed() -> Iterator[None]:
+    from repro.core.intervals import IntervalSet
+
+    original_add = IntervalSet.add
+
+    def buggy_add(self, interval):
+        lo, hi = interval
+        if lo > hi:
+            raise ReproError(f"invalid interval [{lo},{hi}]: lo > hi")
+        # Bug: append without subsumption elimination (then keep sorted by
+        # lo so membership queries still mostly work).
+        from bisect import bisect_left
+        position = bisect_left(self._los, lo)
+        if position < len(self._los) and self._los[position] == lo \
+                and self._his[position] == hi:
+            return False
+        self._los.insert(position, lo)
+        self._his.insert(position, hi)
+        return True
+
+    with _patched(IntervalSet, "add", buggy_add):
+        yield
+    del original_add
+
+
+@contextmanager
+def _cutoff_propagation() -> Iterator[None]:
+    from repro.core import updates
+
+    original = updates.add_non_tree_arc
+
+    def buggy_add_non_tree_arc(index, source, destination):
+        from repro.errors import CycleError, GraphError, NodeNotFoundError
+        if source not in index.postorder:
+            raise NodeNotFoundError(source)
+        if destination not in index.postorder:
+            raise NodeNotFoundError(destination)
+        if source == destination:
+            raise GraphError(f"self-loop ({source!r}, {source!r}) is not allowed")
+        if index.graph.has_arc(source, destination):
+            return
+        if index.reachable(destination, source):
+            raise CycleError(
+                f"arc ({source!r}, {destination!r}) would create a cycle")
+        index._invalidate()
+        index.graph.add_arc(source, destination)
+        # Bug: the source absorbs the destination's intervals, but the
+        # upward walk over predecessor lists never happens.
+        index.intervals[source].add_all(list(index.intervals[destination]))
+
+    with _patched(updates, "add_non_tree_arc", buggy_add_non_tree_arc):
+        yield
+    del original
+
+
+@contextmanager
+def _stale_freeze() -> Iterator[None]:
+    from repro.core.index import IntervalTCIndex
+
+    def buggy_invalidate(self) -> None:
+        pass  # Bug: mutations no longer stale frozen views.
+
+    with _patched(IntervalTCIndex, "_invalidate", buggy_invalidate):
+        yield
+
+
+@contextmanager
+def _leak_used_numbers() -> Iterator[None]:
+    from repro.core import updates
+
+    original = updates.free_ranges_under
+
+    def buggy_free_ranges_under(index, parent) -> List[Tuple[int, int]]:
+        ranges = list(original(index, parent))
+        from repro.core.tree_cover import VIRTUAL_ROOT
+        if parent is not VIRTUAL_ROOT:
+            # Bug: also offer the parent's own (used!) number as free space.
+            ranges.append((index.postorder[parent], index.postorder[parent]))
+        return ranges
+
+    with _patched(updates, "free_ranges_under", buggy_free_ranges_under):
+        yield
+
+
+#: Registry of injectable faults, keyed by CLI / crash-file name.
+FAULTS: Dict[str, Callable[[], "contextmanager"]] = {
+    "keep-subsumed": _keep_subsumed,
+    "cutoff-propagation": _cutoff_propagation,
+    "stale-freeze": _stale_freeze,
+    "leak-used-numbers": _leak_used_numbers,
+}
+
+
+@contextmanager
+def injected_fault(name: Optional[str]) -> Iterator[None]:
+    """Install the named fault for the duration of the block.
+
+    ``None`` (or ``"none"``) is a no-op, so callers can wrap
+    unconditionally.
+    """
+    if name is None or name == "none":
+        yield
+        return
+    try:
+        fault = FAULTS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown fault {name!r}; known: {sorted(FAULTS)}") from None
+    with fault():
+        yield

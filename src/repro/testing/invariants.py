@@ -1,0 +1,238 @@
+"""Structural invariant audits for a live :class:`IntervalTCIndex`.
+
+The paper's correctness argument rests on a handful of structural
+properties that every update must preserve.  :func:`audit_index` checks
+them all and raises :class:`InvariantViolation` naming the first one
+broken:
+
+* **bookkeeping** — ``postorder`` / ``node_of_number`` / ``used_numbers``
+  are mutually consistent bijections over the graph's nodes, and the
+  tree cover spans the graph (``IntervalTCIndex.check_invariants``);
+* **postorder monotonicity** — every node's number is strictly below its
+  tree parent's, and siblings in tree preorder (ascending interval
+  ``lo``) carry strictly increasing numbers;
+* **Lemma 1** — each node's tree interval covers *exactly* the live
+  postorder numbers of its tree subtree, with its own number as the
+  upper end-point;
+* **laminarity** — tree intervals form a laminar family (children nest
+  strictly inside parents, siblings are disjoint), which the gap-claiming
+  insertion of Section 4.1 relies on;
+* **subsumption-freeness** — no node retains an interval subsumed by
+  another (Section 3.2's elimination rule; ``IntervalSet``'s strictly
+  ascending end-point invariant);
+* **self-coverage** — every node's interval set covers its own number
+  and its whole tree interval (reflexivity plus tree reachability);
+* **gap accounting** — the free ranges reported by
+  :func:`repro.core.updates.free_ranges_under` lie inside the parent's
+  tree interval, contain no live number, and are disjoint from every
+  child's tree interval (integer numbering only; the fractional scheme
+  has no integer gap ledger).
+
+The audit is O(n log n + total intervals + total subtree sizes) — meant
+to run after *every* fuzz step on the small graphs the fuzzer drives,
+not on production indexes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from repro.core import updates as _updates
+from repro.core.labeling import check_laminar
+from repro.core.tree_cover import VIRTUAL_ROOT
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.index import IntervalTCIndex
+
+
+class InvariantViolation(ReproError):
+    """A paper-level structural invariant does not hold."""
+
+    def __init__(self, invariant: str, message: str) -> None:
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+
+
+def audit_index(index: "IntervalTCIndex") -> int:
+    """Run every structural audit; return the number of checks performed.
+
+    Raises :class:`InvariantViolation` on the first broken property; the
+    index's own bookkeeping failures surface under the ``bookkeeping``
+    invariant name.
+    """
+    checks = 0
+    try:
+        index.check_invariants()
+    except ReproError as error:
+        raise InvariantViolation("bookkeeping", str(error)) from None
+    checks += 1
+    checks += check_postorder_monotone(index)
+    checks += check_tree_intervals(index)
+    checks += check_laminar_family(index)
+    checks += check_subsumption_free(index)
+    checks += check_self_coverage(index)
+    if index.numbering == "integer":
+        checks += check_gap_accounting(index)
+    return checks
+
+
+# ----------------------------------------------------------------------
+# individual audits (exported for targeted tests)
+# ----------------------------------------------------------------------
+def check_postorder_monotone(index: "IntervalTCIndex") -> int:
+    """Numbers rise strictly along sibling preorder and fall below parents."""
+    checks = 0
+    for node, number in index.postorder.items():
+        parent = index.cover.parent.get(node)
+        if parent is None:
+            raise InvariantViolation(
+                "postorder", f"node {node!r} is missing from the tree cover")
+        if parent is not VIRTUAL_ROOT and number >= index.postorder[parent]:
+            raise InvariantViolation(
+                "postorder",
+                f"node {node!r} (number {number}) is not below its tree "
+                f"parent {parent!r} (number {index.postorder[parent]})")
+        checks += 1
+    for parent in list(index.cover.children):
+        siblings = sorted(index.cover.tree_children(parent),
+                          key=lambda child: index.tree_interval[child].lo)
+        for left, right in zip(siblings, siblings[1:]):
+            checks += 1
+            if index.postorder[left] >= index.postorder[right]:
+                raise InvariantViolation(
+                    "postorder",
+                    f"siblings {left!r}, {right!r} under {parent!r} are not "
+                    f"strictly increasing in preorder: "
+                    f"{index.postorder[left]} >= {index.postorder[right]}")
+    return checks
+
+
+def _subtree_numbers(index: "IntervalTCIndex") -> Dict:
+    """``node -> set of live postorder numbers in its tree subtree``."""
+    result: Dict = {}
+    # Iterative post-order over the spanning forest, accumulating child sets.
+    stack: List[tuple] = [(root, False)
+                          for root in index.cover.tree_children(VIRTUAL_ROOT)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            stack.extend((child, False)
+                         for child in index.cover.tree_children(node))
+            continue
+        numbers: Set = {index.postorder[node]}
+        for child in index.cover.tree_children(node):
+            numbers |= result[child]
+        result[node] = numbers
+    return result
+
+
+def check_tree_intervals(index: "IntervalTCIndex") -> int:
+    """Lemma 1: the tree interval covers exactly the subtree's live numbers."""
+    checks = 0
+    used = index.used_numbers
+    subtree = _subtree_numbers(index)
+    for node, interval in index.tree_interval.items():
+        checks += 1
+        number = index.postorder[node]
+        if interval.hi != number:
+            raise InvariantViolation(
+                "lemma1",
+                f"tree interval {interval} of {node!r} does not end at the "
+                f"node's own number {number}")
+        if interval.lo > interval.hi:
+            raise InvariantViolation(
+                "lemma1", f"tree interval {interval} of {node!r} is empty")
+        start = bisect_left(used, interval.lo)
+        stop = bisect_right(used, interval.hi)
+        live_inside = set(used[start:stop])
+        if live_inside != subtree[node]:
+            raise InvariantViolation(
+                "lemma1",
+                f"tree interval {interval} of {node!r} covers live numbers "
+                f"{sorted(live_inside)} but the subtree holds "
+                f"{sorted(subtree[node])}")
+    return checks
+
+
+def check_laminar_family(index: "IntervalTCIndex") -> int:
+    """Tree intervals nest or are disjoint — never partially overlap."""
+    try:
+        check_laminar(index)  # duck-typed: only reads .tree_interval
+    except ReproError as error:
+        raise InvariantViolation("laminar", str(error)) from None
+    return 1
+
+
+def check_subsumption_free(index: "IntervalTCIndex") -> int:
+    """No node's interval set retains a subsumed interval (Section 3.2)."""
+    checks = 0
+    for node, interval_set in index.intervals.items():
+        checks += 1
+        try:
+            interval_set.check_invariants()
+        except ReproError as error:
+            raise InvariantViolation(
+                "subsumption", f"interval set of {node!r}: {error}") from None
+    return checks
+
+
+def check_self_coverage(index: "IntervalTCIndex") -> int:
+    """Every interval set covers its owner's number and whole tree interval."""
+    checks = 0
+    used = index.used_numbers
+    for node, interval_set in index.intervals.items():
+        checks += 1
+        number = index.postorder[node]
+        if not interval_set.covers(number):
+            raise InvariantViolation(
+                "self-coverage",
+                f"node {node!r} does not cover its own number {number}")
+        tree = index.tree_interval[node]
+        start = bisect_left(used, tree.lo)
+        stop = bisect_right(used, tree.hi)
+        for live in used[start:stop]:
+            if not interval_set.covers(live):
+                raise InvariantViolation(
+                    "self-coverage",
+                    f"node {node!r} does not cover live number {live} inside "
+                    f"its own tree interval {tree}")
+    return checks
+
+
+def check_gap_accounting(index: "IntervalTCIndex") -> int:
+    """Free ranges are truly free: in-bounds, unused, outside child intervals."""
+    checks = 0
+    used = index.used_numbers
+    # Looked up through the module so injected faults (and future
+    # monkeypatches) on the ledger are audited, not bypassed.
+    for parent in index.postorder:
+        ranges = _updates.free_ranges_under(index, parent)
+        tree = index.tree_interval[parent]
+        number = index.postorder[parent]
+        child_intervals = [index.tree_interval[child]
+                           for child in index.cover.tree_children(parent)]
+        for lo, hi in ranges:
+            checks += 1
+            if lo > hi:
+                raise InvariantViolation(
+                    "gap", f"empty free range ({lo},{hi}) under {parent!r}")
+            if lo < tree.lo or hi >= number:
+                raise InvariantViolation(
+                    "gap",
+                    f"free range ({lo},{hi}) under {parent!r} leaves its tree "
+                    f"interval {tree} (own number {number})")
+            if bisect_right(used, hi) - bisect_left(used, lo) != 0:
+                raise InvariantViolation(
+                    "gap",
+                    f"free range ({lo},{hi}) under {parent!r} contains live "
+                    f"postorder numbers")
+            for child_interval in child_intervals:
+                if lo <= child_interval.hi and child_interval.lo <= hi:
+                    raise InvariantViolation(
+                        "gap",
+                        f"free range ({lo},{hi}) under {parent!r} intersects "
+                        f"child tree interval {child_interval}")
+    return checks

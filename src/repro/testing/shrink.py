@@ -1,0 +1,160 @@
+"""Delta-debugging minimisation of failing fuzz traces.
+
+A raw failing trace from :func:`repro.testing.fuzzer.fuzz` can hold
+thousands of operations; almost all of them are irrelevant.  The
+shrinker reduces it to a minimal repro in three phases:
+
+1. **op ddmin** — classic delta debugging over the operation list:
+   remove chunks at coarse granularity, halving the chunk size until
+   single operations, keeping any candidate that still fails;
+2. **seed-arc ddmin** — the same over the seed graph's arcs;
+3. **node pruning** — drop seed nodes no longer referenced by any arc
+   or operation.
+
+Operations whose preconditions no longer hold after earlier deletions
+are *skipped* by the runner rather than erroring, which is what makes
+chunk removal sound.  A candidate counts as failing when replay raises
+:class:`~repro.testing.fuzzer.TraceFailure` of any kind — minimising to
+"a different bug" is acceptable for a crash artefact and standard ddmin
+practice.
+
+Every replay re-installs the trace's recorded fault (if any), so
+harness self-tests shrink exactly like real bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.testing.fuzzer import (
+    DEFAULT_ENGINES,
+    FuzzRunner,
+    Trace,
+    TraceFailure,
+)
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimisation: the small trace and some accounting."""
+
+    trace: Trace
+    failure: TraceFailure
+    replays: int
+    ops_before: int
+    ops_after: int
+    arcs_before: int
+    arcs_after: int
+
+
+class _Replayer:
+    """Bounded replay harness shared by the shrink phases."""
+
+    def __init__(self, engines: Sequence[str], audit_every: int,
+                 check_every: int, max_replays: int) -> None:
+        self.engines = engines
+        self.audit_every = audit_every
+        self.check_every = check_every
+        self.max_replays = max_replays
+        self.replays = 0
+
+    def exhausted(self) -> bool:
+        return self.replays >= self.max_replays
+
+    def failure_of(self, candidate: Trace) -> Optional[TraceFailure]:
+        from repro.testing.faults import injected_fault
+        self.replays += 1
+        runner = FuzzRunner(candidate, engines=self.engines,
+                            audit_every=self.audit_every,
+                            check_every=self.check_every)
+        with injected_fault(candidate.fault):
+            try:
+                runner.run()
+            except TraceFailure as failure:
+                return failure
+        return None
+
+
+def _with_ops(trace: Trace, ops: List[list]) -> Trace:
+    clone = trace.prefix(0)
+    clone.ops = [list(op) for op in ops]
+    return clone
+
+
+def _with_seed(trace: Trace, nodes: List, arcs: List[Tuple]) -> Trace:
+    clone = trace.prefix(len(trace.ops))
+    clone.seed_nodes = list(nodes)
+    clone.seed_arcs = [tuple(arc) for arc in arcs]
+    return clone
+
+
+def _ddmin(items: List, rebuild, replayer: _Replayer,
+           baseline: TraceFailure) -> Tuple[List, TraceFailure]:
+    """Generic ddmin over ``items``; ``rebuild(items)`` makes a candidate."""
+    failure = baseline
+    chunk = max(1, len(items) // 2)
+    while chunk >= 1:
+        position = 0
+        progressed = False
+        while position < len(items):
+            if replayer.exhausted():
+                return items, failure
+            candidate_items = items[:position] + items[position + chunk:]
+            candidate_failure = replayer.failure_of(rebuild(candidate_items))
+            if candidate_failure is not None:
+                items = candidate_items
+                failure = candidate_failure
+                progressed = True
+            else:
+                position += chunk
+        if chunk == 1 and not progressed:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if progressed else 0)
+    return items, failure
+
+
+def shrink_trace(failure: TraceFailure, *,
+                 engines: Sequence[str] = DEFAULT_ENGINES,
+                 audit_every: int = 1, check_every: int = 50,
+                 max_replays: int = 400) -> ShrinkResult:
+    """Minimise the trace carried by ``failure``; replay budget bounded."""
+    trace = failure.trace
+    replayer = _Replayer(engines, audit_every, check_every, max_replays)
+    ops_before = len(trace.ops)
+    arcs_before = len(trace.seed_arcs)
+
+    # The recorded failure came from the original (possibly generating)
+    # run; confirm it replays cold before spending the budget.
+    confirmed = replayer.failure_of(trace)
+    if confirmed is None:
+        raise TraceFailure(trace, failure.step, failure.op, RuntimeError(
+            "failure did not reproduce on cold replay; refusing to shrink "
+            "a flaky trace"))
+    best_failure = confirmed
+
+    ops, best_failure = _ddmin(
+        [list(op) for op in trace.ops],
+        lambda candidate: _with_ops(trace, candidate),
+        replayer, best_failure)
+    trace = _with_ops(trace, ops)
+
+    arcs, best_failure = _ddmin(
+        list(trace.seed_arcs),
+        lambda candidate: _with_seed(trace, trace.seed_nodes, candidate),
+        replayer, best_failure)
+    trace = _with_seed(trace, trace.seed_nodes, arcs)
+
+    referenced = trace.referenced_nodes()
+    kept_nodes = [node for node in trace.seed_nodes if node in referenced]
+    if len(kept_nodes) < len(trace.seed_nodes) and not replayer.exhausted():
+        candidate = _with_seed(trace, kept_nodes, trace.seed_arcs)
+        candidate_failure = replayer.failure_of(candidate)
+        if candidate_failure is not None:
+            trace = candidate
+            best_failure = candidate_failure
+
+    return ShrinkResult(trace=trace, failure=best_failure,
+                        replays=replayer.replays, ops_before=ops_before,
+                        ops_after=len(trace.ops), arcs_before=arcs_before,
+                        arcs_after=len(trace.seed_arcs))

@@ -12,6 +12,7 @@ from repro.baselines import (
 from repro.core.condensation import CondensedIndex
 from repro.core.index import IntervalTCIndex
 from repro.graph.digraph import DiGraph
+from repro.testing.oracle import SetClosureOracle
 
 
 @st.composite
@@ -26,13 +27,27 @@ def small_dags(draw):
     return graph
 
 
+@st.composite
+def small_digraphs(draw):
+    """Arbitrary directed graphs — cycles (and self-reaching SCCs) allowed."""
+    n = draw(st.integers(1, 9))
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=25))
+    graph = DiGraph(nodes=range(n))
+    for a, b in pairs:
+        if a != b:
+            graph.add_arc(a, b)
+    return graph
+
+
 @settings(max_examples=40)
 @given(small_dags(), st.integers(0, 10 ** 6))
 def test_all_exact_indexes_agree(graph, probe_seed):
-    """Seven implementations, one truth."""
+    """Nine implementations, one truth."""
     indexes = [
         IntervalTCIndex.build(graph, gap=1),
         IntervalTCIndex.build(graph, gap=8, merge=True),
+        IntervalTCIndex.build(graph, gap=4).freeze(),
         FullTCIndex.build(graph),
         InverseTCIndex.build(graph),
         BitMatrixTCIndex.build(graph),
@@ -48,3 +63,18 @@ def test_all_exact_indexes_agree(graph, probe_seed):
                 f"disagreement on {source} ->* {destination}: "
                 f"{[type(index).__name__ for index in indexes]}"
             )
+
+
+@settings(max_examples=40)
+@given(small_digraphs())
+def test_condensation_path_agrees_on_cyclic_input(graph):
+    """Cyclic input -> SCC condensation -> interval index == BFS closure."""
+    condensed = CondensedIndex.build(graph)
+    oracle = SetClosureOracle(arcs=graph.arcs(), nodes=graph.nodes())
+    nodes = list(graph.nodes())
+    for source in nodes:
+        expected = oracle.successors(source)
+        assert set(condensed.successors(source)) == expected
+        for destination in nodes:
+            assert condensed.reachable(source, destination) \
+                == (destination in expected)

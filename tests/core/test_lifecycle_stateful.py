@@ -1,0 +1,141 @@
+"""Stateful property test of the full index lifecycle.
+
+A Hypothesis rule machine drives an :class:`IntervalTCIndex` through the
+same mixed update stream the fuzzer exercises — node/arc insertions and
+deletions, freezes, and refreezes — holding a set-based closure oracle
+alongside.  After every step the machine checks full reachability
+agreement and the paper-level structural audits; freeze rules verify the
+staleness contract (mutate after freeze => the view is stale and raises;
+refreeze => fresh agreement again).
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.frozen import FrozenTCIndex
+from repro.core.index import IntervalTCIndex
+from repro.errors import IndexStateError
+from repro.graph.digraph import DiGraph
+from repro.testing.invariants import audit_index
+from repro.testing.oracle import SetClosureOracle
+
+import pytest
+
+MAX_NODES = 14
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.index = IntervalTCIndex.build(
+            DiGraph(arcs=[(0, 1)], nodes=[0, 1]), gap=4)
+        self.oracle = SetClosureOracle(arcs=[(0, 1)], nodes=[0, 1])
+        self.next_label = 2
+        self.frozen = None
+        self.frozen_fresh = False
+
+    # -- helpers -------------------------------------------------------
+    def _nodes(self):
+        return sorted(self.oracle.nodes())
+
+    def _pick(self, choice):
+        nodes = self._nodes()
+        return nodes[choice % len(nodes)]
+
+    def _mutated(self):
+        """Every mutation must stale any previously fresh frozen view."""
+        if self.frozen is not None and self.frozen_fresh:
+            assert self.frozen.is_stale()
+            with pytest.raises(IndexStateError):
+                self.frozen.reachable(0, 0)
+            self.frozen_fresh = False
+
+    # -- mutation rules ------------------------------------------------
+    @precondition(lambda self: len(self.oracle) < MAX_NODES)
+    @rule(choice=st.integers(0, 10 ** 6), extra=st.integers(0, 10 ** 6),
+          two_parents=st.booleans())
+    def add_node(self, choice, extra, two_parents):
+        parents = [self._pick(choice)]
+        if two_parents:
+            second = self._pick(extra)
+            if second not in parents:
+                parents.append(second)
+        label = self.next_label
+        self.next_label += 1
+        self.index.add_node(label, parents=parents)
+        self.oracle.add_node(label)
+        for parent in parents:
+            self.oracle.add_arc(parent, label)
+        self._mutated()
+
+    @rule(choice=st.integers(0, 10 ** 6))
+    def add_root(self, choice):
+        label = self.next_label
+        self.next_label += 1
+        self.index.add_node(label, parents=[])
+        self.oracle.add_node(label)
+        self._mutated()
+
+    @rule(a=st.integers(0, 10 ** 6), b=st.integers(0, 10 ** 6))
+    def add_arc(self, a, b):
+        source, destination = self._pick(a), self._pick(b)
+        if source == destination \
+                or self.oracle.has_arc(source, destination) \
+                or self.oracle.reachable(destination, source):
+            return
+        self.index.add_arc(source, destination)
+        self.oracle.add_arc(source, destination)
+        self._mutated()
+
+    @precondition(lambda self: self.oracle.arcs())
+    @rule(choice=st.integers(0, 10 ** 6))
+    def remove_arc(self, choice):
+        arcs = sorted(self.oracle.arcs())
+        source, destination = arcs[choice % len(arcs)]
+        self.index.remove_arc(source, destination)
+        self.oracle.remove_arc(source, destination)
+        self._mutated()
+
+    @precondition(lambda self: len(self.oracle) > 1)
+    @rule(choice=st.integers(0, 10 ** 6))
+    def remove_node(self, choice):
+        node = self._pick(choice)
+        self.index.remove_node(node)
+        self.oracle.remove_node(node)
+        self._mutated()
+
+    # -- freeze rules --------------------------------------------------
+    @rule()
+    def freeze(self):
+        self.frozen = self.index.freeze()
+        self.frozen_fresh = True
+        assert isinstance(self.frozen, FrozenTCIndex)
+        for source in self._nodes():
+            assert set(self.frozen.successors(source)) \
+                == self.oracle.successors(source)
+
+    @precondition(lambda self: self.frozen is not None
+                  and not self.frozen_fresh)
+    @rule()
+    def refreeze_after_mutation(self):
+        """The freeze-then-mutate-then-refreeze cycle restores agreement."""
+        assert self.frozen.is_stale()
+        self.freeze()
+
+    # -- global checks -------------------------------------------------
+    @invariant()
+    def agrees_with_oracle_and_passes_audits(self):
+        audit_index(self.index)
+        for source in self._nodes():
+            assert self.index.successors(source) \
+                == self.oracle.successors(source)
+
+
+LifecycleMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestLifecycle = LifecycleMachine.TestCase

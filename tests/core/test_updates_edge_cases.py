@@ -1,0 +1,103 @@
+"""Edge cases of the Section 4 update algorithms.
+
+Focus: the gap ledger after removals (freed numbers must become
+claimable again), and numbering exhaustion — the integer scheme runs
+out and renumbers (or raises when told not to), while the fractional
+scheme of the Section 4 footnote never does.
+"""
+
+import pytest
+
+from repro.core.index import IntervalTCIndex
+from repro.core.updates import claim_slot, detach_subtree, free_ranges_under
+from repro.errors import NumberingExhaustedError
+from repro.graph.digraph import DiGraph
+from repro.testing.invariants import audit_index
+
+
+def _chain_index(length, **kwargs):
+    arcs = [(i, i + 1) for i in range(length - 1)]
+    return IntervalTCIndex.build(DiGraph(arcs), **kwargs)
+
+
+def _total_free(index, parent):
+    return sum(hi - lo + 1 for lo, hi in free_ranges_under(index, parent))
+
+
+# ----------------------------------------------------------------------
+# gap reclamation
+# ----------------------------------------------------------------------
+def test_remove_node_returns_numbers_to_the_parent_gap():
+    index = IntervalTCIndex.build(
+        DiGraph([("r", "a"), ("r", "b"), ("a", "x")]), gap=2)
+    before = _total_free(index, "r")
+    freed = index.postorder["b"]
+    index.remove_node("b")
+    audit_index(index)
+    after_ranges = free_ranges_under(index, "r")
+    assert any(lo <= freed <= hi for lo, hi in after_ranges), (
+        f"number {freed} freed by remove_node is not offered again: "
+        f"{after_ranges}")
+    assert _total_free(index, "r") > before
+
+
+def test_detach_subtree_vacates_the_old_ancestors_range():
+    index = _chain_index(5, gap=2)
+    vacated = [index.postorder[node] for node in (2, 3, 4)]
+    detach_subtree(index, 2)  # re-hang 2's subtree under the virtual root
+    # The subtree kept its shape but took fresh numbers above the maximum…
+    assert all(index.postorder[node] > max(vacated) for node in (2, 3, 4))
+    # …and the vacated numbers are claimable under the old ancestor again.
+    ranges = free_ranges_under(index, 1)
+    for number in vacated:
+        assert any(lo <= number <= hi for lo, hi in ranges), (
+            f"vacated number {number} not in free ranges {ranges} under 1")
+
+
+def test_reclaimed_slots_are_actually_claimed_by_new_children():
+    index = IntervalTCIndex.build(DiGraph([("r", "a"), ("r", "b")]), gap=1)
+    freed = index.postorder["a"]
+    index.remove_node("a")
+    number, interval = claim_slot(index, "r")
+    assert interval.lo <= number <= interval.hi == number
+    assert number == freed  # gap=1: the only free slot is the freed one
+    index.add_node("c", parents=["r"])
+    audit_index(index)
+    assert index.postorder["c"] == freed
+
+
+# ----------------------------------------------------------------------
+# numbering exhaustion
+# ----------------------------------------------------------------------
+def test_integer_gap1_exhaustion_raises_when_auto_renumber_is_off():
+    index = _chain_index(3, gap=1, auto_renumber=False)
+    with pytest.raises(NumberingExhaustedError):
+        claim_slot(index, 2)  # leaf with gap=1: no room below
+    with pytest.raises(NumberingExhaustedError):
+        index.add_node("extra", parents=[2])
+    # The failed insertion must not corrupt the index.
+    audit_index(index)
+    assert "extra" not in index.postorder
+
+
+def test_integer_exhaustion_triggers_renumbering_when_enabled():
+    index = _chain_index(3, gap=1, auto_renumber=True)
+    version = index.version
+    index.add_node("extra", parents=[2])
+    audit_index(index)
+    assert index.reachable(0, "extra")
+    assert index.version > version
+
+
+def test_fractional_numbering_never_exhausts():
+    index = _chain_index(3, gap=2, numbering="fractional",
+                         auto_renumber=False)
+    # Keep inserting under the same leaf: integer numbering would die on
+    # the first insert; the continuous scheme always finds a midpoint.
+    parent = 2
+    for step in range(12):
+        label = f"leaf{step}"
+        index.add_node(label, parents=[parent])
+        parent = label
+    audit_index(index)
+    assert index.reachable(0, parent)

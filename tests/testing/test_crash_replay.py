@@ -1,0 +1,43 @@
+"""Auto-replay every committed crash file under ``tests/crashes/``.
+
+Two kinds of file live there, distinguished by the trace's ``fault``:
+
+* ``fault: null`` — a minimised repro of a *real* bug that has since been
+  fixed.  Replay must now PASS; a failure here is a regression.
+* ``fault: "<name>"`` — a harness self-test produced by an injected
+  fault.  Replay re-installs the fault and must still FAIL, proving the
+  catch/shrink/replay pipeline stays wired end to end.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.testing.crash import load_crash, replay_crash
+
+CRASH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "crashes")
+CRASH_FILES = sorted(glob.glob(os.path.join(CRASH_DIR, "*.json")))
+
+
+def _crash_id(path):
+    return os.path.basename(path)
+
+
+def test_crash_corpus_exists():
+    assert CRASH_FILES, "tests/crashes/ must hold at least one crash file"
+
+
+@pytest.mark.parametrize("path", CRASH_FILES, ids=_crash_id)
+def test_replay_crash_file(path):
+    payload = load_crash(path)
+    failure, report = replay_crash(path)
+    if payload["trace"].fault:
+        assert failure is not None, (
+            f"{_crash_id(path)} injects fault {payload['trace'].fault!r} "
+            "but no longer fails: the harness lost its teeth")
+        assert type(failure.cause).__name__ == payload["cause"]
+    else:
+        assert failure is None, (
+            f"{_crash_id(path)} regressed: {failure}")
+        assert report.violations == 0

@@ -1,0 +1,112 @@
+"""The fuzz loop end to end: clean runs, determinism, replay, shrinking.
+
+The parametrized fault test is the harness's own mutation test — every
+registered fault must be *caught* by the fuzzer, *shrunk* to a smaller
+trace, *saved* to a crash file, and *replayed* from it still failing.
+"""
+
+import json
+
+import pytest
+
+from repro.testing.crash import load_crash, replay_crash, save_crash
+from repro.testing.faults import FAULTS
+from repro.testing.fuzzer import (
+    DEFAULT_ENGINES,
+    FuzzRunner,
+    Trace,
+    TraceFailure,
+    fuzz,
+    replay,
+)
+from repro.testing.shrink import shrink_trace
+
+SMOKE = dict(num_ops=200, seed=3, num_nodes=18, check_every=25)
+
+
+def test_clean_fuzz_smoke():
+    trace, report = fuzz(**SMOKE)
+    assert report.violations == 0
+    assert report.applied > 0
+    assert report.audits > 0
+    assert report.differential_checks > 0
+    assert report.freezes > 0
+    assert len(trace.ops) == SMOKE["num_ops"]
+
+
+def test_fuzz_is_deterministic_per_seed():
+    trace_a, report_a = fuzz(**SMOKE)
+    trace_b, report_b = fuzz(**SMOKE)
+    assert trace_a.to_dict() == trace_b.to_dict()
+    assert report_a.as_dict() == report_b.as_dict()
+    trace_c, _ = fuzz(**dict(SMOKE, seed=4))
+    assert trace_c.to_dict() != trace_a.to_dict()
+
+
+def test_replay_reproduces_the_recorded_run():
+    trace, report = fuzz(**SMOKE)
+    replayed = replay(trace, check_every=SMOKE["check_every"])
+    assert replayed.applied == report.applied
+    assert replayed.skipped == report.skipped
+    assert replayed.final_nodes == report.final_nodes
+    assert replayed.final_arcs == report.final_arcs
+
+
+def test_trace_json_roundtrip():
+    trace, _ = fuzz(num_ops=60, seed=9, num_nodes=10)
+    wire = json.dumps(trace.to_dict(), sort_keys=True)
+    restored = Trace.from_dict(json.loads(wire))
+    assert restored.to_dict() == trace.to_dict()
+    assert restored.seed_arcs == trace.seed_arcs  # tuples survive the wire
+
+
+def test_inapplicable_ops_are_skipped_not_errors():
+    trace = Trace(seed=None, gap=4, numbering="integer",
+                  seed_nodes=[0, 1, 2], seed_arcs=[(0, 1)],
+                  ops=[["remove_arc", 1, 2],      # arc absent -> skip
+                       ["remove_node", 99],       # node absent -> skip
+                       ["add_node", 0, [1]],      # label taken -> skip
+                       ["add_arc", 1, 0],         # would cycle -> skip
+                       ["add_arc", 1, 2],         # applies
+                       ["query", 0, 2]])          # applies
+    report = FuzzRunner(trace).run()
+    assert report.skipped == 4
+    assert report.applied == 2
+    assert report.violations == 0
+
+
+def test_fractional_numbering_fuzz_smoke():
+    _, report = fuzz(num_ops=150, seed=5, num_nodes=14,
+                     numbering="fractional", check_every=30)
+    assert report.violations == 0
+    assert report.applied > 0
+
+
+@pytest.mark.parametrize("fault", sorted(FAULTS))
+def test_fault_is_caught_shrunk_and_replayed(fault, tmp_path):
+    with pytest.raises(TraceFailure) as excinfo:
+        fuzz(num_ops=300, seed=11, num_nodes=18, check_every=10, fault=fault)
+    failure = excinfo.value
+    assert failure.trace.fault == fault
+
+    result = shrink_trace(failure, check_every=10)
+    assert len(result.trace.ops) <= len(failure.trace.ops)
+    assert result.replays > 0
+
+    path = save_crash(result.failure, str(tmp_path),
+                      check_every=10, shrink=result)
+    payload = load_crash(path)
+    assert payload["trace"].fault == fault
+    ops_before, ops_after = payload["shrink"]["ops"]
+    assert ops_before >= ops_after
+
+    # With the fault re-installed the shrunk trace must still fail ...
+    replayed_failure, report = replay_crash(path)
+    assert replayed_failure is not None and report is None
+
+    # ... and with the fault removed (i.e. the bug "fixed") it must pass,
+    # proving the fault patches were fully restored.
+    healthy = Trace.from_dict(result.trace.to_dict())
+    healthy.fault = None
+    clean_report = replay(healthy, check_every=10)
+    assert clean_report.violations == 0
