@@ -20,6 +20,7 @@ Quick start::
 from repro.core import (
     CondensedIndex,
     FrozenTCIndex,
+    HybridTCIndex,
     Interval,
     IntervalSet,
     IntervalTCIndex,
@@ -49,6 +50,7 @@ __all__ = [
     "DiGraph",
     "FrozenTCIndex",
     "GraphError",
+    "HybridTCIndex",
     "IndexStateError",
     "Interval",
     "IntervalSet",

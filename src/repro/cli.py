@@ -36,13 +36,16 @@ from repro.bench import (
 from repro.core import explain
 from repro.core.batch import apply_diff
 from repro.core.frozen import FrozenTCIndex
+from repro.core.hybrid import HybridTCIndex
 from repro.core.index import DEFAULT_GAP, IntervalTCIndex
-from repro.core.serialize import load_any, load_index, save_frozen_index, save_index
+from repro.core.serialize import (load_any, load_index, save_frozen_index,
+                                  save_hybrid_index, save_index)
 from repro.core.tree_cover import POLICIES
 from repro.errors import ReproError
 from repro.graph.io import load_edge_list
 from repro.graph.metrics import profile
 from repro.storage.model import compare_storage
+from repro.testing.fuzzer import DEFAULT_ENGINES
 
 
 def _load_index_or_build(path: str, *, gap: int = DEFAULT_GAP) -> IntervalTCIndex:
@@ -53,28 +56,39 @@ def _load_index_or_build(path: str, *, gap: int = DEFAULT_GAP) -> IntervalTCInde
 
 
 def _load_engine(path: str, engine: Optional[str]):
-    """Resolve a query engine: a saved index (mutable or frozen buffers),
-    or an edge list built on the fly; ``--engine frozen`` compiles."""
+    """Resolve a query engine: a saved index (mutable, frozen buffers, or
+    hybrid), or an edge list built on the fly; ``--engine frozen`` /
+    ``--engine hybrid`` compiles."""
     if path.endswith(".json"):
         loaded = load_any(path)
     else:
         loaded = IntervalTCIndex.build(load_edge_list(path))
     if isinstance(loaded, FrozenTCIndex):
-        if engine == "dict":
+        if engine in ("dict", "hybrid"):
             raise ReproError(
-                f"{path} holds frozen buffers and cannot serve the dict "
-                f"engine; rebuild from the graph or a saved mutable index")
+                f"{path} holds frozen buffers and cannot serve the "
+                f"{engine!r} engine; rebuild from the graph or a saved "
+                f"mutable index")
+        return loaded
+    if isinstance(loaded, HybridTCIndex):
+        if engine == "dict":
+            return loaded.index
+        if engine == "frozen":
+            return loaded.index.freeze()
         return loaded
     if engine == "frozen":
         return loaded.freeze()
+    if engine == "hybrid":
+        return HybridTCIndex.from_index(loaded)
     return loaded
 
 
 def _add_engine_option(command) -> None:
     command.add_argument(
-        "--engine", choices=("dict", "frozen"), default=None,
-        help="query engine: 'dict' (the updatable interval-set index) or "
-             "'frozen' (flat-array snapshot; default follows the file)")
+        "--engine", choices=("dict", "frozen", "hybrid"), default=None,
+        help="query engine: 'dict' (the updatable interval-set index), "
+             "'frozen' (flat-array snapshot), or 'hybrid' (frozen base + "
+             "delta overlay; default follows the file)")
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -117,6 +131,34 @@ def _cmd_freeze(args: argparse.Namespace) -> int:
     save_frozen_index(frozen, args.output)
     print(format_table([frozen.stats()], title="frozen index"))
     print(f"frozen buffers written to {args.output}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    loaded = load_any(args.index) if args.index.endswith(".json") else (
+        IntervalTCIndex.build(load_edge_list(args.index)))
+    if isinstance(loaded, FrozenTCIndex):
+        raise ReproError(
+            f"{args.index} holds frozen buffers; a hybrid engine needs the "
+            f"mutable index — compact a saved index or hybrid file instead")
+    if isinstance(loaded, IntervalTCIndex):
+        # converting an index file IS the initial compaction: snapshot now
+        hybrid = HybridTCIndex.from_index(loaded)
+        folded = True
+    else:
+        hybrid = loaded
+        folded = hybrid.compact()
+    output = args.output or (args.index if args.index.endswith(".json")
+                             else None)
+    if output:
+        save_hybrid_index(hybrid, output)
+    row = {key: value for key, value in hybrid.stats().items()
+           if key != "base"}
+    row["base_nbytes"] = hybrid.base.stats()["nbytes"]
+    row["folded"] = folded
+    print(format_table([row], title="hybrid engine"))
+    if output:
+        print(f"hybrid index written to {output}")
     return 0
 
 
@@ -311,6 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="buffer backend (default: numpy when installed)")
     freeze.set_defaults(handler=_cmd_freeze)
 
+    compact = commands.add_parser(
+        "compact",
+        help="fold a hybrid engine's delta into a fresh frozen base "
+             "(converts a saved mutable index into a hybrid file)")
+    compact.add_argument("index",
+                         help="saved hybrid/mutable index (.json) or "
+                              "edge-list file")
+    compact.add_argument("-o", "--output",
+                         help="write the hybrid index (defaults to the "
+                              "input when it is a .json file)")
+    compact.set_defaults(handler=_cmd_compact)
+
     update = commands.add_parser(
         "update", help="apply a +/- diff file to an index incrementally")
     update.add_argument("index", help="saved index (.json) or edge-list file")
@@ -372,7 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seed-graph family (see `repro-tc bench "
                                "workloads`)")
     fuzz_cmd.add_argument("--engines",
-                          default="frozen,rebuild,rebuild-merged,baselines",
+                          default=",".join(DEFAULT_ENGINES),
                           help="comma-separated differential matrix "
                                "(interval is always implied; also: all)")
     fuzz_cmd.add_argument("--audit-every", type=int, default=1,

@@ -3,15 +3,20 @@
 from repro.core.bidirectional import BidirectionalTCIndex
 from repro.core.condensation import CondensedIndex
 from repro.core.frozen import FrozenTCIndex
+from repro.core.hybrid import HybridTCIndex
 from repro.core.index import DEFAULT_GAP, IndexStats, IntervalTCIndex
 from repro.core.serialize import (
     frozen_from_dict,
     frozen_to_dict,
+    hybrid_from_dict,
+    hybrid_to_dict,
     index_from_dict,
     index_to_dict,
     load_frozen_index,
+    load_hybrid_index,
     load_index,
     save_frozen_index,
+    save_hybrid_index,
     save_index,
 )
 from repro.core.intervals import Interval, IntervalSet, intervals_from_points
@@ -36,6 +41,7 @@ __all__ = [
     "CondensedIndex",
     "DEFAULT_GAP",
     "FrozenTCIndex",
+    "HybridTCIndex",
     "IndexStats",
     "Interval",
     "IntervalSet",
@@ -50,13 +56,17 @@ __all__ = [
     "check_laminar",
     "frozen_from_dict",
     "frozen_to_dict",
+    "hybrid_from_dict",
+    "hybrid_to_dict",
     "index_from_dict",
     "index_to_dict",
     "intervals_from_points",
     "label_graph",
     "load_frozen_index",
+    "load_hybrid_index",
     "load_index",
     "save_frozen_index",
+    "save_hybrid_index",
     "merge_all",
     "propagate_intervals",
     "save_index",

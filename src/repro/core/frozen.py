@@ -32,11 +32,22 @@ numpy arrays and the batch APIs (:meth:`reachable_many`,
 ``array('q')`` buffers serve the same layout with ``bisect``.
 
 A frozen view is a snapshot: it keeps a reference to its source index and
-the index's version counter at freeze time, and raises
+the index's epoch counter at freeze time, and raises
 :class:`~repro.errors.IndexStateError` from every query once the source
 has been updated.  Updates go through the mutable index as before; call
 :meth:`IntervalTCIndex.freeze` again afterwards (the result is cached
 while fresh, so repeated ``freeze()`` calls are free).
+
+Two levels of snapshot bookkeeping exist:
+
+* **strict views** (the default, what :meth:`IntervalTCIndex.freeze`
+  hands out) refuse to answer once :meth:`lag` is non-zero — one epoch
+  behind is already stale;
+* **pinned snapshots** (after :meth:`detach`) drop the source reference
+  and keep serving the state they captured forever.  This is what the
+  delta-overlay engine (:class:`~repro.core.hybrid.HybridTCIndex`) runs
+  on: the base snapshot stays queryable while the source index absorbs
+  incremental updates, and the overlay corrects the answers.
 
 Typical use::
 
@@ -108,7 +119,7 @@ class FrozenTCIndex:
                  offsets: Sequence[int], lows: Sequence[int],
                  highs: Sequence[int], backend: Optional[str] = None,
                  source: Optional["IntervalTCIndex"] = None,
-                 source_version: int = 0) -> None:
+                 source_epoch: int = 0) -> None:
         if len(offsets) != len(nodes) + 1:
             raise ReproError("offsets must hold exactly len(nodes) + 1 entries")
         if len(lows) != len(highs) or (offsets and offsets[-1] != len(lows)):
@@ -124,7 +135,7 @@ class FrozenTCIndex:
         if len(self._id_of) != len(self._nodes):
             raise ReproError("duplicate node labels in frozen buffers")
         self._source = source
-        self._source_version = source_version
+        self._source_epoch = source_epoch
         if self._backend == "numpy":
             self._materialize_numpy(offsets, lows, highs)
         else:
@@ -165,7 +176,7 @@ class FrozenTCIndex:
             offsets.append(len(lows))
         return cls(nodes=nodes, numbers=list(used), offsets=offsets,
                    lows=lows, highs=highs, backend=backend,
-                   source=index, source_version=index.version)
+                   source=index, source_epoch=index.epoch)
 
     @classmethod
     def from_buffers(cls, *, nodes: Sequence[Node], numbers: Sequence,
@@ -242,10 +253,36 @@ class FrozenTCIndex:
     # ------------------------------------------------------------------
     # snapshot bookkeeping
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Source-index epoch captured when this view was compiled."""
+        return self._source_epoch
+
+    def lag(self) -> int:
+        """How many epochs the source index has advanced since freeze().
+
+        ``0`` means the view is exactly the source's current state.  A
+        detached (pinned) snapshot always reports ``0`` — it has no source
+        to lag behind.
+        """
+        if self._source is None:
+            return 0
+        return self._source.epoch - self._source_epoch
+
+    def detach(self) -> "FrozenTCIndex":
+        """Pin this snapshot: drop the source reference and never go stale.
+
+        After ``detach()`` the view keeps answering queries for the state
+        it captured, regardless of what happens to the source index.  The
+        delta-overlay engine uses this to keep a queryable base while the
+        source absorbs incremental updates.  Returns ``self``.
+        """
+        self._source = None
+        return self
+
     def is_stale(self) -> bool:
         """Whether the source index changed since this view was frozen."""
-        return (self._source is not None
-                and self._source_version != self._source.version)
+        return self.lag() != 0
 
     def _check_fresh(self) -> None:
         if self.is_stale():

@@ -170,8 +170,20 @@ class IntervalTCIndex:
         """Update counter: bumped by every mutation, read by frozen views."""
         return self._version
 
+    @property
+    def epoch(self) -> int:
+        """Alias of :attr:`version` in snapshot terms.
+
+        Every mutation advances the epoch by one; a frozen view captures
+        the epoch at compile time, so ``frozen.lag()`` measures how far the
+        source has moved on.  The delta-overlay engine
+        (:class:`~repro.core.hybrid.HybridTCIndex`) relies on this to
+        detect out-of-band mutations behind its back.
+        """
+        return self._version
+
     def _invalidate(self) -> None:
-        """Record a mutation: staling every frozen view taken so far."""
+        """Record a mutation: advances the epoch, staling frozen views."""
         self._version += 1
         self._frozen_cache = None
 

@@ -7,13 +7,15 @@ top of :class:`~repro.core.index.IntervalTCIndex`, and provides the
 irreflexive (strict) view of reachability for callers who do not want the
 paper's every-node-reaches-itself convention.
 
-Every helper also accepts a :class:`~repro.core.frozen.FrozenTCIndex`
-(except :func:`topological_level`, which needs the graph), and — given a
+Every helper also accepts a :class:`~repro.core.frozen.FrozenTCIndex` or
+a :class:`~repro.core.hybrid.HybridTCIndex` (:func:`topological_level`
+needs a graph, which the hybrid engine also carries), and — given a
 mutable index that currently has a fresh frozen view (see
 :meth:`IntervalTCIndex.freeze`) — transparently routes through the flat
 array engine: predecessor-flavoured queries then use the reverse interval
 index instead of scanning every node, and :func:`path_exists_batch` runs
-vectorised.
+vectorised.  A hybrid engine routes internally (base snapshot + delta
+overlay), so it is always used as-is.
 """
 
 from __future__ import annotations
@@ -22,22 +24,27 @@ from bisect import bisect_left
 from typing import Iterable, List, Sequence, Set, Union
 
 from repro.core.frozen import FrozenTCIndex
+from repro.core.hybrid import HybridTCIndex
 from repro.core.index import IntervalTCIndex
 from repro.core.intervals import IntervalSet
 from repro.graph.digraph import Node
 
 #: Anything with the shared query surface (reachable/successors/predecessors).
-Engine = Union[IntervalTCIndex, FrozenTCIndex]
+Engine = Union[IntervalTCIndex, FrozenTCIndex, HybridTCIndex]
+
+#: Engines that expose the batch/semijoin fast paths natively.
+_BATCH_ENGINES = (FrozenTCIndex, HybridTCIndex)
 
 
 def _engine(index: Engine) -> Engine:
     """The fastest engine available for ``index`` without compiling one.
 
-    A frozen index is used as-is; a mutable index is swapped for its
-    cached frozen view when that view exists and is fresh.  Freezing is
-    never triggered here — callers opt in with ``index.freeze()``.
+    Frozen and hybrid indexes are used as-is (the hybrid does its own
+    base/delta routing); a mutable index is swapped for its cached frozen
+    view when that view exists and is fresh.  Freezing is never triggered
+    here — callers opt in with ``index.freeze()``.
     """
-    if isinstance(index, FrozenTCIndex):
+    if isinstance(index, _BATCH_ENGINES):
         return index
     view = index.frozen_view()
     return index if view is None else view
@@ -133,7 +140,7 @@ def are_disjoint(index: Engine, first: Node, second: Node) -> bool:
     set is materialised.
     """
     engine = _engine(index)
-    if isinstance(engine, FrozenTCIndex):
+    if isinstance(engine, _BATCH_ENGINES):
         return engine.are_disjoint(first, second)
     if engine.reachable(first, second) or engine.reachable(second, first):
         return False
@@ -180,7 +187,7 @@ def path_exists_batch(index: Engine,
     list-of-bools contract is identical either way.
     """
     engine = _engine(index)
-    if isinstance(engine, FrozenTCIndex):
+    if isinstance(engine, _BATCH_ENGINES):
         return engine.reachable_many(pairs)
     return [engine.reachable(source, destination)
             for source, destination in pairs]
@@ -194,7 +201,7 @@ def reachable_from_set(index: Engine,
     interval-set union instead of per-source traversals.
     """
     engine = _engine(index)
-    if isinstance(engine, FrozenTCIndex):
+    if isinstance(engine, _BATCH_ENGINES):
         return engine.reachable_from_set(sources)
     result: Set[Node] = set()
     for source in sources:
@@ -213,7 +220,7 @@ def reaching_set(index: Engine,
     O(n t log k) of testing every target against every node.
     """
     engine = _engine(index)
-    if isinstance(engine, FrozenTCIndex):
+    if isinstance(engine, _BATCH_ENGINES):
         return engine.reaching_set(destinations)
     targets = sorted({engine.postorder[destination]
                       for destination in destinations})
@@ -234,7 +241,7 @@ def any_reachable(index: Engine, sources: Iterable[Node],
     stored interval, stopping at the first hit.
     """
     engine = _engine(index)
-    if isinstance(engine, FrozenTCIndex):
+    if isinstance(engine, _BATCH_ENGINES):
         return engine.any_reachable(sources, destinations)
     targets = sorted({engine.postorder[destination]
                       for destination in destinations})

@@ -37,8 +37,11 @@ from repro.graph.traversal import topological_order
 
 FORMAT_VERSION = 1
 FROZEN_FORMAT_VERSION = 1
+HYBRID_FORMAT_VERSION = 1
 #: Document discriminator for frozen-buffer files.
 FROZEN_KIND = "frozen-tc-index"
+#: Document discriminator for hybrid (base + delta log) files.
+HYBRID_KIND = "hybrid-tc-index"
 
 
 def _encode_number(number) -> object:
@@ -86,6 +89,9 @@ def index_from_dict(document: dict) -> IntervalTCIndex:
     if document.get("kind") == FROZEN_KIND:
         raise ReproError(
             "document holds frozen buffers; load it with load_frozen_index")
+    if document.get("kind") == HYBRID_KIND:
+        raise ReproError(
+            "document holds a hybrid engine; load it with load_hybrid_index")
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise ReproError(f"unsupported index document version {version!r}")
@@ -183,9 +189,80 @@ def load_frozen_index(path: Union[str, Path], *,
                             backend=backend)
 
 
-def load_any(path: Union[str, Path]) -> Union[IntervalTCIndex, FrozenTCIndex]:
+# ----------------------------------------------------------------------
+# hybrid engine (base buffers + delta log)
+# ----------------------------------------------------------------------
+def hybrid_to_dict(hybrid: "HybridTCIndex") -> dict:
+    """A JSON-safe document capturing base snapshot, delta log and truth.
+
+    Persisting all three means a warm restart skips recompilation
+    entirely: the base buffers rehydrate like a frozen document, the
+    mutable index reloads its interval sets, and the delta log replays
+    the difference — no freeze, no Alg1, no propagation pass.
+    """
+    state = hybrid.to_state()
+    return {
+        "format_version": HYBRID_FORMAT_VERSION,
+        "kind": HYBRID_KIND,
+        "index": index_to_dict(hybrid.index),
+        "base": frozen_to_dict(hybrid.base),
+        "delta": {
+            "arcs": [[source, destination]
+                     for source, destination in state["delta_arcs"]],
+            "nodes": state["delta_nodes"],
+            "cost": state["delta_cost"],
+            "tainted": state["tainted"],
+        },
+        "settings": state["settings"],
+    }
+
+
+def hybrid_from_dict(document: dict, *,
+                     backend: Optional[str] = None) -> "HybridTCIndex":
+    """Rehydrate a hybrid engine from :func:`hybrid_to_dict` output."""
+    from repro.core.hybrid import HybridTCIndex
+    if document.get("kind") != HYBRID_KIND:
+        raise ReproError(
+            "document does not hold a hybrid engine; use load_any")
+    version = document.get("format_version")
+    if version != HYBRID_FORMAT_VERSION:
+        raise ReproError(f"unsupported hybrid document version {version!r}")
+    index = index_from_dict(document["index"])
+    base = frozen_from_dict(document["base"], backend=backend)
+    delta = document["delta"]
+    settings = document.get("settings", {})
+    return HybridTCIndex.restore(
+        index, base,
+        delta_arcs=[(source, destination)
+                    for source, destination in delta["arcs"]],
+        delta_nodes=delta["nodes"],
+        delta_cost=delta["cost"],
+        tainted=delta["tainted"],
+        backend=backend,
+        **settings,
+    )
+
+
+def save_hybrid_index(hybrid: "HybridTCIndex",
+                      path: Union[str, Path]) -> None:
+    """Write a hybrid engine (base + delta log) to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(hybrid_to_dict(hybrid)))
+
+
+def load_hybrid_index(path: Union[str, Path], *,
+                      backend: Optional[str] = None) -> "HybridTCIndex":
+    """Read a hybrid engine previously written by :func:`save_hybrid_index`."""
+    return hybrid_from_dict(json.loads(Path(path).read_text()),
+                            backend=backend)
+
+
+def load_any(path: Union[str, Path]
+             ) -> Union[IntervalTCIndex, FrozenTCIndex, "HybridTCIndex"]:
     """Load whichever index kind ``path`` holds (used by the CLI)."""
     document = json.loads(Path(path).read_text())
-    if document.get("kind") == FROZEN_KIND:
+    kind = document.get("kind")
+    if kind == FROZEN_KIND:
         return frozen_from_dict(document)
+    if kind == HYBRID_KIND:
+        return hybrid_from_dict(document)
     return index_from_dict(document)

@@ -139,6 +139,10 @@ def build_tree_cover(
     parent: Dict[Node, Node] = {}
     children: Dict[Node, List[Node]] = {VIRTUAL_ROOT: []}
     pred_mask: Dict[Node, int] = {}
+    # Theorem 1 only ever needs |pred(p)| for the arg-max, so the popcount
+    # is taken once per node here rather than once per candidate arc: a
+    # node with d incoming arcs is consulted d times but counted once.
+    pred_size: Dict[Node, int] = {}
 
     need_masks = policy in ("alg1", "min_pred")
     for node in order:
@@ -155,7 +159,7 @@ def build_tree_cover(
             # alg1 keeps the predecessor with the LARGEST predecessor set;
             # min_pred (ablation) keeps the smallest.  Ties break toward the
             # earliest node in topological order, deterministically.
-            sizes = [pred_mask[p].bit_count() for p in predecessors]
+            sizes = [pred_size[p] for p in predecessors]
             best = max(sizes) if policy == "alg1" else min(sizes)
             chosen = predecessors[sizes.index(best)]
         parent[node] = chosen
@@ -166,6 +170,7 @@ def build_tree_cover(
             for p in predecessors:
                 mask |= pred_mask[p] | (1 << index_in_order[p])
             pred_mask[node] = mask
+            pred_size[node] = mask.bit_count()
 
     _order_children(children, index_in_order)
     return TreeCover(parent=parent, children=children, order=order, policy=policy,

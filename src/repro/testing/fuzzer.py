@@ -16,14 +16,19 @@ After each step it:
   applied operations;
 * asserts that any live frozen view was staled by the mutation and
   refuses to answer (the freeze-contract check);
-* on ``query`` ops, compares the index (and any fresh frozen view)
-  against the oracle;
+* on ``query`` ops, compares the index (and any fresh frozen view, and
+  the live hybrid mirror) against the oracle;
 * on ``freeze`` ops, compiles a frozen view and compares its full
   successor/predecessor answers against the oracle;
+* mirrors every node/arc mutation into a live
+  :class:`~repro.core.hybrid.HybridTCIndex` with a deliberately tiny
+  compaction threshold, so freeze→mutate→query→compact interleavings
+  are exercised organically; ``compact`` ops fold its delta on demand;
 * every ``check_every`` applied operations (and once at the end), runs
   the full differential matrix: the live index, a fresh frozen
-  compilation, a from-scratch rebuild, and every requested baseline
-  engine, all rebuilt from the oracle's private arc set.
+  compilation, the hybrid mirror, a from-scratch rebuild, and every
+  requested baseline engine, all rebuilt from the oracle's private arc
+  set.
 
 Any discrepancy raises :class:`TraceFailure` carrying the exact trace
 prefix that reproduces it — feed that to
@@ -58,33 +63,47 @@ from repro.testing.oracle import (
 MUTATING_KINDS = frozenset(
     {"add_node", "add_arc", "remove_arc", "remove_node", "merge", "renumber"})
 
-#: Every op kind a trace may contain.
-OP_KINDS = MUTATING_KINDS | {"freeze", "query"}
+#: Every op kind a trace may contain.  ``compact`` folds the live hybrid
+#: mirror's delta overlay — a no-op at the query level, so not mutating.
+OP_KINDS = MUTATING_KINDS | {"freeze", "query", "compact"}
 
-#: Default differential matrix: frozen + rebuilds + every baseline.
-DEFAULT_ENGINES: Tuple[str, ...] = ("frozen", "rebuild", "rebuild-merged",
-                                    "baselines")
+#: Default differential matrix: frozen + live hybrid mirror + rebuilds +
+#: every baseline (``hybrid-delta`` rebuilds with a live overlay).
+DEFAULT_ENGINES: Tuple[str, ...] = ("frozen", "hybrid", "rebuild",
+                                    "rebuild-merged", "baselines",
+                                    "hybrid-delta")
+
+#: Compaction threshold of the live hybrid mirror: small enough that a
+#: fuzz run crosses it many times, so freeze→mutate→query→compact
+#: interleavings happen organically.
+HYBRID_MIRROR_MAX_DELTA = 12
 
 
-def expand_engines(names: Sequence[str]) -> Tuple[Tuple[str, ...], bool]:
-    """Resolve engine names to (rebuild factory names, check_frozen flag).
+def expand_engines(
+        names: Sequence[str]) -> Tuple[Tuple[str, ...], bool, bool]:
+    """Resolve engine names to (rebuild names, check_frozen, check_hybrid).
 
     ``"baselines"`` expands to every baseline engine, ``"all"`` to the
     whole registry; ``"interval"`` (the live index) is always implied and
-    accepted for symmetry; ``"frozen"`` turns on the frozen-view checks.
+    accepted for symmetry; ``"frozen"`` turns on the frozen-view checks
+    and ``"hybrid"`` the live delta-overlay mirror.
     """
     rebuilds: List[str] = []
     check_frozen = False
+    check_hybrid = False
     for name in names:
         if name == "interval":
             continue
         if name == "frozen":
             check_frozen = True
+        elif name == "hybrid":
+            check_hybrid = True
         elif name == "baselines":
             rebuilds.extend(group for group in BASELINE_GROUP
                             if group not in rebuilds)
         elif name == "all":
             check_frozen = True
+            check_hybrid = True
             rebuilds.extend(group for group in ENGINE_FACTORIES
                             if group not in rebuilds)
         elif name in ENGINE_FACTORIES:
@@ -92,9 +111,9 @@ def expand_engines(names: Sequence[str]) -> Tuple[Tuple[str, ...], bool]:
                 rebuilds.append(name)
         else:
             raise ReproError(
-                f"unknown engine {name!r}; known: interval, frozen, "
+                f"unknown engine {name!r}; known: interval, frozen, hybrid, "
                 f"baselines, all, {sorted(ENGINE_FACTORIES)}")
-    return tuple(rebuilds), check_frozen
+    return tuple(rebuilds), check_frozen, check_hybrid
 
 
 @dataclass
@@ -206,6 +225,7 @@ class FuzzReport:
     audit_checks: int = 0
     differential_checks: int = 0
     freezes: int = 0
+    compactions: int = 0
     queries: int = 0
     final_nodes: int = 0
     final_arcs: int = 0
@@ -223,16 +243,21 @@ class FuzzRunner:
                  engines: Sequence[str] = DEFAULT_ENGINES,
                  audit_every: int = 1, check_every: int = 50) -> None:
         self.trace = trace
-        self.rebuild_names, self.check_frozen = expand_engines(engines)
+        self.rebuild_names, self.check_frozen, self.check_hybrid = \
+            expand_engines(engines)
         self.audit_every = audit_every
         self.check_every = check_every
+        live = ["interval"]
+        if self.check_frozen:
+            live.append("frozen")
+        if self.check_hybrid:
+            live.append("hybrid")
         self.report = FuzzReport(engines=",".join(
-            ("interval", "frozen") if self.check_frozen else ("interval",))
-            + ("," + ",".join(self.rebuild_names) if self.rebuild_names
-               else ""))
+            live + list(self.rebuild_names)))
         self.index: Optional[IntervalTCIndex] = None
         self.oracle: Optional[SetClosureOracle] = None
         self.frozen = None
+        self.hybrid = None
         self._step = -1
 
     # ------------------------------------------------------------------
@@ -247,6 +272,12 @@ class FuzzRunner:
                 graph, gap=trace.gap, numbering=trace.numbering)
             self.oracle = SetClosureOracle(arcs=trace.seed_arcs,
                                            nodes=trace.seed_nodes)
+            if self.check_hybrid:
+                from repro.core.hybrid import HybridTCIndex
+                self.hybrid = HybridTCIndex.build(
+                    DiGraph(arcs=trace.seed_arcs, nodes=trace.seed_nodes),
+                    gap=trace.gap, numbering=trace.numbering,
+                    max_delta=HYBRID_MIRROR_MAX_DELTA)
             self._audit()
         except TraceFailure:
             raise
@@ -325,6 +356,8 @@ class FuzzRunner:
             oracle.add_node(node)
             for parent in parents:
                 oracle.add_arc(parent, node)
+            if self.hybrid is not None:
+                self.hybrid.add_node(node, parents=parents)
             return True
         if kind == "add_arc":
             source, destination = op[1], op[2]
@@ -335,6 +368,8 @@ class FuzzRunner:
                 return False
             index.add_arc(source, destination)
             oracle.add_arc(source, destination)
+            if self.hybrid is not None:
+                self.hybrid.add_arc(source, destination)
             return True
         if kind == "remove_arc":
             source, destination = op[1], op[2]
@@ -342,6 +377,8 @@ class FuzzRunner:
                 return False
             index.remove_arc(source, destination)
             oracle.remove_arc(source, destination)
+            if self.hybrid is not None:
+                self.hybrid.remove_arc(source, destination)
             return True
         if kind == "remove_node":
             node = op[1]
@@ -349,6 +386,8 @@ class FuzzRunner:
                 return False
             index.remove_node(node)
             oracle.remove_node(node)
+            if self.hybrid is not None:
+                self.hybrid.remove_node(node)
             return True
         if kind == "merge":
             apply_merge(index)
@@ -362,6 +401,12 @@ class FuzzRunner:
             if self.check_frozen:
                 self.report.differential_checks += compare_engine(
                     "frozen", self.frozen, oracle, predecessors=True)
+            return True
+        if kind == "compact":
+            if self.hybrid is None:
+                return False
+            self.hybrid.compact()
+            self.report.compactions += 1
             return True
         if kind == "query":
             source, destination = op[1], op[2]
@@ -383,6 +428,13 @@ class FuzzRunner:
                         "frozen",
                         f"reachable({source!r}, {destination!r}) = "
                         f"{frozen_answer}, oracle says {expected}")
+            if self.hybrid is not None:
+                hybrid_answer = self.hybrid.reachable(source, destination)
+                if hybrid_answer != expected:
+                    raise DifferentialMismatch(
+                        "hybrid",
+                        f"reachable({source!r}, {destination!r}) = "
+                        f"{hybrid_answer}, oracle says {expected}")
             return True
         raise ReproError(f"unknown fuzz op kind {kind!r}")  # pragma: no cover
 
@@ -419,6 +471,9 @@ class FuzzRunner:
             fresh = self.index.freeze()
             self.report.differential_checks += compare_engine(
                 "frozen", fresh, oracle, predecessors=True)
+        if self.hybrid is not None:
+            self.report.differential_checks += compare_engine(
+                "hybrid", self.hybrid, oracle, predecessors=True)
         for name, engine in build_engines(oracle, self.rebuild_names).items():
             self.report.differential_checks += compare_engine(
                 name, engine, oracle)
@@ -464,6 +519,7 @@ def _propose(rng: random.Random, runner: FuzzRunner, next_label: List[int],
         "merge": 3,
         "renumber": 2,
         "freeze": 7,
+        "compact": 3,
         "query": 24,
     }
     kinds = list(weights)
@@ -502,6 +558,8 @@ def _propose(rng: random.Random, runner: FuzzRunner, next_label: List[int],
         return ["renumber", rng.randint(1, 12)]
     if kind == "freeze":
         return ["freeze"]
+    if kind == "compact":
+        return ["compact"]
     source = rng.choice(nodes)
     destination = rng.choice(nodes)
     return ["query", source, destination]

@@ -182,6 +182,28 @@ def _build_condensed(graph: DiGraph):
     return CondensedIndex.build(graph)
 
 
+def _build_hybrid_delta(graph: DiGraph):
+    """A hybrid engine compared *while its delta overlay is live*.
+
+    Builds the frozen base from the graph minus a deterministic slice of
+    withheld arcs, then adds those arcs back through the hybrid — so the
+    comparison exercises the overlay correction path, not just a freshly
+    compacted snapshot.  Thresholds are pushed out of reach to keep the
+    delta from folding before the check.
+    """
+    from repro.core.hybrid import HybridTCIndex
+    arcs = sorted(graph.arcs(), key=repr)
+    withheld_count = min(8, len(arcs) // 4)
+    kept = arcs[:len(arcs) - withheld_count] if withheld_count else arcs
+    withheld = arcs[len(arcs) - withheld_count:] if withheld_count else []
+    base_graph = DiGraph(arcs=kept, nodes=list(graph.nodes()))
+    hybrid = HybridTCIndex.build(base_graph, max_delta=1_000_000,
+                                 max_ratio=1_000_000.0)
+    for source, destination in withheld:
+        hybrid.add_arc(source, destination)
+    return hybrid
+
+
 #: From-scratch engine builders, keyed by the names the CLI accepts.
 ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "rebuild": _build_interval,
@@ -193,6 +215,7 @@ ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "inverse": _build_inverse,
     "chain": _build_chain,
     "condensed": _build_condensed,
+    "hybrid-delta": _build_hybrid_delta,
 }
 
 #: Shorthand accepted by ``--engines``: expands to every baseline engine.

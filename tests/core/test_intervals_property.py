@@ -93,6 +93,21 @@ def test_intervals_from_points_exact(points):
     assert interval_set.merged() == interval_set
 
 
+@given(interval_lists, interval_lists)
+def test_add_all_equals_sequential_add(existing, incoming):
+    """The sort-then-sweep bulk path lands on the same canonical set as
+    one-at-a-time insertion, and reports change identically."""
+    bulk = IntervalSet(existing)
+    sequential = IntervalSet(existing)
+    changed_bulk = bulk.add_all(incoming)
+    changed_sequential = False
+    for interval in incoming:
+        changed_sequential |= sequential.add(interval)
+    assert list(bulk) == list(sequential)
+    assert changed_bulk == changed_sequential
+    bulk.check_invariants()
+
+
 @given(interval_lists, st.integers(0, 60))
 def test_discard_containing_model(interval_list, point):
     interval_set = IntervalSet(interval_list)

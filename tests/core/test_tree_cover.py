@@ -130,3 +130,43 @@ class TestEnumeration:
     def test_alg1_cover_is_among_enumerated(self, diamond):
         alg1 = build_tree_cover(diamond, "alg1")
         assert any(cover.parent == alg1.parent for cover in all_tree_covers(diamond))
+
+
+class TestMemoisedPredecessorSizes:
+    """The pred-size memo is a pure speedup: Alg1 (and min_pred) must pick
+    the exact cover a per-arc popcount reference picks."""
+
+    @staticmethod
+    def _reference_cover(graph, policy):
+        from repro.graph.traversal import topological_order
+
+        order = topological_order(graph)
+        position = {node: i for i, node in enumerate(order)}
+        pred_set = {}
+        parent = {}
+        for node in order:
+            predecessors = sorted(graph.predecessors(node),
+                                  key=position.__getitem__)
+            full = set()
+            for p in predecessors:
+                full |= pred_set[p] | {p}
+            pred_set[node] = full
+            if not predecessors:
+                parent[node] = VIRTUAL_ROOT
+                continue
+            sizes = [len(pred_set[p]) for p in predecessors]
+            best = max(sizes) if policy == "alg1" else min(sizes)
+            parent[node] = predecessors[sizes.index(best)]
+        return parent
+
+    @pytest.mark.parametrize("policy", ["alg1", "min_pred"])
+    def test_matches_reference_on_paper_dag(self, paper_dag, policy):
+        cover = build_tree_cover(paper_dag, policy)
+        assert cover.parent == self._reference_cover(paper_dag, policy)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference_on_random_graphs(self, seed):
+        graph = random_dag(60, 2.5, seed)
+        for policy in ("alg1", "min_pred"):
+            cover = build_tree_cover(graph, policy)
+            assert cover.parent == self._reference_cover(graph, policy)
