@@ -1,0 +1,241 @@
+"""Durability cost model: WAL throughput, checkpoint and recovery latency.
+
+Three questions the crash-safe store raises, answered with numbers:
+
+* **What does an append cost?** Raw :class:`~repro.durability.wal.WalWriter`
+  throughput across ``fsync_every`` ∈ {1, 8, 64} — the knob that trades
+  the size of the at-risk tail batch against ops/sec — plus the
+  journalling tax measured end-to-end: the same op stream applied to a
+  bare :class:`~repro.core.index.IntervalTCIndex` and to a
+  :class:`~repro.durability.store.DurableTCIndex` on top of it.
+* **What does a checkpoint cost?** Wall time to publish an atomic
+  snapshot generation as the store grows.
+* **What does recovery cost?** Opening the same store with a cold
+  checkpoint and a long WAL tail (full replay) versus right after a
+  checkpoint (no replay) — the latency the rotation policy exists to
+  bound.
+
+Run as a script to (re)generate ``BENCH_durability.json`` at the repo
+root::
+
+    $ python benchmarks/bench_durability.py            # paper scale
+    $ python benchmarks/bench_durability.py --quick    # CI-sized run
+
+The harness verifies every recovered store against the live one before
+reporting a number.  The pytest wrappers at the bottom run the quick
+scale against a throwaway path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.durability import DurableTCIndex
+from repro.durability.wal import WalWriter
+from repro.testing.crashfuzz import generate_ops
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_durability.json"
+
+FSYNC_BATCHES = (1, 8, 64)
+
+
+def apply_op(target, op: list) -> None:
+    """Apply one journal-shaped op to a store or a bare index."""
+    kind = op[0]
+    if kind == "add_node":
+        target.add_node(op[1], op[2])
+    elif kind == "add_arc":
+        target.add_arc(op[1], op[2])
+    elif kind == "remove_arc":
+        target.remove_arc(op[1], op[2])
+    elif kind == "remove_node":
+        target.remove_node(op[1])
+    elif kind == "renumber":
+        target.renumber(op[1])
+    elif kind == "merge":
+        target.merge_intervals()
+
+
+def mutation_stream(count: int, seed: int) -> List[list]:
+    """A deterministic op stream with the checkpoint markers removed."""
+    return [op for op in generate_ops(count, seed=seed)
+            if op[0] != "checkpoint"]
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+def bench_wal_append(records: int, seed: int) -> dict:
+    """Raw segment-append throughput per fsync batch size."""
+    op = ["add_arc", "some-node-label", "another-node-label"]
+    rows = {}
+    for fsync_every in FSYNC_BATCHES:
+        with tempfile.TemporaryDirectory(prefix="bench-wal-") as scratch:
+            path = Path(scratch) / "wal-0000000000000001.log"
+            started = time.perf_counter()
+            with WalWriter(path, next_seq=1,
+                           fsync_every=fsync_every) as writer:
+                for _ in range(records):
+                    writer.append(op)
+            elapsed = time.perf_counter() - started
+            rows[str(fsync_every)] = {
+                "records": records,
+                "seconds": round(elapsed, 6),
+                "appends_per_sec": round(records / elapsed, 1),
+                "bytes": path.stat().st_size,
+            }
+    return rows
+
+
+def bench_journalling_tax(ops: int, seed: int) -> dict:
+    """The same mutations, bare index vs durable store."""
+    from repro.core.index import IntervalTCIndex
+    from repro.graph.digraph import DiGraph
+    stream = mutation_stream(ops, seed)
+
+    bare = IntervalTCIndex.build(DiGraph())
+    started = time.perf_counter()
+    for op in stream:
+        apply_op(bare, op)
+    bare_s = time.perf_counter() - started
+
+    rows = {"bare_index": {"ops": len(stream),
+                           "seconds": round(bare_s, 6),
+                           "ops_per_sec": round(len(stream) / bare_s, 1)}}
+    for fsync_every in FSYNC_BATCHES:
+        with tempfile.TemporaryDirectory(prefix="bench-store-") as scratch:
+            started = time.perf_counter()
+            with DurableTCIndex.open(Path(scratch) / "store.d",
+                                     fsync_every=fsync_every) as store:
+                for op in stream:
+                    apply_op(store, op)
+            elapsed = time.perf_counter() - started
+            rows[f"durable_fsync_{fsync_every}"] = {
+                "ops": len(stream),
+                "seconds": round(elapsed, 6),
+                "ops_per_sec": round(len(stream) / elapsed, 1),
+                "overhead_vs_bare": round(elapsed / bare_s, 2),
+            }
+    return rows
+
+
+def bench_checkpoint_and_recovery(ops: int, seed: int) -> dict:
+    """Checkpoint publication cost and replay-vs-snapshot open latency."""
+    stream = mutation_stream(ops, seed)
+    sizes = [max(10, len(stream) // 4), max(20, len(stream) // 2),
+             len(stream)]
+    rows = {}
+    for size in sizes:
+        with tempfile.TemporaryDirectory(prefix="bench-recover-") as scratch:
+            directory = Path(scratch) / "store.d"
+            with DurableTCIndex.open(directory) as store:
+                for op in stream[:size]:
+                    apply_op(store, op)
+                live_nodes = sorted(store.nodes(), key=repr)
+
+            # cold open: checkpoint 0 + full WAL replay
+            started = time.perf_counter()
+            replayed = DurableTCIndex.open(directory)
+            replay_s = time.perf_counter() - started
+            report = replayed.recovery_report
+            assert report.ops_replayed == size
+            assert sorted(replayed.nodes(), key=repr) == live_nodes
+
+            # checkpoint, then open again: snapshot load, no replay
+            started = time.perf_counter()
+            replayed.checkpoint()
+            checkpoint_s = time.perf_counter() - started
+            replayed.close()
+            started = time.perf_counter()
+            snapshot = DurableTCIndex.open(directory)
+            snapshot_s = time.perf_counter() - started
+            assert snapshot.recovery_report.ops_replayed == 0
+            assert sorted(snapshot.nodes(), key=repr) == live_nodes
+            snapshot.close()
+
+            rows[str(size)] = {
+                "log_records": size,
+                "nodes": len(live_nodes),
+                "replay_open_ms": round(replay_s * 1e3, 3),
+                "checkpoint_ms": round(checkpoint_s * 1e3, 3),
+                "snapshot_open_ms": round(snapshot_s * 1e3, 3),
+                "verified_identical": True,
+            }
+    return rows
+
+
+def run_benchmark(*, records: int, ops: int, seed: int) -> dict:
+    return {
+        "meta": {"wal_records": records, "store_ops": ops, "seed": seed,
+                 "fsync_batches": list(FSYNC_BATCHES)},
+        "wal_append": bench_wal_append(records, seed),
+        "journalling_tax": bench_journalling_tax(ops, seed),
+        "checkpoint_recovery": bench_checkpoint_and_recovery(ops, seed),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="WAL, checkpoint and recovery cost model")
+    parser.add_argument("--records", type=int, default=20000,
+                        help="raw WAL appends per fsync batch size")
+    parser.add_argument("--ops", type=int, default=1500,
+                        help="store mutations for the tax/recovery sections")
+    parser.add_argument("--seed", type=int, default=1989)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scale for CI (overrides sizes)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.records = min(args.records, 3000)
+        args.ops = min(args.ops, 300)
+
+    result = run_benchmark(records=args.records, ops=args.ops,
+                           seed=args.seed)
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"\nresults written to {args.output}")
+
+    batched = result["wal_append"][str(FSYNC_BATCHES[-1])]["appends_per_sec"]
+    synchronous = result["wal_append"]["1"]["appends_per_sec"]
+    print(f"fsync batching: {synchronous:.0f} -> {batched:.0f} appends/sec "
+          f"(x{batched / synchronous:.1f})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest wrappers (collected via the bench_*.py pattern)
+# ----------------------------------------------------------------------
+def test_durability_benchmark_quick(tmp_path):
+    """Quick-scale run; recovered-state parity is asserted inside."""
+    result = run_benchmark(records=1500, ops=150, seed=1989)
+    (tmp_path / "BENCH_durability.json").write_text(json.dumps(result))
+    for row in result["checkpoint_recovery"].values():
+        assert row["verified_identical"]
+    for fsync_every in FSYNC_BATCHES:
+        assert result["wal_append"][str(fsync_every)]["appends_per_sec"] > 0
+        assert result["journalling_tax"][f"durable_fsync_{fsync_every}"][
+            "ops_per_sec"] > 0
+
+
+def test_recovery_cost_scales_with_log_length():
+    """A snapshot open must not replay; a cold open replays everything."""
+    result = run_benchmark(records=500, ops=120, seed=7)
+    rows = list(result["checkpoint_recovery"].values())
+    assert [row["log_records"] for row in rows] == sorted(
+        row["log_records"] for row in rows)
+    for row in rows:
+        assert row["replay_open_ms"] > 0
+        assert row["snapshot_open_ms"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

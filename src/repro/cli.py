@@ -8,6 +8,13 @@ Installed as ``repro-tc``.  Typical session::
     $ repro-tc stats edges.txt
     $ repro-tc bench fig3.9 --nodes 500
 
+Crash-safe sessions go through a durable store directory instead::
+
+    $ repro-tc build edges.txt --durable store.d
+    $ repro-tc query --durable store.d alice bob
+    $ repro-tc checkpoint store.d
+    $ repro-tc log-stats store.d
+
 Edge lists are whitespace-separated ``source destination`` lines with
 ``#`` comments (see :mod:`repro.graph.io`).
 """
@@ -15,8 +22,10 @@ Edge lists are whitespace-separated ``source destination`` lines with
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro.bench import (
     chain_comparison,
@@ -91,8 +100,57 @@ def _add_engine_option(command) -> None:
              "delta overlay; default follows the file)")
 
 
+def _add_durable_option(command) -> None:
+    command.add_argument(
+        "--durable", metavar="PATH", default=None,
+        help="operate on a crash-safe durable store directory (write-ahead "
+             "logged; see the checkpoint/recover/log-stats commands) "
+             "instead of an index file")
+
+
+def _open_durable(path: str, *, create: bool = False, **kwargs):
+    from repro.durability import DurableTCIndex
+    return DurableTCIndex.open(path, create=create, **kwargs)
+
+
+@contextmanager
+def _engine_for(args: argparse.Namespace) -> Iterator[object]:
+    """A query engine from ``--durable PATH`` or the index positional.
+
+    Durable stores hold an open log handle, so they are closed when the
+    command finishes; file-based engines need no teardown.
+    """
+    if getattr(args, "durable", None):
+        store = _open_durable(args.durable)
+        try:
+            yield store
+        finally:
+            store.close()
+        return
+    if not args.index:
+        raise ReproError("provide an index/edge-list path or --durable PATH")
+    yield _load_engine(args.index, args.engine)
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     graph = load_edge_list(args.edges)
+    if args.durable:
+        # A durable store is built incrementally so every node insertion
+        # is journalled; the tree cover is whatever the Section 4 update
+        # algorithms produce (--policy applies only to file output).
+        from repro.graph.traversal import topological_order
+        with _open_durable(args.durable, create=True, gap=args.gap) as store:
+            for node in topological_order(graph):
+                store.add_node(node,
+                               sorted(graph.predecessors(node), key=repr))
+            if args.merge:
+                store.merge_intervals()
+            checkpoint_path = store.checkpoint()
+            stats = store.index.stats()
+        print(format_table([stats.as_dict()], title="durable store built"))
+        print(f"durable store at {args.durable} "
+              f"(checkpoint {checkpoint_path})")
+        return 0
     index = IntervalTCIndex.build(graph, policy=args.policy, gap=args.gap,
                                   merge=args.merge)
     if args.output:
@@ -105,22 +163,25 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = _load_engine(args.index, args.engine)
-    answer = engine.reachable(args.source, args.destination)
+    with _engine_for(args) as engine:
+        answer = engine.reachable(args.source, args.destination)
     print("reachable" if answer else "not-reachable")
     return 0 if answer else 1
 
 
 def _cmd_successors(args: argparse.Namespace) -> int:
-    engine = _load_engine(args.index, args.engine)
-    for node in sorted(engine.successors(args.node, reflexive=False), key=str):
+    with _engine_for(args) as engine:
+        nodes = sorted(engine.successors(args.node, reflexive=False), key=str)
+    for node in nodes:
         print(node)
     return 0
 
 
 def _cmd_predecessors(args: argparse.Namespace) -> int:
-    engine = _load_engine(args.index, args.engine)
-    for node in sorted(engine.predecessors(args.node, reflexive=False), key=str):
+    with _engine_for(args) as engine:
+        nodes = sorted(engine.predecessors(args.node, reflexive=False),
+                       key=str)
+    for node in nodes:
         print(node)
     return 0
 
@@ -164,8 +225,20 @@ def _cmd_compact(args: argparse.Namespace) -> int:
 
 def _cmd_update(args: argparse.Namespace) -> int:
     from pathlib import Path
-    index = _load_index_or_build(args.index)
     diff_text = Path(args.diff).read_text()
+    if args.durable:
+        with _open_durable(args.durable) as store:
+            applied = store.apply_diff(diff_text)
+            store.index.check_invariants()
+            stats = store.index.stats().as_dict()
+            last_seq = store.last_seq
+        print(format_table(
+            [stats], title=f"applied {args.diff} ({applied} ops journalled)"))
+        print(f"durable store {args.durable} at sequence {last_seq}")
+        return 0
+    if not args.index:
+        raise ReproError("provide an index/edge-list path or --durable PATH")
+    index = _load_index_or_build(args.index)
     passes = apply_diff(index, diff_text)
     index.check_invariants()
     output = args.output or (args.index if args.index.endswith(".json") else None)
@@ -241,6 +314,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             title="compression across graph families"))
     else:  # pragma: no cover - argparse choices prevent this
         raise ReproError(f"unknown figure {name!r}")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    with _open_durable(args.store) as store:
+        path = store.checkpoint()
+        stats = store.log_stats()
+    print(f"checkpoint written to {path}")
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    with _open_durable(args.store) as store:
+        report = store.recovery_report
+        payload = (report.as_dict() if report is not None
+                   else {"directory": store.directory})
+        payload["nodes"] = len(store)
+        payload["resumed_at_seq"] = store.last_seq + 1
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_log_stats(args: argparse.Namespace) -> int:
+    from repro.durability import log_stats
+    print(json.dumps(log_stats(args.store), indent=2))
+    return 0
+
+
+def _cmd_crash_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.testing.crashfuzz import CrashFuzzFailure, crash_sweep
+
+    started = time.perf_counter()
+    try:
+        report = crash_sweep(ops=args.ops, seed=args.seed,
+                             engine=args.engine,
+                             fsync_every=args.fsync_every,
+                             occurrences_per_point=args.occurrences,
+                             bit_flips=not args.no_bit_flips)
+    except CrashFuzzFailure as failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    payload = report.as_dict()
+    payload["elapsed_s"] = round(elapsed, 2)
+    print(json.dumps(payload, indent=2))
+    print(f"survived {report.crashes} simulated crashes across "
+          f"{len(report.crashed_at)} crash points; recovery matched the "
+          f"oracle every time")
     return 0
 
 
@@ -322,26 +446,35 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--gap", type=int, default=DEFAULT_GAP)
     build.add_argument("--merge", action="store_true",
                        help="apply adjacent-interval merging")
+    build.add_argument(
+        "--durable", metavar="PATH", default=None,
+        help="instead of a JSON file, create a crash-safe durable store "
+             "directory at PATH (write-ahead logged + checkpointed)")
     build.set_defaults(handler=_cmd_build)
 
     query = commands.add_parser("query", help="test reachability between two nodes")
-    query.add_argument("index", help="saved index (.json) or edge-list file")
+    query.add_argument("index", nargs="?", default=None,
+                       help="saved index (.json) or edge-list file "
+                            "(omit with --durable)")
     query.add_argument("source")
     query.add_argument("destination")
     _add_engine_option(query)
+    _add_durable_option(query)
     query.set_defaults(handler=_cmd_query)
 
     successors = commands.add_parser("successors", help="list all strict successors")
-    successors.add_argument("index")
+    successors.add_argument("index", nargs="?", default=None)
     successors.add_argument("node")
     _add_engine_option(successors)
+    _add_durable_option(successors)
     successors.set_defaults(handler=_cmd_successors)
 
     predecessors = commands.add_parser("predecessors",
                                        help="list all strict predecessors")
-    predecessors.add_argument("index")
+    predecessors.add_argument("index", nargs="?", default=None)
     predecessors.add_argument("node")
     _add_engine_option(predecessors)
+    _add_durable_option(predecessors)
     predecessors.set_defaults(handler=_cmd_predecessors)
 
     freeze = commands.add_parser(
@@ -367,11 +500,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     update = commands.add_parser(
         "update", help="apply a +/- diff file to an index incrementally")
-    update.add_argument("index", help="saved index (.json) or edge-list file")
+    update.add_argument("index", nargs="?", default=None,
+                        help="saved index (.json) or edge-list file "
+                             "(omit with --durable)")
     update.add_argument("diff", help="diff file: '+ a b' adds, '- a b' removes")
     update.add_argument("-o", "--output",
                         help="write the updated index (defaults to the input "
                              "when it is a .json index)")
+    _add_durable_option(update)
     update.set_defaults(handler=_cmd_update)
 
     explain_cmd = commands.add_parser(
@@ -449,6 +585,43 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz-replay", help="replay a fuzz crash file")
     replay_cmd.add_argument("crash", help="path to a crash .json")
     replay_cmd.set_defaults(handler=_cmd_fuzz_replay)
+
+    checkpoint_cmd = commands.add_parser(
+        "checkpoint",
+        help="snapshot a durable store atomically and rotate its op log")
+    checkpoint_cmd.add_argument("store", help="durable store directory")
+    checkpoint_cmd.set_defaults(handler=_cmd_checkpoint)
+
+    recover_cmd = commands.add_parser(
+        "recover",
+        help="open a durable store and report what recovery repaired")
+    recover_cmd.add_argument("store", help="durable store directory")
+    recover_cmd.set_defaults(handler=_cmd_recover)
+
+    log_stats_cmd = commands.add_parser(
+        "log-stats",
+        help="read-only WAL and checkpoint accounting for a durable store")
+    log_stats_cmd.add_argument("store", help="durable store directory")
+    log_stats_cmd.set_defaults(handler=_cmd_log_stats)
+
+    crash_cmd = commands.add_parser(
+        "crash-fuzz",
+        help="kill a durable store at every registered crash point and "
+             "verify recovery against the set-closure oracle")
+    crash_cmd.add_argument("--ops", type=int, default=500,
+                           help="length of the randomized op stream")
+    crash_cmd.add_argument("--seed", type=int, default=7,
+                           help="RNG seed for the op stream and torn tails")
+    crash_cmd.add_argument("--engine", choices=("interval", "hybrid"),
+                           default="interval")
+    crash_cmd.add_argument("--fsync-every", type=int, default=1,
+                           help="WAL fsync batch size under test (loss "
+                                "bound is fsync_every - 1 acknowledged ops)")
+    crash_cmd.add_argument("--occurrences", type=int, default=2,
+                           help="crash occurrences exercised per point")
+    crash_cmd.add_argument("--no-bit-flips", action="store_true",
+                           help="skip the bit-rot (flip one byte) phase")
+    crash_cmd.set_defaults(handler=_cmd_crash_fuzz)
 
     return parser
 

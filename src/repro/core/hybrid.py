@@ -234,6 +234,21 @@ class HybridTCIndex:
         return self._index
 
     @property
+    def journal(self):
+        """The write-ahead journal sink, if any.
+
+        Lives on the write-through index: every hybrid mutation funnels
+        through it, so attaching the sink there logs exactly the
+        acknowledged Section 4 op stream — overlay bookkeeping never
+        reaches the log.
+        """
+        return self._index.journal
+
+    @journal.setter
+    def journal(self, sink) -> None:
+        self._index.journal = sink
+
+    @property
     def base(self) -> FrozenTCIndex:
         """The pinned frozen snapshot queries are served from."""
         return self._base

@@ -121,6 +121,13 @@ class IntervalTCIndex:
         #: detect staleness (see :meth:`freeze`).
         self._version = 0
         self._frozen_cache: Optional["FrozenTCIndex"] = None
+        #: Optional write-ahead journal sink.  When set, every public
+        #: mutation that actually changed the index appends its operation
+        #: (``["add_arc", source, destination]``-style lists) via
+        #: ``journal.append(op)`` *after* succeeding in memory — see
+        #: :class:`repro.durability.wal.WalWriter`.  ``None`` costs one
+        #: attribute test per mutation.
+        self.journal = None
 
     # ------------------------------------------------------------------
     # construction
@@ -186,6 +193,10 @@ class IntervalTCIndex:
         """Record a mutation: advances the epoch, staling frozen views."""
         self._version += 1
         self._frozen_cache = None
+
+    def _journal_op(self, op: list) -> None:
+        if self.journal is not None:
+            self.journal.append(op)
 
     def freeze(self, *, backend: Optional[str] = None,
                force: bool = False) -> "FrozenTCIndex":
@@ -383,21 +394,45 @@ class IntervalTCIndex:
         propagation.  With no parents the node hangs off the virtual root.
         """
         _updates.add_node(self, node, parents)
+        self._journal_op(["add_node", node, list(parents)])
 
     def add_arc(self, source: Node, destination: Node) -> None:
         """Insert an arc between two existing nodes (non-tree arc addition)."""
+        before = self._version
         _updates.add_non_tree_arc(self, source, destination)
+        if self._version != before:
+            self._journal_op(["add_arc", source, destination])
 
     def remove_arc(self, source: Node, destination: Node) -> None:
         """Delete an arc; dispatches to the tree/non-tree procedures of §4.2."""
+        before = self._version
         if self.cover.is_tree_arc(source, destination):
             _updates.delete_tree_arc(self, source, destination)
         else:
             _updates.delete_non_tree_arc(self, source, destination)
+        if self._version != before:
+            self._journal_op(["remove_arc", source, destination])
 
     def remove_node(self, node: Node) -> None:
         """Delete a node and all incident arcs."""
+        before = self._version
         _updates.remove_node(self, node)
+        if self._version != before:
+            self._journal_op(["remove_node", node])
+
+    def merge_intervals(self) -> None:
+        """Apply Section 3.2's optional adjacent-interval coalescing.
+
+        Replaces every node's interval set with its merged form and marks
+        the index so later recomputations keep merging.  A mutation for
+        staleness purposes: merged labels are a different representation,
+        so frozen views must not survive it.
+        """
+        self._invalidate()
+        for node, interval_set in list(self.intervals.items()):
+            self.intervals[node] = interval_set.merged()
+        self.merged = True
+        self._journal_op(["merge"])
 
     def renumber(self, gap: Optional[int] = None) -> None:
         """Re-assign postorder numbers over the current tree cover.
@@ -409,6 +444,7 @@ class IntervalTCIndex:
         optimality lost to updates.
         """
         _updates.renumber(self, gap)
+        self._journal_op(["renumber", self.gap])
 
     def rebuild(self, *, policy: Optional[str] = None,
                 gap: Optional[int] = None) -> "IntervalTCIndex":

@@ -30,7 +30,8 @@ from repro.core.index import IntervalTCIndex
 from repro.core.intervals import Interval, IntervalSet
 from repro.core.labeling import Labeling
 from repro.core.tree_cover import VIRTUAL_ROOT, TreeCover
-from repro.errors import ReproError
+from repro.durability.atomic import atomic_write_text
+from repro.errors import CorruptFileError, ReproError
 from repro.graph.digraph import DiGraph
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.graph.traversal import topological_order
@@ -42,6 +43,51 @@ HYBRID_FORMAT_VERSION = 1
 FROZEN_KIND = "frozen-tc-index"
 #: Document discriminator for hybrid (base + delta log) files.
 HYBRID_KIND = "hybrid-tc-index"
+
+
+def _read_document(path: Union[str, Path]) -> dict:
+    """Read one JSON document, typing every corruption mode.
+
+    Truncated, garbage, or non-object files raise
+    :class:`~repro.errors.CorruptFileError` instead of leaking raw
+    ``json.JSONDecodeError``; a missing file still raises
+    :class:`FileNotFoundError` (absent and damaged are different
+    failures).
+    """
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        raise
+    except OSError as error:
+        raise CorruptFileError(path, f"unreadable: {error}") from error
+    try:
+        document = json.loads(text)
+    except ValueError as error:
+        raise CorruptFileError(path, f"not valid JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise CorruptFileError(
+            path, f"expected a JSON object, got {type(document).__name__}")
+    return document
+
+
+def _rebuild(path, loader, *args, **kwargs):
+    """Run a ``*_from_dict`` loader, wrapping structural failures.
+
+    A document that parses as JSON but does not decode into an index
+    (missing keys, wrong shapes) is corrupt from the caller's point of
+    view; ``ReproError`` subtypes (version/kind mismatches) pass through
+    with their sharper message.
+    """
+    try:
+        return loader(*args, **kwargs)
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError,
+            IndexError) as error:
+        raise CorruptFileError(
+            path,
+            f"document does not decode ({type(error).__name__}: {error})"
+        ) from error
 
 
 def _encode_number(number) -> object:
@@ -127,13 +173,13 @@ def index_from_dict(document: dict) -> IntervalTCIndex:
 
 
 def save_index(index: IntervalTCIndex, path: Union[str, Path]) -> None:
-    """Write the index to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(index_to_dict(index)))
+    """Write the index to ``path`` as JSON (atomically: temp + rename)."""
+    atomic_write_text(path, json.dumps(index_to_dict(index)))
 
 
 def load_index(path: Union[str, Path]) -> IntervalTCIndex:
     """Read an index previously written by :func:`save_index`."""
-    return index_from_dict(json.loads(Path(path).read_text()))
+    return _rebuild(path, index_from_dict, _read_document(path))
 
 
 # ----------------------------------------------------------------------
@@ -178,15 +224,15 @@ def frozen_from_dict(document: dict, *,
 
 
 def save_frozen_index(frozen: FrozenTCIndex, path: Union[str, Path]) -> None:
-    """Write a frozen engine's buffers to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(frozen_to_dict(frozen)))
+    """Write a frozen engine's buffers to ``path`` as JSON (atomically)."""
+    atomic_write_text(path, json.dumps(frozen_to_dict(frozen)))
 
 
 def load_frozen_index(path: Union[str, Path], *,
                       backend: Optional[str] = None) -> FrozenTCIndex:
     """Read buffers previously written by :func:`save_frozen_index`."""
-    return frozen_from_dict(json.loads(Path(path).read_text()),
-                            backend=backend)
+    return _rebuild(path, frozen_from_dict, _read_document(path),
+                    backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -245,24 +291,24 @@ def hybrid_from_dict(document: dict, *,
 
 def save_hybrid_index(hybrid: "HybridTCIndex",
                       path: Union[str, Path]) -> None:
-    """Write a hybrid engine (base + delta log) to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(hybrid_to_dict(hybrid)))
+    """Write a hybrid engine (base + delta log) to ``path`` atomically."""
+    atomic_write_text(path, json.dumps(hybrid_to_dict(hybrid)))
 
 
 def load_hybrid_index(path: Union[str, Path], *,
                       backend: Optional[str] = None) -> "HybridTCIndex":
     """Read a hybrid engine previously written by :func:`save_hybrid_index`."""
-    return hybrid_from_dict(json.loads(Path(path).read_text()),
-                            backend=backend)
+    return _rebuild(path, hybrid_from_dict, _read_document(path),
+                    backend=backend)
 
 
 def load_any(path: Union[str, Path]
              ) -> Union[IntervalTCIndex, FrozenTCIndex, "HybridTCIndex"]:
     """Load whichever index kind ``path`` holds (used by the CLI)."""
-    document = json.loads(Path(path).read_text())
+    document = _read_document(path)
     kind = document.get("kind")
     if kind == FROZEN_KIND:
-        return frozen_from_dict(document)
+        return _rebuild(path, frozen_from_dict, document)
     if kind == HYBRID_KIND:
-        return hybrid_from_dict(document)
-    return index_from_dict(document)
+        return _rebuild(path, hybrid_from_dict, document)
+    return _rebuild(path, index_from_dict, document)

@@ -1,0 +1,58 @@
+"""Crash-safe durability: write-ahead log, checkpoints, recovery.
+
+Public surface:
+
+* :class:`~repro.durability.store.DurableTCIndex` — the facade most
+  callers want: ``DurableTCIndex.open(path)`` creates or recovers a
+  store; mutations are journalled; :meth:`checkpoint` snapshots.
+* :func:`~repro.durability.store.log_stats` — read-only durability
+  accounting for a store directory.
+* :mod:`~repro.durability.wal`, :mod:`~repro.durability.checkpoint`,
+  :mod:`~repro.durability.recovery` — the layers underneath.
+* :func:`~repro.durability.atomic.atomic_write_bytes` /
+  :func:`~repro.durability.atomic.atomic_write_text` — the shared
+  temp + fsync + rename helper every saver in the repository uses.
+
+Exports resolve lazily (PEP 562): :mod:`repro.core.serialize` imports
+:mod:`repro.durability.atomic` for its savers, while the checkpoint
+layer imports serialize's encoders — eager re-exports here would close
+that cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "RealFS": "repro.durability.atomic",
+    "REAL_FS": "repro.durability.atomic",
+    "atomic_write_bytes": "repro.durability.atomic",
+    "atomic_write_text": "repro.durability.atomic",
+    "WalScan": "repro.durability.wal",
+    "WalWriter": "repro.durability.wal",
+    "encode_record": "repro.durability.wal",
+    "scan_wal": "repro.durability.wal",
+    "truncate_torn_tail": "repro.durability.wal",
+    "list_checkpoints": "repro.durability.checkpoint",
+    "list_segments": "repro.durability.checkpoint",
+    "load_checkpoint": "repro.durability.checkpoint",
+    "write_checkpoint": "repro.durability.checkpoint",
+    "RecoveryReport": "repro.durability.recovery",
+    "recover": "repro.durability.recovery",
+    "apply_op": "repro.durability.recovery",
+    "DurableTCIndex": "repro.durability.store",
+    "log_stats": "repro.durability.store",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,211 @@
+"""Write-ahead log of the Section 4 update operations.
+
+The paper's update algorithms are already an operation language —
+``add_node``, ``add_arc``, ``remove_arc``, ``remove_node``,
+``renumber``, ``merge`` — and replaying that stream through the real
+algorithms reproduces the index state exactly.  So the durable unit is
+the op stream itself: every acknowledged mutation is appended here
+*after* it succeeds in memory, and recovery replays the tail that the
+newest checkpoint does not cover.
+
+Record layout (little-endian)::
+
+    u32  payload length
+    u32  CRC-32 of the payload
+    payload: UTF-8 JSON array  [seq, kind, ...args]
+
+Sequence numbers are global to the store, start at 1, and must be
+contiguous within and across segments.  The framing gives the two
+properties recovery relies on:
+
+* a **torn tail** (the file ends inside a record, or a length prefix
+  claims more bytes than remain) is recognised by construction and
+  truncated — only the final un-fsynced batch can be lost;
+* **corruption** (a complete record whose checksum does not match, an
+  undecodable payload, a sequence jump) is distinguishable from a torn
+  tail and raises :class:`~repro.errors.CorruptFileError` — a damaged
+  log never silently drops interior operations.
+
+Appends are fsync-batched: :class:`WalWriter` calls ``fsync`` every
+``fsync_every`` records (1 = every record is durable before the call
+returns).  The store forces a sync before each checkpoint and on close.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.durability.atomic import REAL_FS, RealFS
+from repro.errors import CorruptFileError, PersistenceError
+
+#: Per-record framing: payload byte length, CRC-32 of the payload.
+RECORD_HEADER = struct.Struct("<II")
+
+#: Op kinds a WAL may contain (the Section 4 update language).
+WAL_OP_KINDS = frozenset(
+    {"add_node", "add_arc", "remove_arc", "remove_node", "renumber",
+     "merge"})
+
+
+def encode_record(seq: int, op: List) -> bytes:
+    """Frame one operation: length + CRC + JSON payload ``[seq, *op]``."""
+    payload = json.dumps([seq] + list(op),
+                         separators=(",", ":")).encode("utf-8")
+    return RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class WalScan:
+    """The readable prefix of one WAL segment.
+
+    ``records`` holds ``(seq, op)`` pairs; ``valid_bytes`` is the offset
+    where clean framing ends, and ``torn_bytes`` how many trailing bytes
+    belong to an incomplete final record (0 for a clean file).
+    """
+
+    path: str
+    records: List[Tuple[int, list]] = field(default_factory=list)
+    valid_bytes: int = 0
+    torn_bytes: int = 0
+
+    @property
+    def last_seq(self) -> Optional[int]:
+        return self.records[-1][0] if self.records else None
+
+
+def scan_wal(path) -> WalScan:
+    """Parse a segment, stopping cleanly at a torn tail.
+
+    Raises :class:`CorruptFileError` on interior damage: a checksum
+    mismatch on a complete record, an undecodable payload, or a
+    non-contiguous sequence number.
+    """
+    data = Path(path).read_bytes()
+    scan = WalScan(path=str(path))
+    size = len(data)
+    offset = 0
+    while offset < size:
+        if size - offset < RECORD_HEADER.size:
+            scan.torn_bytes = size - offset
+            return scan
+        length, crc = RECORD_HEADER.unpack_from(data, offset)
+        start = offset + RECORD_HEADER.size
+        if length > size - start:
+            # The write stopped partway through this record (or its
+            # length prefix was damaged past the point of framing):
+            # everything from here on is an unreadable tail.
+            scan.torn_bytes = size - offset
+            return scan
+        payload = data[start:start + length]
+        if zlib.crc32(payload) != crc:
+            raise CorruptFileError(
+                path, f"checksum mismatch in record at byte {offset}")
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise CorruptFileError(
+                path,
+                f"undecodable record at byte {offset}: {error}") from error
+        if (not isinstance(decoded, list) or len(decoded) < 2
+                or not isinstance(decoded[0], int)):
+            raise CorruptFileError(
+                path, f"malformed record structure at byte {offset}")
+        seq, op = decoded[0], decoded[1:]
+        previous = scan.last_seq
+        if previous is not None and seq != previous + 1:
+            raise CorruptFileError(
+                path, f"sequence jump {previous} -> {seq} at byte {offset}")
+        scan.records.append((seq, op))
+        offset = start + length
+        scan.valid_bytes = offset
+    return scan
+
+
+def truncate_torn_tail(path, valid_bytes: int) -> int:
+    """Drop a torn final record before re-opening a segment for append.
+
+    Returns the number of bytes removed.  Called by recovery with the
+    ``valid_bytes`` of a :func:`scan_wal` result.
+    """
+    size = Path(path).stat().st_size
+    if size <= valid_bytes:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(valid_bytes)
+    return size - valid_bytes
+
+
+class WalWriter:
+    """Append operations to one segment with batched fsync.
+
+    Doubles as the journal sink the index mutators call: its
+    :meth:`append` signature is the ``journal.append(op)`` protocol of
+    :class:`~repro.core.index.IntervalTCIndex`.
+    """
+
+    def __init__(self, path, *, next_seq: int, fsync_every: int = 1,
+                 fs: Optional[RealFS] = None) -> None:
+        if next_seq < 1:
+            raise PersistenceError(f"next_seq must be >= 1, got {next_seq}")
+        if fsync_every < 1:
+            raise PersistenceError(
+                f"fsync_every must be >= 1, got {fsync_every}")
+        self.path = str(path)
+        self.fsync_every = fsync_every
+        self._fs = fs or REAL_FS
+        self._handle = self._fs.open_append(self.path)
+        self._next_seq = next_seq
+        self._pending = 0
+        #: Records appended through this writer (monitoring only).
+        self.appended = 0
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self._next_seq - 1
+
+    @property
+    def pending(self) -> int:
+        """Appended records not yet covered by an fsync."""
+        return self._pending
+
+    def append(self, op: List) -> int:
+        """Frame, write and (per policy) sync one op; returns its seq."""
+        if self._handle is None:
+            raise PersistenceError(f"{self.path}: WAL writer is closed")
+        seq = self._next_seq
+        record = encode_record(seq, op)
+        fs = self._fs
+        fs.crash_point("wal.append.pre-write")
+        fs.write(self._handle, record, label="wal.append")
+        self._next_seq += 1
+        self._pending += 1
+        self.appended += 1
+        fs.crash_point("wal.append.pre-sync")
+        if self._pending >= self.fsync_every:
+            self.sync()
+            fs.crash_point("wal.append.post-sync")
+        return seq
+
+    def sync(self) -> None:
+        """Force the pending batch to stable storage."""
+        if self._handle is not None and self._pending:
+            self._fs.fsync(self._handle)
+            self._pending = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._fs.close(self._handle)
+            self._handle = None
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -64,5 +64,56 @@ class StorageError(ReproError):
     """A problem in the simulated secondary-storage layer."""
 
 
+class PersistenceError(ReproError):
+    """A problem reading or writing a persisted artifact.
+
+    Covers index documents, RTCX binary files, write-ahead logs and
+    checkpoints.  Loaders never leak raw ``json.JSONDecodeError`` /
+    ``KeyError`` / ``struct.error`` — they wrap them in this family so
+    callers (and the CLI) can diagnose a bad file without a traceback.
+    """
+
+
+class CorruptFileError(PersistenceError, StorageError):
+    """A persisted file failed validation.
+
+    Bad magic, a checksum mismatch, truncation mid-record, or a document
+    whose structure does not decode.  Carries the offending ``path`` and
+    a one-line ``detail``.  Also a :class:`StorageError` so existing
+    handlers around the RTCX reader keep working.
+    """
+
+    def __init__(self, path: object, detail: str) -> None:
+        super().__init__(f"{path}: {detail}")
+        self.path = str(path)
+        self.detail = detail
+
+
+class RecoveryError(PersistenceError):
+    """Crash recovery could not reconstruct a consistent index.
+
+    Raised when every checkpoint generation is unusable and the
+    write-ahead log does not reach back to the store's creation, or when
+    the surviving log is missing records in the middle.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """The crash-injection filesystem shim killed the 'process' here.
+
+    Raised by :class:`repro.testing.faults.FaultyFS` at a registered
+    crash point after applying the configured data loss (un-fsynced
+    bytes truncated or torn).  Real code never raises or catches this;
+    the crash-fuzz harness treats it as process death and re-opens the
+    store to exercise recovery.
+    """
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(
+            f"simulated crash at {point!r} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
 class TaxonomyError(ReproError):
     """A problem in the knowledge-base taxonomy layer."""

@@ -30,7 +30,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.index import IntervalTCIndex
-from repro.errors import NodeNotFoundError, StorageError
+from repro.durability.atomic import atomic_write_bytes
+from repro.errors import CorruptFileError, NodeNotFoundError, StorageError
 from repro.graph.digraph import Node
 from repro.storage.pager import BufferPool
 
@@ -90,7 +91,7 @@ def write_index(index: IntervalTCIndex, path: PathLike, *,
                           directory_offset)
     blob = b"".join([header, labels_blob, numbers_blob,
                      directory.getvalue(), b"\0" * padding, heap.getvalue()])
-    Path(path).write_bytes(blob)
+    atomic_write_bytes(path, blob)
     return len(blob)
 
 
@@ -134,27 +135,40 @@ class DiskIntervalIndex:
         raw = file.read(_HEADER.size)
         if len(raw) < _HEADER.size:
             file.close()
-            raise StorageError(f"{path}: truncated header")
+            raise CorruptFileError(path, "truncated header")
         (magic, version, page_size, num_nodes, heap_count,
          labels_offset, numbers_offset, directory_offset) = _HEADER.unpack(raw)
         if magic != MAGIC:
             file.close()
-            raise StorageError(f"{path}: not an RTCX index file")
+            raise CorruptFileError(path, "not an RTCX index file")
         if version != FORMAT_VERSION:
             file.close()
-            raise StorageError(f"{path}: unsupported format version {version}")
+            raise CorruptFileError(
+                path, f"unsupported format version {version}")
 
-        file.seek(labels_offset)
-        labels = json.loads(file.read(numbers_offset - labels_offset))
-        labels = [tuple(label) if isinstance(label, list) else label
-                  for label in labels]
-        numbers = [
-            _NUMBER.unpack(file.read(_NUMBER.size))[0] for _ in range(num_nodes)
-        ]
-        directory = [
-            _DIRECTORY_ENTRY.unpack(file.read(_DIRECTORY_ENTRY.size))
-            for _ in range(num_nodes)
-        ]
+        # A file that passes header validation can still be truncated or
+        # damaged in its body: short section reads surface as
+        # ``struct.error``, a garbled label section as a JSON error.
+        try:
+            file.seek(labels_offset)
+            labels = json.loads(file.read(numbers_offset - labels_offset))
+            labels = [tuple(label) if isinstance(label, list) else label
+                      for label in labels]
+            numbers = [
+                _NUMBER.unpack(file.read(_NUMBER.size))[0]
+                for _ in range(num_nodes)
+            ]
+            directory = [
+                _DIRECTORY_ENTRY.unpack(file.read(_DIRECTORY_ENTRY.size))
+                for _ in range(num_nodes)
+            ]
+        except (struct.error, ValueError, UnicodeDecodeError,
+                TypeError) as error:
+            file.close()
+            raise CorruptFileError(
+                path,
+                f"damaged body ({type(error).__name__}: {error})"
+            ) from error
         heap_offset = directory_offset + num_nodes * _DIRECTORY_ENTRY.size
         heap_offset += (-heap_offset) % page_size
         return cls(file, page_size=page_size, labels=labels, numbers=numbers,

@@ -22,10 +22,16 @@ subsystem instead of scattered per-module property tests:
 * :mod:`repro.testing.crash` — ``.json`` crash files that the pytest
   harness auto-replays from ``tests/crashes/``;
 * :mod:`repro.testing.faults` — named, deliberately injected bugs used
-  to mutation-test the harness itself.
+  to mutation-test the harness itself, plus the :class:`FaultyFS`
+  crash-injection filesystem shim and the :data:`CRASH_POINTS` it aims
+  at;
+* :mod:`repro.testing.crashfuzz` — the crash-point sweep: kill the
+  durable store at every registered point and prove recovery exact
+  against the oracle.
 
-Entry points: ``repro fuzz --ops N --seed S`` on the command line, or
-:func:`repro.testing.fuzzer.fuzz` from Python.
+Entry points: ``repro fuzz --ops N --seed S`` and ``repro crash-fuzz``
+on the command line, or :func:`repro.testing.fuzzer.fuzz` /
+:func:`repro.testing.crashfuzz.crash_sweep` from Python.
 """
 
 from repro.testing.crash import (
@@ -33,7 +39,18 @@ from repro.testing.crash import (
     replay_crash,
     save_crash,
 )
-from repro.testing.faults import FAULTS, injected_fault
+from repro.testing.crashfuzz import (
+    CrashFuzzFailure,
+    CrashFuzzReport,
+    crash_sweep,
+)
+from repro.testing.faults import (
+    CRASH_POINTS,
+    FAULTS,
+    FaultyFS,
+    flip_byte,
+    injected_fault,
+)
 from repro.testing.fuzzer import (
     DEFAULT_ENGINES,
     FuzzReport,
@@ -53,10 +70,14 @@ from repro.testing.oracle import (
 from repro.testing.shrink import shrink_trace
 
 __all__ = [
+    "CRASH_POINTS",
+    "CrashFuzzFailure",
+    "CrashFuzzReport",
     "DEFAULT_ENGINES",
     "DifferentialMismatch",
     "ENGINE_FACTORIES",
     "FAULTS",
+    "FaultyFS",
     "FuzzReport",
     "FuzzRunner",
     "InvariantViolation",
@@ -66,6 +87,8 @@ __all__ = [
     "audit_index",
     "build_engines",
     "compare_engine",
+    "crash_sweep",
+    "flip_byte",
     "fuzz",
     "injected_fault",
     "load_crash",

@@ -1,0 +1,495 @@
+"""Crash-point fuzzing: kill the store everywhere, prove recovery exact.
+
+The sweep drives a :class:`~repro.durability.store.DurableTCIndex`
+through a deterministic random op stream with the
+:class:`~repro.testing.faults.FaultyFS` shim underneath, killing the
+"process" at one registered crash point per run
+(:data:`~repro.testing.faults.CRASH_POINTS`), and then:
+
+1. re-opens the store with the real filesystem (recovery runs);
+2. replays the *durable prefix* of the op ledger — every journalled op
+   with sequence ``<= recovered.last_seq`` — into an independent
+   :class:`~repro.testing.oracle.SetClosureOracle` and compares full
+   successor sets node by node (never a silently wrong index);
+3. asserts the **loss bound**: recovery keeps every op whose WAL append
+   returned under ``fsync_every=1``; in general at most the last
+   un-fsynced batch (``fsync_every - 1`` acknowledged ops, and the one
+   op in flight at the crash may appear either side of the cut);
+4. re-applies the lost suffix plus the untried remainder of the stream
+   and checks the store ends fully caught up, checkpoints, and survives
+   one more clean re-open.
+
+A separate bit-rot phase flips single bytes in WAL records and the
+newest checkpoint and asserts the typed-error / generation-fallback
+contract.  :func:`crash_sweep` is the CLI's ``crash-fuzz`` entry point;
+the pytest wrappers in ``tests/durability/`` call it with a small
+budget, CI's ``crash-smoke`` job with the acceptance budget.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, SimulatedCrash
+from repro.testing.faults import CRASH_POINTS, FaultyFS, flip_byte
+from repro.testing.oracle import DifferentialMismatch, SetClosureOracle
+
+
+class CrashFuzzFailure(ReproError):
+    """A crash-recovery run violated the durability contract."""
+
+
+@dataclass
+class CrashFuzzReport:
+    """Aggregate results of one :func:`crash_sweep`."""
+
+    seed: int
+    ops: int
+    engine: str
+    fsync_every: int
+    runs: int = 0
+    crashes: int = 0
+    ops_lost_total: int = 0
+    max_ops_lost: int = 0
+    truncated_tails: int = 0
+    checkpoint_fallbacks: int = 0
+    bit_flips: int = 0
+    #: crash point -> times a run actually died there.
+    crashed_at: Dict[str, int] = field(default_factory=dict)
+    points_never_reached: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ops": self.ops,
+            "engine": self.engine,
+            "fsync_every": self.fsync_every,
+            "runs": self.runs,
+            "crashes": self.crashes,
+            "ops_lost_total": self.ops_lost_total,
+            "max_ops_lost": self.max_ops_lost,
+            "truncated_tails": self.truncated_tails,
+            "checkpoint_fallbacks": self.checkpoint_fallbacks,
+            "bit_flips": self.bit_flips,
+            "crashed_at": dict(sorted(self.crashed_at.items())),
+            "points_never_reached": list(self.points_never_reached),
+        }
+
+
+# ----------------------------------------------------------------------
+# deterministic op streams
+# ----------------------------------------------------------------------
+def generate_ops(count: int, *, seed: int,
+                 checkpoint_every: int = 40) -> List[list]:
+    """A reproducible stream of store operations.
+
+    Ops are journal-shaped lists (``["add_arc", s, d]``...), plus the
+    control op ``["checkpoint"]`` sprinkled in so crashes land inside
+    checkpoint publication and rotation too.  The generator tracks a
+    shadow closure so every emitted op is *effective* (no duplicate
+    arcs, no cycles, no missing nodes) — each op therefore earns exactly
+    one WAL sequence number, which is what lets the sweep equate "first
+    ``k`` ledger entries" with "WAL sequences ``1..k``".
+    """
+    rng = random.Random(seed)
+    shadow = SetClosureOracle()
+    fresh = 0
+    ops: List[list] = []
+    while len(ops) < count:
+        nodes = shadow.nodes()
+        roll = rng.random()
+        # Never end the stream on a checkpoint: the bit-flip phase needs
+        # records after the last one (an empty tail has nothing to rot).
+        if (len(ops) + 1) % checkpoint_every == 0 and len(ops) + 1 < count:
+            ops.append(["checkpoint"])
+            continue
+        if not nodes or roll < 0.30:
+            parents = [node for node in rng.sample(
+                nodes, k=min(len(nodes), rng.choice((0, 1, 1, 2))))]
+            node = f"n{fresh}"
+            fresh += 1
+            shadow.add_node(node)
+            for parent in parents:
+                shadow.add_arc(parent, node)
+            ops.append(["add_node", node, parents])
+        elif roll < 0.55 and len(nodes) >= 2:
+            source, destination = rng.sample(nodes, k=2)
+            if shadow.has_arc(source, destination) \
+                    or shadow.reachable(destination, source):
+                continue
+            shadow.add_arc(source, destination)
+            ops.append(["add_arc", source, destination])
+        elif roll < 0.70:
+            arcs = sorted(shadow.arcs())
+            if not arcs:
+                continue
+            source, destination = arcs[rng.randrange(len(arcs))]
+            shadow.remove_arc(source, destination)
+            ops.append(["remove_arc", source, destination])
+        elif roll < 0.80:
+            node = nodes[rng.randrange(len(nodes))]
+            shadow.remove_node(node)
+            ops.append(["remove_node", node])
+        elif roll < 0.90:
+            ops.append(["renumber", rng.choice((8, 16, 32))])
+        else:
+            ops.append(["merge"])
+    return ops
+
+
+def _oracle_apply(oracle: SetClosureOracle, op: list) -> None:
+    kind = op[0]
+    if kind == "add_node":
+        oracle.add_node(op[1])
+        for parent in op[2]:
+            oracle.add_arc(parent, op[1])
+    elif kind == "add_arc":
+        oracle.add_arc(op[1], op[2])
+    elif kind == "remove_arc":
+        oracle.remove_arc(op[1], op[2])
+    elif kind == "remove_node":
+        oracle.remove_node(op[1])
+    elif kind in ("renumber", "merge", "checkpoint"):
+        pass  # representation-only: the closure is unchanged
+    else:  # pragma: no cover - generator emits only the above
+        raise ReproError(f"unknown op kind {kind!r}")
+
+
+def _store_apply(store, op: list) -> None:
+    kind = op[0]
+    if kind == "add_node":
+        store.add_node(op[1], op[2])
+    elif kind == "add_arc":
+        store.add_arc(op[1], op[2])
+    elif kind == "remove_arc":
+        store.remove_arc(op[1], op[2])
+    elif kind == "remove_node":
+        store.remove_node(op[1])
+    elif kind == "renumber":
+        store.renumber(op[1])
+    elif kind == "merge":
+        store.merge_intervals()
+    elif kind == "checkpoint":
+        store.checkpoint()
+    else:  # pragma: no cover - generator emits only the above
+        raise ReproError(f"unknown op kind {kind!r}")
+
+
+def _verify_against_prefix(store, journalled: List[list], upto: int,
+                           label: str) -> None:
+    """Recovered state must equal the oracle over WAL sequences 1..upto."""
+    oracle = SetClosureOracle()
+    for op in journalled[:upto]:
+        _oracle_apply(oracle, op)
+    expected_nodes = set(oracle.nodes())
+    actual_nodes = set(store.nodes())
+    if expected_nodes != actual_nodes:
+        raise CrashFuzzFailure(
+            f"{label}: node set diverged after recovery: "
+            f"missing={sorted(map(repr, expected_nodes - actual_nodes))} "
+            f"extra={sorted(map(repr, actual_nodes - expected_nodes))}")
+    for node in oracle.nodes():
+        expected = set(oracle.successors(node))
+        actual = set(store.successors(node))
+        if expected != actual:
+            raise CrashFuzzFailure(
+                f"{label}: successors({node!r}) diverged after recovery: "
+                f"missing={sorted(map(repr, expected - actual))} "
+                f"extra={sorted(map(repr, actual - expected))}")
+
+
+# ----------------------------------------------------------------------
+# one crash run
+# ----------------------------------------------------------------------
+def run_crash_stream(ops: List[list], *, crash_at: str, occurrence: int,
+                     engine: str = "interval", fsync_every: int = 1,
+                     torn_seed: int = 0,
+                     report: Optional[CrashFuzzReport] = None) -> bool:
+    """Apply ``ops`` until the shim kills at ``crash_at``; verify recovery.
+
+    Returns ``True`` when the run actually crashed (``False`` when the
+    stream finished without reaching the point that often — still
+    verified at the end).  Raises :class:`CrashFuzzFailure` on any
+    contract violation.
+    """
+    from repro.durability import DurableTCIndex
+
+    label = f"crash@{crash_at}#{occurrence}"
+    directory = tempfile.mkdtemp(prefix="crashfuzz-")
+    try:
+        shim = FaultyFS(crash_at=crash_at, occurrence=occurrence,
+                        rng=random.Random(torn_seed))
+        #: ops that earned a WAL sequence, in order (entry i = seq i+1).
+        journalled: List[list] = []
+        in_flight: Optional[list] = None
+        crashed = False
+        position = -1
+        store = None
+        try:
+            # The open itself writes checkpoint 0, so checkpoint crash
+            # points can fire during store creation too.
+            store = DurableTCIndex.open(directory, engine=engine,
+                                        fsync_every=fsync_every, fs=shim)
+            for position, op in enumerate(ops):
+                in_flight = op if op[0] != "checkpoint" else None
+                before = store.last_seq
+                _store_apply(store, op)
+                if store.last_seq != before:
+                    journalled.append(op)
+                in_flight = None
+        except SimulatedCrash:
+            crashed = True
+        if not crashed:
+            store.close()
+        del store  # a crashed store is an abandoned process image
+
+        acked = len(journalled)
+        recovered = DurableTCIndex.open(directory, engine=engine,
+                                        fsync_every=fsync_every)
+        recovery = recovered.recovery_report
+        if report is not None:
+            report.runs += 1
+            if crashed:
+                report.crashes += 1
+                report.crashed_at[crash_at] = \
+                    report.crashed_at.get(crash_at, 0) + 1
+            if recovery.truncated_bytes:
+                report.truncated_tails += 1
+            if recovery.checkpoints_skipped:
+                report.checkpoint_fallbacks += 1
+
+        last = recovered.last_seq
+        # -- loss bound ------------------------------------------------
+        # Every acknowledged op not in the final un-fsynced batch must
+        # survive; the op in flight at the crash may land either side.
+        floor = acked - (fsync_every - 1)
+        ceiling = acked + (1 if in_flight is not None else 0)
+        if not floor <= last <= ceiling:
+            raise CrashFuzzFailure(
+                f"{label}: recovered last_seq={last} outside the "
+                f"durability bound [{floor}, {ceiling}] "
+                f"(acked={acked}, fsync_every={fsync_every})")
+        if report is not None:
+            lost = max(0, acked - last)
+            report.ops_lost_total += lost
+            report.max_ops_lost = max(report.max_ops_lost, lost)
+
+        # -- exactness over the durable prefix -------------------------
+        effective = list(journalled)
+        if last == acked + 1:
+            effective.append(in_flight)  # persisted but never acked
+        _verify_against_prefix(recovered, effective, last, label)
+        recovered.verify()
+
+        # -- catch up and keep living ----------------------------------
+        # Re-issue exactly what the crash cost us: the lost acked tail,
+        # the in-flight op when it did not persist (later stream ops
+        # were generated assuming it), then the untried remainder.
+        catchup = effective[last:]
+        if crashed:
+            if in_flight is not None and last <= acked:
+                catchup.append(in_flight)
+            catchup.extend(ops[position + 1:])
+        for op in catchup:
+            _store_apply(recovered, op)
+        full_ledger = list(journalled)
+        if crashed and in_flight is not None:
+            full_ledger.append(in_flight)
+        full_ledger.extend(op for op in ops[position + 1:]
+                           if op[0] != "checkpoint")
+        _verify_against_prefix(recovered, full_ledger, len(full_ledger),
+                               label + "+catchup")
+        recovered.checkpoint()
+        recovered.close()
+        with DurableTCIndex.open(directory, engine=engine) as again:
+            _verify_against_prefix(again, full_ledger, len(full_ledger),
+                                   label + "+reopen")
+        return crashed
+    except DifferentialMismatch as error:
+        raise CrashFuzzFailure(f"{label}: {error}") from error
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# bit-rot phase
+# ----------------------------------------------------------------------
+def run_bit_flips(ops: List[list], *, engine: str = "interval",
+                  seed: int = 0,
+                  report: Optional[CrashFuzzReport] = None) -> int:
+    """Flip single bytes in WAL and checkpoint files; assert the contract.
+
+    A flip in the newest checkpoint must fall back to an older
+    generation (recovery still exact); a flip inside a committed WAL
+    record must raise the typed :class:`~repro.errors.CorruptFileError`
+    (or, when the flip happens to land in the final record's framing,
+    truncate it as a torn tail) — never a silently wrong index.
+    """
+    from repro.durability import DurableTCIndex, scan_wal
+    from repro.durability.checkpoint import list_checkpoints, list_segments
+    from repro.errors import CorruptFileError
+
+    rng = random.Random(seed)
+    flips = 0
+    journalled: List[list] = []
+
+    def build(directory: str) -> None:
+        with DurableTCIndex.open(directory, engine=engine) as store:
+            for op in ops:
+                before = store.last_seq
+                _store_apply(store, op)
+                if store.last_seq != before:
+                    journalled.append(op)
+
+    # -- checkpoint flip: generation fallback --------------------------
+    directory = tempfile.mkdtemp(prefix="bitflip-ckpt-")
+    try:
+        journalled.clear()
+        build(directory)
+        checkpoints = list_checkpoints(directory)
+        if len(checkpoints) < 2:
+            raise CrashFuzzFailure(
+                "bit-flip phase needs >= 2 checkpoint generations; add "
+                "checkpoint ops to the stream")
+        newest_seq, newest_path = checkpoints[-1]
+        size = os.path.getsize(newest_path)
+        flip_byte(newest_path, rng.randrange(size // 2, size), 0x20)
+        flips += 1
+        with DurableTCIndex.open(directory, engine=engine) as store:
+            recovery = store.recovery_report
+            if not recovery.checkpoints_skipped:
+                raise CrashFuzzFailure(
+                    f"flip in {os.path.basename(newest_path)} was not "
+                    f"detected: recovery used it without fallback")
+            _verify_against_prefix(store, journalled, len(journalled),
+                                   "bitflip-checkpoint")
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    # -- WAL flips: typed error or torn-tail truncation, never silence --
+    for region in ("header", "payload"):
+        directory = tempfile.mkdtemp(prefix=f"bitflip-wal-{region}-")
+        try:
+            journalled.clear()
+            build(directory)
+            segments = list_segments(directory)
+            # The tail segment is the one recovery always scans; flips
+            # in fully-covered older segments are legitimately never
+            # read, so they would not exercise the detection contract.
+            if not segments or os.path.getsize(segments[-1][1]) == 0:
+                raise CrashFuzzFailure(
+                    "bit-flip phase needs a non-empty WAL tail; choose an "
+                    "op count that leaves records after the last "
+                    "checkpoint")
+            path = segments[-1][1]
+            scan = scan_wal(path)
+            target_seq, _ = scan.records[rng.randrange(len(scan.records))]
+            # Locate the record's frame: replay offsets deterministically.
+            offset = 0
+            data_size = os.path.getsize(path)
+            from repro.durability.wal import RECORD_HEADER, encode_record
+            for seq, op in scan.records:
+                record = encode_record(seq, op)
+                if seq == target_seq:
+                    if region == "header":
+                        flip_offset = offset + rng.randrange(
+                            RECORD_HEADER.size)
+                    else:
+                        flip_offset = offset + RECORD_HEADER.size + \
+                            rng.randrange(len(record) - RECORD_HEADER.size)
+                    break
+                offset += len(record)
+            flip_byte(path, flip_offset, 1 << rng.randrange(8))
+            flips += 1
+            try:
+                with DurableTCIndex.open(directory, engine=engine) as store:
+                    recovery = store.recovery_report
+                    # Open succeeded: legal only if the flip surfaced as
+                    # damage recovery repaired (torn tail / skipped
+                    # generation) AND the surviving prefix is exact.
+                    if not recovery.corruption_detected:
+                        raise CrashFuzzFailure(
+                            f"flip at {path}:{flip_offset} ({region}) was "
+                            f"absorbed silently")
+                    _verify_against_prefix(store, journalled,
+                                           store.recovery_report.last_seq,
+                                           f"bitflip-wal-{region}")
+            except CorruptFileError:
+                pass  # the typed-error arm of the contract
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    if report is not None:
+        report.bit_flips += flips
+    return flips
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def crash_sweep(*, ops: int = 500, seed: int = 7,
+                engine: str = "interval", fsync_every: int = 1,
+                occurrences_per_point: int = 2,
+                bit_flips: bool = True) -> CrashFuzzReport:
+    """Kill at every registered crash point; verify recovery every time.
+
+    For each point in :data:`CRASH_POINTS` the stream runs to the 1st,
+    then spaced later occurrences (``occurrences_per_point`` in total),
+    so crashes land both early (small checkpoints) and deep (rotation,
+    fallback).  Raises :class:`CrashFuzzFailure` if any registered point
+    is never reached by the stream, or on any recovery contract
+    violation.
+    """
+    stream = generate_ops(ops, seed=seed)
+    report = CrashFuzzReport(seed=seed, ops=ops, engine=engine,
+                             fsync_every=fsync_every)
+
+    # Which points does a clean run visit, and how often?
+    probe = FaultyFS(crash_at=None)
+    _run_clean_probe(stream, engine=engine, fsync_every=fsync_every,
+                     shim=probe)
+    for point in CRASH_POINTS:
+        reachable = probe.hits.get(point, 0)
+        if not reachable:
+            report.points_never_reached.append(point)
+            continue
+        picks = {1}
+        if occurrences_per_point > 1 and reachable > 1:
+            step = max(1, reachable // occurrences_per_point)
+            picks.update(range(1 + step, reachable + 1, step))
+        for occurrence in sorted(picks)[:occurrences_per_point]:
+            crashed = run_crash_stream(
+                stream, crash_at=point, occurrence=occurrence,
+                engine=engine, fsync_every=fsync_every,
+                torn_seed=seed * 1000 + occurrence, report=report)
+            if occurrence == 1 and not crashed:
+                raise CrashFuzzFailure(
+                    f"point {point!r} was reachable in the probe but the "
+                    f"crash run never hit it")
+    if report.points_never_reached:
+        raise CrashFuzzFailure(
+            "crash sweep is not exhaustive; never reached: "
+            f"{report.points_never_reached} — extend the op stream or "
+            f"checkpoint cadence")
+    if bit_flips:
+        run_bit_flips(stream, engine=engine, seed=seed, report=report)
+    return report
+
+
+def _run_clean_probe(ops: List[list], *, engine: str, fsync_every: int,
+                     shim: FaultyFS) -> None:
+    """Run the full stream under a non-crashing shim to count point hits."""
+    from repro.durability import DurableTCIndex
+    directory = tempfile.mkdtemp(prefix="crashprobe-")
+    try:
+        store = DurableTCIndex.open(directory, engine=engine,
+                                    fsync_every=fsync_every, fs=shim)
+        for op in ops:
+            _store_apply(store, op)
+        store.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)

@@ -153,3 +153,182 @@ def injected_fault(name: Optional[str]) -> Iterator[None]:
             f"unknown fault {name!r}; known: {sorted(FAULTS)}") from None
     with fault():
         yield
+
+
+# ----------------------------------------------------------------------
+# crash-point fault injection (the durability subsystem's shim)
+# ----------------------------------------------------------------------
+#: Every crash site the durability layer registers, in rough execution
+#: order.  ``wal.append.mid-write`` is synthesised inside the shim's
+#: ``write`` (a torn write: only a prefix of the record reaches the
+#: file); ``checkpoint.drop-rename`` kills *during* ``os.replace`` with
+#: the rename dropped — the classic lost-publish crash.  The crash-fuzz
+#: sweep (:mod:`repro.testing.crashfuzz`) asserts recovery after a kill
+#: at every one of these.
+CRASH_POINTS: Tuple[str, ...] = (
+    "wal.append.pre-write",
+    "wal.append.mid-write",
+    "wal.append.pre-sync",
+    "wal.append.post-sync",
+    "checkpoint.pre-temp",
+    "checkpoint.temp.mid-write",
+    "checkpoint.pre-rename",
+    "checkpoint.drop-rename",
+    "checkpoint.post-rename",
+    "checkpoint.post-rotate",
+)
+
+
+def flip_byte(path, offset: int, mask: int = 0xFF) -> None:
+    """XOR one byte of ``path`` in place (bit-rot simulation for tests)."""
+    import os
+    size = os.path.getsize(path)
+    if not 0 <= offset < size:
+        raise ReproError(
+            f"flip offset {offset} outside file of {size} bytes")
+    if not 1 <= mask <= 0xFF:
+        raise ReproError(f"mask must flip at least one bit, got {mask:#x}")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([original ^ mask]))
+
+
+class FaultyFS:
+    """Crash-injection filesystem shim for the durability layer.
+
+    Substitutes for :class:`repro.durability.atomic.RealFS`.  Configure
+    with a crash point name (and which occurrence of it); when execution
+    reaches it, the shim simulates power loss — every file it touched is
+    truncated back to its last-fsynced length *plus a random prefix of
+    the un-fsynced bytes* (real disks persist partial un-synced writes,
+    which is exactly how torn WAL tails arise) — and raises
+    :class:`~repro.errors.SimulatedCrash`.  The harness treats that as
+    process death and re-opens the store to exercise recovery.
+
+    Two points need special staging: ``<label>.mid-write`` crashes with
+    only a prefix of one logical ``write`` issued, and
+    ``checkpoint.drop-rename`` crashes with the rename itself discarded
+    (the temp file stays, the target is never replaced).
+    """
+
+    def __init__(self, *, crash_at: Optional[str] = None,
+                 occurrence: int = 1, rng=None) -> None:
+        import random
+        from repro.durability.atomic import RealFS
+        self._real = RealFS()
+        self.crash_at = crash_at
+        self.occurrence = occurrence
+        self.rng = rng if rng is not None else random.Random(0)
+        #: point name -> times reached (including the crashing visit).
+        self.hits: Dict[str, int] = {}
+        self.crashed = False
+        #: path -> bytes known durable (fsynced or pre-existing).
+        self._synced_len: Dict[str, int] = {}
+        self._handles: Dict[int, str] = {}
+
+    # -- crash machinery ------------------------------------------------
+    def _note(self, point: str) -> bool:
+        """Count a visit; True when this visit must crash."""
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        return (not self.crashed and point == self.crash_at
+                and count >= self.occurrence)
+
+    def crash_point(self, name: str) -> None:
+        if self._note(name):
+            self._crash(name)
+
+    def _crash(self, point: str) -> None:
+        """Simulate power loss: roll every touched file back to a state
+        a real disk could be in, then die."""
+        import os
+        from repro.errors import SimulatedCrash
+        self.crashed = True
+        # Handles die with the process.  Every shim write is flushed
+        # eagerly, so closing here adds no bytes — it just stops the
+        # harness leaking file descriptors across hundreds of crashes.
+        for handle_id in list(self._handles):
+            self._handles.pop(handle_id, None)
+        for path, synced in self._synced_len.items():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size > synced:
+                # Un-fsynced bytes: the crash persists an arbitrary
+                # prefix of them (0 = clean loss, partial = torn tail).
+                keep = self.rng.randint(0, size - synced)
+                with open(path, "r+b") as handle:
+                    handle.truncate(synced + keep)
+        raise SimulatedCrash(point, self.hits.get(point, 1))
+
+    def _track(self, path: str) -> None:
+        import os
+        if path not in self._synced_len:
+            try:
+                self._synced_len[path] = os.path.getsize(path)
+            except OSError:
+                self._synced_len[path] = 0
+
+    # -- the RealFS surface ---------------------------------------------
+    def open_append(self, path: str):
+        handle = self._real.open_append(path)
+        self._track(str(path))
+        self._handles[id(handle)] = str(path)
+        return handle
+
+    def open_write(self, path: str):
+        handle = self._real.open_write(path)
+        self._synced_len.setdefault(str(path), 0)
+        self._handles[id(handle)] = str(path)
+        return handle
+
+    def write(self, handle, data: bytes, *, label: str = "") -> None:
+        mid = label + ".mid-write"
+        if self._note(mid):
+            # Torn write: a strict prefix of this record reaches the
+            # file, then the process dies.
+            cut = self.rng.randint(0, max(len(data) - 1, 0))
+            self._real.write(handle, data[:cut])
+            handle.flush()  # OS-buffered, NOT fsynced: may still be lost
+            self._crash(mid)
+        self._real.write(handle, data, label=label)
+        # Flush to the OS so the file size reflects the write; durability
+        # is still governed by _synced_len until fsync.
+        handle.flush()
+
+    def fsync(self, handle) -> None:
+        self._real.fsync(handle)
+        path = self._handles.get(id(handle))
+        if path is not None:
+            import os
+            self._synced_len[path] = os.path.getsize(path)
+
+    def close(self, handle) -> None:
+        self._real.close(handle)
+        self._handles.pop(id(handle), None)
+
+    def replace(self, source: str, destination: str, *,
+                label: str = "") -> None:
+        drop = label + ".drop-rename"
+        if self._note(drop):
+            self._crash(drop)  # crash with the rename never issued
+        self._real.replace(source, destination)
+        # The rename is durable once the directory is fsynced; model the
+        # destination as fully synced (checkpoint temp files are fsynced
+        # before the rename).
+        import os
+        try:
+            self._synced_len[str(destination)] = os.path.getsize(destination)
+        except OSError:  # pragma: no cover - destination just written
+            pass
+        self._synced_len.pop(str(source), None)
+
+    def remove(self, path: str) -> None:
+        self._real.remove(path)
+        self._synced_len.pop(str(path), None)
+
+    def fsync_dir(self, path: str) -> None:
+        self._real.fsync_dir(path)

@@ -489,10 +489,7 @@ def apply_merge(index: IntervalTCIndex) -> None:
     staleness purposes: merged labels are a different representation, so
     frozen views must not survive it.
     """
-    index._invalidate()
-    for node, interval_set in list(index.intervals.items()):
-        index.intervals[node] = interval_set.merged()
-    index.merged = True
+    index.merge_intervals()
 
 
 # ----------------------------------------------------------------------

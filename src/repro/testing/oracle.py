@@ -182,6 +182,27 @@ def _build_condensed(graph: DiGraph):
     return CondensedIndex.build(graph)
 
 
+def _build_durable(graph: DiGraph):
+    """A durable store compared *after a real close/reopen cycle*.
+
+    Feeds the graph through journalled mutations (nodes in topological
+    order, each with its full predecessor set as parents), closes the
+    store, and reopens it — so the comparison exercises WAL replay and
+    recovery, not just the in-memory engine.  The store keeps its
+    backing temp directory alive for as long as it is referenced.
+    """
+    import tempfile
+    from repro.durability import DurableTCIndex
+    from repro.graph.traversal import topological_order
+    guard = tempfile.TemporaryDirectory(prefix="durable-engine-")
+    with DurableTCIndex.open(guard.name) as store:
+        for node in topological_order(graph):
+            store.add_node(node, sorted(graph.predecessors(node), key=repr))
+    reopened = DurableTCIndex.open(guard.name)
+    reopened._tempdir_guard = guard
+    return reopened
+
+
 def _build_hybrid_delta(graph: DiGraph):
     """A hybrid engine compared *while its delta overlay is live*.
 
@@ -216,6 +237,7 @@ ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "chain": _build_chain,
     "condensed": _build_condensed,
     "hybrid-delta": _build_hybrid_delta,
+    "durable": _build_durable,
 }
 
 #: Shorthand accepted by ``--engines``: expands to every baseline engine.

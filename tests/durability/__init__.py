@@ -1,0 +1,1 @@
+"""Tests for the crash-safe durability subsystem."""

@@ -1,0 +1,61 @@
+"""The shared atomic temp+fsync+rename primitive every saver uses."""
+
+import pytest
+
+from repro.durability.atomic import (RealFS, atomic_write_bytes,
+                                     atomic_write_text)
+from repro.errors import SimulatedCrash
+from repro.testing.faults import FaultyFS
+
+
+class TestAtomicWrite:
+    def test_creates_and_replaces(self, tmp_path):
+        target = tmp_path / "data.bin"
+        atomic_write_bytes(target, b"one")
+        assert target.read_bytes() == b"one"
+        atomic_write_bytes(target, b"two")
+        assert target.read_bytes() == b"two"
+        assert [entry.name for entry in tmp_path.iterdir()] == ["data.bin"]
+
+    def test_text_wrapper(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_text(target, '{"k": 1}')
+        assert target.read_text() == '{"k": 1}'
+
+    def test_failed_write_keeps_old_and_cleans_temp(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"old")
+
+        class ExplodingFS(RealFS):
+            def write(self, handle, data, *, label=""):
+                raise ValueError("disk on fire")
+
+        with pytest.raises(ValueError):
+            atomic_write_bytes(target, b"new", fs=ExplodingFS())
+        assert target.read_bytes() == b"old"
+        assert [entry.name for entry in tmp_path.iterdir()] == ["data.bin"]
+
+    def test_crash_before_rename_keeps_old_file(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"old")
+        fs = FaultyFS(crash_at="save.pre-rename")
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(target, b"new", fs=fs)
+        assert target.read_bytes() == b"old"
+
+    def test_crash_after_rename_has_published(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"old")
+        fs = FaultyFS(crash_at="save.post-rename")
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(target, b"new", fs=fs)
+        assert target.read_bytes() == b"new"
+
+    def test_dropped_rename_never_tears_target(self, tmp_path):
+        """The drop-rename crash leaves the complete old file."""
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"old")
+        fs = FaultyFS(crash_at="save.drop-rename")
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(target, b"new", fs=fs)
+        assert target.read_bytes() == b"old"

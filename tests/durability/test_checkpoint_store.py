@@ -1,0 +1,185 @@
+"""Checkpoint generations, rotation, and DurableTCIndex round trips."""
+
+import json
+import os
+
+import pytest
+
+from repro.durability import (DurableTCIndex, list_checkpoints, list_segments,
+                              load_checkpoint, log_stats)
+from repro.errors import CorruptFileError, PersistenceError
+from repro.testing.faults import flip_byte
+from repro.testing.oracle import SetClosureOracle
+
+#: A fixed mutation script touching every journalled op kind.
+SEQUENCE = [
+    ("add_node", "a", ()),
+    ("add_node", "b", ("a",)),
+    ("add_node", "c", ("b",)),
+    ("add_node", "d", ("a",)),
+    ("add_arc", "d", "c"),
+    ("remove_arc", "b", "c"),
+    ("add_node", "e", ("c", "d")),
+    ("remove_node", "b"),
+]
+
+
+def apply_all(store, oracle, script=SEQUENCE):
+    for op in script:
+        kind = op[0]
+        if kind == "add_node":
+            store.add_node(op[1], list(op[2]))
+            oracle.add_node(op[1])
+            for parent in op[2]:
+                oracle.add_arc(parent, op[1])
+        elif kind == "add_arc":
+            store.add_arc(op[1], op[2])
+            oracle.add_arc(op[1], op[2])
+        elif kind == "remove_arc":
+            store.remove_arc(op[1], op[2])
+            oracle.remove_arc(op[1], op[2])
+        elif kind == "remove_node":
+            store.remove_node(op[1])
+            oracle.remove_node(op[1])
+
+
+def assert_matches(store, oracle):
+    assert sorted(store.nodes(), key=repr) == sorted(oracle.nodes(), key=repr)
+    for node in oracle.nodes():
+        assert set(store.successors(node)) == set(oracle.successors(node))
+    store.verify()
+
+
+class TestStoreRoundTrip:
+    @pytest.mark.parametrize("engine", ["interval", "hybrid"])
+    def test_mutate_checkpoint_reopen(self, tmp_path, engine):
+        directory = tmp_path / "store.d"
+        oracle = SetClosureOracle()
+        with DurableTCIndex.open(directory, engine=engine) as store:
+            apply_all(store, oracle, SEQUENCE[:5])
+            store.checkpoint()
+            apply_all(store, oracle, SEQUENCE[5:])
+            store.renumber(16)
+            store.merge_intervals()
+        reopened = DurableTCIndex.open(directory)
+        assert reopened.engine_kind == engine
+        # the three uncheckpointed script ops plus renumber and merge
+        assert reopened.recovery_report.ops_replayed == 5
+        assert not reopened.recovery_report.corruption_detected
+        assert_matches(reopened, oracle)
+        reopened.close()
+
+    def test_reopen_without_checkpoint_replays_everything(self, tmp_path):
+        directory = tmp_path / "store.d"
+        oracle = SetClosureOracle()
+        with DurableTCIndex.open(directory) as store:
+            apply_all(store, oracle)
+        reopened = DurableTCIndex.open(directory)
+        assert reopened.recovery_report.ops_replayed == len(SEQUENCE)
+        assert reopened.recovery_report.checkpoint_seq == 0
+        assert_matches(reopened, oracle)
+        reopened.close()
+
+    def test_existing_config_wins_over_open_arguments(self, tmp_path):
+        directory = tmp_path / "store.d"
+        DurableTCIndex.open(directory, engine="interval", gap=8).close()
+        store = DurableTCIndex.open(directory, engine="hybrid", gap=999)
+        assert store.engine_kind == "interval"
+        assert store.index.gap == 8
+        store.close()
+
+    def test_create_false_requires_existing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DurableTCIndex.open(tmp_path / "missing.d", create=False)
+
+    def test_closed_store_rejects_mutations(self, tmp_path):
+        store = DurableTCIndex.open(tmp_path / "store.d")
+        store.close()
+        with pytest.raises(PersistenceError):
+            store.add_node("a")
+
+    def test_constructor_is_blocked(self):
+        with pytest.raises(PersistenceError):
+            DurableTCIndex()
+
+
+class TestCheckpointsAndRotation:
+    def test_rotation_keeps_newest_generations(self, tmp_path):
+        directory = tmp_path / "store.d"
+        oracle = SetClosureOracle()
+        with DurableTCIndex.open(directory, keep_checkpoints=2) as store:
+            for i, op in enumerate(SEQUENCE):
+                apply_all(store, oracle, [op])
+                store.checkpoint()
+        checkpoints = list_checkpoints(directory)
+        assert len(checkpoints) == 2
+        # every surviving segment must still be replayable on top of the
+        # oldest retained generation
+        oldest_retained = checkpoints[0][0]
+        segments = list_segments(directory)
+        assert segments[0][0] <= oldest_retained + 1
+        reopened = DurableTCIndex.open(directory)
+        assert_matches(reopened, oracle)
+        reopened.close()
+
+    def test_fallback_to_older_generation(self, tmp_path):
+        directory = tmp_path / "store.d"
+        oracle = SetClosureOracle()
+        with DurableTCIndex.open(directory, keep_checkpoints=3) as store:
+            apply_all(store, oracle, SEQUENCE[:4])
+            store.checkpoint()
+            apply_all(store, oracle, SEQUENCE[4:])
+            store.checkpoint()
+        newest = list_checkpoints(directory)[-1][1]
+        size = os.path.getsize(newest)
+        flip_byte(newest, size // 2, 0x20)
+        reopened = DurableTCIndex.open(directory)
+        report = reopened.recovery_report
+        assert [path for path, _ in report.checkpoints_skipped] == [newest]
+        assert report.corruption_detected
+        assert_matches(reopened, oracle)
+        reopened.close()
+
+    def test_all_checkpoints_lost_replays_from_empty(self, tmp_path):
+        directory = tmp_path / "store.d"
+        oracle = SetClosureOracle()
+        with DurableTCIndex.open(directory) as store:
+            apply_all(store, oracle)
+        for _, path in list_checkpoints(directory):
+            os.remove(path)
+        reopened = DurableTCIndex.open(directory)
+        assert reopened.recovery_report.started_empty
+        assert_matches(reopened, oracle)
+        reopened.close()
+
+    def test_load_checkpoint_rejects_garbage(self, tmp_path):
+        path = tmp_path / "checkpoint-0000000000000001.json"
+        path.write_text("{not json")
+        with pytest.raises(CorruptFileError):
+            load_checkpoint(path)
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(CorruptFileError):
+            load_checkpoint(path)
+
+
+class TestLogStats:
+    def test_accounting(self, tmp_path):
+        directory = tmp_path / "store.d"
+        oracle = SetClosureOracle()
+        with DurableTCIndex.open(directory) as store:
+            apply_all(store, oracle, SEQUENCE[:5])
+            store.checkpoint()
+            apply_all(store, oracle, SEQUENCE[5:])
+            live = store.log_stats()
+            assert live["last_seq"] == len(SEQUENCE)
+            assert live["fsync_every"] == 1
+        stats = log_stats(directory)
+        assert stats["engine"] == "interval"
+        assert stats["newest_checkpoint_seq"] == 5
+        assert stats["last_seq"] == len(SEQUENCE)
+        assert stats["replay_backlog"] == len(SEQUENCE) - 5
+        assert stats["torn_bytes"] == 0
+
+    def test_rejects_non_store_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            log_stats(tmp_path)

@@ -1,0 +1,80 @@
+"""The crash-point sweep and the fault shim it drives."""
+
+import pytest
+
+from repro.errors import ReproError, SimulatedCrash
+from repro.testing.crashfuzz import crash_sweep, generate_ops
+from repro.testing.faults import CRASH_POINTS, FaultyFS, flip_byte
+
+
+class TestFaultyFS:
+    def test_crash_fires_on_requested_occurrence(self):
+        fs = FaultyFS(crash_at="wal.append.pre-write", occurrence=2)
+        fs.crash_point("wal.append.pre-write")  # first visit survives
+        with pytest.raises(SimulatedCrash) as caught:
+            fs.crash_point("wal.append.pre-write")
+        assert fs.crashed
+        assert caught.value.point == "wal.append.pre-write"
+        assert fs.hits["wal.append.pre-write"] == 2
+
+    def test_other_points_never_fire(self):
+        fs = FaultyFS(crash_at="checkpoint.pre-rename")
+        for _ in range(5):
+            fs.crash_point("wal.append.pre-write")
+        assert not fs.crashed
+
+    def test_crash_rolls_unsynced_bytes_back(self, tmp_path):
+        path = str(tmp_path / "file.log")
+        fs = FaultyFS(crash_at="boom")
+        handle = fs.open_append(path)
+        fs.write(handle, b"durable ", label="w")
+        fs.fsync(handle)
+        fs.write(handle, b"volatile", label="w")
+        with pytest.raises(SimulatedCrash):
+            fs.crash_point("boom")
+        survived = open(path, "rb").read()
+        assert survived.startswith(b"durable ")
+        assert len(survived) <= len(b"durable volatile")
+
+    def test_flip_byte_validates_arguments(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"abc")
+        flip_byte(path, 1, 0x01)
+        assert path.read_bytes() == b"acc"
+        with pytest.raises(ReproError):
+            flip_byte(path, 99)
+        with pytest.raises(ReproError):
+            flip_byte(path, 0, 0)
+
+
+class TestGenerateOps:
+    def test_deterministic(self):
+        assert generate_ops(80, seed=11) == generate_ops(80, seed=11)
+
+    def test_includes_checkpoints_but_never_last(self):
+        ops = generate_ops(120, seed=5)
+        assert len(ops) == 120
+        assert any(op[0] == "checkpoint" for op in ops)
+        assert ops[-1][0] != "checkpoint"
+
+
+class TestCrashSweep:
+    def test_interval_sweep_reaches_every_point(self):
+        report = crash_sweep(ops=80, seed=2, occurrences_per_point=1)
+        assert report.crashes == report.runs
+        assert not report.points_never_reached
+        assert set(report.crashed_at) == set(CRASH_POINTS)
+        # fsync_every=1: nothing acknowledged may be lost
+        assert report.max_ops_lost == 0
+        assert report.bit_flips > 0
+
+    def test_hybrid_sweep(self):
+        report = crash_sweep(ops=60, seed=4, engine="hybrid",
+                             occurrences_per_point=1, bit_flips=False)
+        assert not report.points_never_reached
+        assert report.max_ops_lost == 0
+
+    def test_fsync_batching_respects_loss_bound(self):
+        report = crash_sweep(ops=80, seed=6, fsync_every=4,
+                             occurrences_per_point=1, bit_flips=False)
+        assert report.max_ops_lost <= 3

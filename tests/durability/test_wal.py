@@ -1,0 +1,141 @@
+"""WAL framing: round trips, torn tails, and interior-damage detection."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.durability.wal import (RECORD_HEADER, WalWriter, encode_record,
+                                  scan_wal, truncate_torn_tail)
+from repro.errors import CorruptFileError, PersistenceError
+from repro.testing.faults import flip_byte
+
+OPS = [["add_node", "a", []],
+       ["add_node", "b", ["a"]],
+       ["add_arc", "a", "b"],
+       ["renumber", 8],
+       ["merge"]]
+
+
+def write_segment(path, ops, start=1):
+    with WalWriter(path, next_seq=start) as writer:
+        for op in ops:
+            writer.append(op)
+    return path
+
+
+def record_boundaries(ops, start=1):
+    """Byte offsets at which each complete record ends (plus offset 0)."""
+    boundaries = [0]
+    for seq, op in enumerate(ops, start=start):
+        boundaries.append(boundaries[-1] + len(encode_record(seq, op)))
+    return boundaries
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_segment(path, OPS)
+        scan = scan_wal(path)
+        assert [op for _, op in scan.records] == OPS
+        assert [seq for seq, _ in scan.records] == [1, 2, 3, 4, 5]
+        assert scan.torn_bytes == 0
+        assert scan.valid_bytes == path.stat().st_size
+        assert scan.last_seq == 5
+
+    def test_writer_resume_continues_sequence(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_segment(path, OPS[:2])
+        with WalWriter(path, next_seq=3) as writer:
+            assert writer.append(OPS[2]) == 3
+            assert writer.last_seq == 3
+        assert scan_wal(path).last_seq == 3
+
+    def test_fsync_batching_counts_pending(self, tmp_path):
+        with WalWriter(tmp_path / "wal.log", next_seq=1,
+                       fsync_every=3) as writer:
+            writer.append(OPS[0])
+            writer.append(OPS[1])
+            assert writer.pending == 2
+            writer.append(OPS[2])  # third append triggers the batch sync
+            assert writer.pending == 0
+
+    def test_writer_rejects_bad_config(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            WalWriter(tmp_path / "w.log", next_seq=0)
+        with pytest.raises(PersistenceError):
+            WalWriter(tmp_path / "w.log", next_seq=1, fsync_every=0)
+
+    def test_append_after_close(self, tmp_path):
+        writer = WalWriter(tmp_path / "w.log", next_seq=1)
+        writer.close()
+        with pytest.raises(PersistenceError):
+            writer.append(["merge"])
+
+
+class TestTornTail:
+    def test_every_truncation_point(self, tmp_path):
+        """Cutting the file at *any* byte loses only the torn record."""
+        full = tmp_path / "full.log"
+        write_segment(full, OPS)
+        data = full.read_bytes()
+        boundaries = record_boundaries(OPS)
+        assert boundaries[-1] == len(data)
+        for cut in range(len(data) + 1):
+            target = tmp_path / "cut.log"
+            target.write_bytes(data[:cut])
+            scan = scan_wal(target)
+            complete = sum(1 for end in boundaries[1:] if end <= cut)
+            assert len(scan.records) == complete
+            assert scan.valid_bytes == boundaries[complete]
+            assert scan.torn_bytes == cut - boundaries[complete]
+
+    def test_truncate_torn_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_segment(path, OPS)
+        with open(path, "ab") as handle:
+            handle.write(b"\x07\x00\x00")  # half a length prefix
+        scan = scan_wal(path)
+        assert scan.torn_bytes == 3
+        assert truncate_torn_tail(path, scan.valid_bytes) == 3
+        clean = scan_wal(path)
+        assert clean.torn_bytes == 0
+        assert len(clean.records) == len(OPS)
+
+
+class TestInteriorDamage:
+    def test_payload_flip_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_segment(path, OPS)
+        flip_byte(path, RECORD_HEADER.size + 2)  # inside record 1 payload
+        with pytest.raises(CorruptFileError):
+            scan_wal(path)
+
+    def test_checksum_flip_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_segment(path, OPS)
+        flip_byte(path, 4)  # CRC field of record 1
+        with pytest.raises(CorruptFileError):
+            scan_wal(path)
+
+    def test_sequence_jump_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(encode_record(1, OPS[0]) + encode_record(3, OPS[1]))
+        with pytest.raises(CorruptFileError):
+            scan_wal(path)
+
+    def test_undecodable_payload_raises(self, tmp_path):
+        payload = b"\xff\xfe not json"
+        blob = RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        path = tmp_path / "wal.log"
+        path.write_bytes(blob)
+        with pytest.raises(CorruptFileError):
+            scan_wal(path)
+
+    def test_non_list_payload_raises(self, tmp_path):
+        payload = b'{"seq": 1}'
+        blob = RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        path = tmp_path / "wal.log"
+        path.write_bytes(blob)
+        with pytest.raises(CorruptFileError):
+            scan_wal(path)

@@ -1,0 +1,102 @@
+"""End-to-end tests for the durable-store CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+EDGES = """\
+a b
+a c
+b d
+c d
+"""
+
+
+@pytest.fixture
+def edges_file(tmp_path):
+    path = tmp_path / "graph.edges"
+    path.write_text(EDGES)
+    return str(path)
+
+
+@pytest.fixture
+def store_dir(edges_file, tmp_path, capsys):
+    target = str(tmp_path / "store.d")
+    assert main(["build", edges_file, "--durable", target]) == 0
+    capsys.readouterr()
+    return target
+
+
+class TestDurableFlows:
+    def test_build_reports_store(self, edges_file, tmp_path, capsys):
+        target = str(tmp_path / "s.d")
+        assert main(["build", edges_file, "--durable", target]) == 0
+        out = capsys.readouterr().out
+        assert "durable store built" in out
+        assert "checkpoint-" in out
+
+    def test_query(self, store_dir, capsys):
+        assert main(["query", "--durable", store_dir, "a", "d"]) == 0
+        assert capsys.readouterr().out.strip() == "reachable"
+        assert main(["query", "--durable", store_dir, "d", "a"]) == 1
+        assert capsys.readouterr().out.strip() == "not-reachable"
+
+    def test_successors_and_predecessors(self, store_dir, capsys):
+        assert main(["successors", "--durable", store_dir, "a"]) == 0
+        assert capsys.readouterr().out.split() == ["b", "c", "d"]
+        assert main(["predecessors", "--durable", store_dir, "d"]) == 0
+        assert capsys.readouterr().out.split() == ["a", "b", "c"]
+
+    def test_update_journals_and_persists(self, store_dir, tmp_path, capsys):
+        diff = tmp_path / "patch.diff"
+        diff.write_text("+ d e\n- a c\n")
+        assert main(["update", "--durable", store_dir, str(diff)]) == 0
+        assert "ops journalled" in capsys.readouterr().out
+        assert main(["query", "--durable", store_dir, "a", "e"]) == 0
+
+    def test_checkpoint_and_log_stats(self, store_dir, capsys):
+        assert main(["checkpoint", store_dir]) == 0
+        assert "checkpoint written to" in capsys.readouterr().out
+        assert main(["log-stats", store_dir]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["engine"] == "interval"
+        assert stats["replay_backlog"] == 0
+        assert stats["torn_bytes"] == 0
+
+    def test_recover_reports(self, store_dir, capsys):
+        assert main(["recover", store_dir]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corruption_detected"] is False
+        assert payload["nodes"] == 4
+        assert payload["resumed_at_seq"] == payload["last_seq"] + 1
+
+    def test_crash_fuzz_smoke(self, capsys):
+        assert main(["crash-fuzz", "--ops", "50", "--seed", "1",
+                     "--occurrences", "1", "--no-bit-flips"]) == 0
+        out = capsys.readouterr().out
+        assert "survived" in out
+        assert '"points_never_reached": []' in out
+
+
+class TestDurableErrors:
+    def test_query_needs_index_or_store(self, capsys):
+        assert main(["query", "a", "b"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_store(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["log-stats", missing]) == 2
+        assert main(["query", "--durable", missing, "a", "b"]) == 2
+
+    def test_corrupt_index_file_one_line_diagnosis(self, tmp_path, capsys):
+        path = tmp_path / "closure.json"
+        path.write_text("{definitely not json")
+        assert main(["query", str(path), "a", "b"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "closure.json" in err
+        assert len(err.strip().splitlines()) == 1
