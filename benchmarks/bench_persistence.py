@@ -18,7 +18,8 @@ import pytest
 from _utils import record_result
 from repro.bench import format_table
 from repro.core.index import IntervalTCIndex
-from repro.core.serialize import index_to_dict, load_index, save_index
+from repro.core.serialize import index_to_dict, save_index
+from repro.factory import open_index
 from repro.graph.generators import random_dag
 from repro.storage.diskindex import DiskIntervalIndex, write_index
 
@@ -42,7 +43,7 @@ def test_persistence_profile(persisted):
     graph, index, build_seconds, json_path, rtcx_path = persisted
 
     load_start = time.perf_counter()
-    loaded = load_index(json_path)
+    loaded = open_index(json_path, engine="interval")
     json_load_seconds = time.perf_counter() - load_start
 
     open_start = time.perf_counter()
@@ -81,7 +82,7 @@ def test_json_size_tracks_intervals(persisted):
 
 def test_json_load_kernel(benchmark, persisted):
     _, _, _, json_path, _ = persisted
-    loaded = benchmark(lambda: load_index(json_path))
+    loaded = benchmark(lambda: open_index(json_path, engine="interval"))
     assert len(loaded) > 0
 
 

@@ -15,6 +15,12 @@ Quick start::
     index = IntervalTCIndex.build(graph)
     assert index.reachable("animal", "dog")
     assert not index.reachable("fish", "dog")
+
+Or through the front door, which dispatches on what it is given (graph,
+saved index, durable store directory) and can wire observability::
+
+    from repro import open_index
+    engine = open_index("closure.json")        # any TCEngine
 """
 
 from repro.core import (
@@ -28,6 +34,7 @@ from repro.core import (
     VIRTUAL_ROOT,
     build_tree_cover,
 )
+from repro.core.engine import TCEngine
 from repro.errors import (
     ArcNotFoundError,
     CycleError,
@@ -39,6 +46,7 @@ from repro.errors import (
     StorageError,
     TaxonomyError,
 )
+from repro.factory import open_index
 from repro.graph import DiGraph
 
 __version__ = "1.0.0"
@@ -59,9 +67,11 @@ __all__ = [
     "NumberingExhaustedError",
     "ReproError",
     "StorageError",
+    "TCEngine",
     "TaxonomyError",
     "TreeCover",
     "VIRTUAL_ROOT",
     "build_tree_cover",
+    "open_index",
     "__version__",
 ]

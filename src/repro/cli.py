@@ -47,10 +47,11 @@ from repro.core.batch import apply_diff
 from repro.core.frozen import FrozenTCIndex
 from repro.core.hybrid import HybridTCIndex
 from repro.core.index import DEFAULT_GAP, IntervalTCIndex
-from repro.core.serialize import (load_any, load_index, save_frozen_index,
-                                  save_hybrid_index, save_index)
+from repro.core.serialize import (save_frozen_index, save_hybrid_index,
+                                  save_index)
 from repro.core.tree_cover import POLICIES
 from repro.errors import ReproError
+from repro.factory import open_index
 from repro.graph.io import load_edge_list
 from repro.graph.metrics import profile
 from repro.storage.model import compare_storage
@@ -59,37 +60,15 @@ from repro.testing.fuzzer import DEFAULT_ENGINES
 
 def _load_index_or_build(path: str, *, gap: int = DEFAULT_GAP) -> IntervalTCIndex:
     """Accept either a saved index (.json) or a raw edge list."""
-    if path.endswith(".json"):
-        return load_index(path)
-    return IntervalTCIndex.build(load_edge_list(path), gap=gap)
+    return open_index(path, engine="interval", gap=gap, durable=False)
 
 
 def _load_engine(path: str, engine: Optional[str]):
     """Resolve a query engine: a saved index (mutable, frozen buffers, or
     hybrid), or an edge list built on the fly; ``--engine frozen`` /
-    ``--engine hybrid`` compiles."""
-    if path.endswith(".json"):
-        loaded = load_any(path)
-    else:
-        loaded = IntervalTCIndex.build(load_edge_list(path))
-    if isinstance(loaded, FrozenTCIndex):
-        if engine in ("dict", "hybrid"):
-            raise ReproError(
-                f"{path} holds frozen buffers and cannot serve the "
-                f"{engine!r} engine; rebuild from the graph or a saved "
-                f"mutable index")
-        return loaded
-    if isinstance(loaded, HybridTCIndex):
-        if engine == "dict":
-            return loaded.index
-        if engine == "frozen":
-            return loaded.index.freeze()
-        return loaded
-    if engine == "frozen":
-        return loaded.freeze()
-    if engine == "hybrid":
-        return HybridTCIndex.from_index(loaded)
-    return loaded
+    ``--engine hybrid`` compiles.  Thin wrapper over
+    :func:`repro.open_index`."""
+    return open_index(path, engine=engine or "auto", durable=False)
 
 
 def _add_engine_option(command) -> None:
@@ -196,8 +175,7 @@ def _cmd_freeze(args: argparse.Namespace) -> int:
 
 
 def _cmd_compact(args: argparse.Namespace) -> int:
-    loaded = load_any(args.index) if args.index.endswith(".json") else (
-        IntervalTCIndex.build(load_edge_list(args.index)))
+    loaded = open_index(args.index, durable=False)
     if isinstance(loaded, FrozenTCIndex):
         raise ReproError(
             f"{args.index} holds frozen buffers; a hybrid engine needs the "
@@ -270,11 +248,115 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _exercise_metrics(graph):
+    """Run a mixed workload over all four engines under one registry.
+
+    Powers ``repro-tc stats --stats-json`` / ``--prom``: every engine
+    answers the same query mix (point, batch, semijoin), the hybrid
+    absorbs mutations and compacts, and a throwaway durable store
+    journals, checkpoints and recovers — so the export shows the full
+    metric surface, not just whichever engine the caller happens to use.
+    Returns ``(registry, engines)``; keep ``engines`` alive until after
+    the snapshot, the health gauges hold weak references.
+    """
+    import itertools
+    import tempfile
+
+    from repro.durability.store import DurableTCIndex
+    from repro.graph.traversal import topological_order
+    from repro.obs import MetricsRegistry, attach
+
+    registry = MetricsRegistry()
+    index = IntervalTCIndex.build(graph)
+    frozen = attach(index.freeze().detach(), metrics=registry)
+    hybrid = attach(HybridTCIndex.from_index(
+        IntervalTCIndex.build(graph)), metrics=registry)
+    attach(index, metrics=registry)
+
+    nodes = sorted(graph.nodes(), key=repr)
+    pairs = list(itertools.islice(itertools.product(nodes, nodes), 64))
+    sample = nodes[:8]
+    engines = [index, frozen, hybrid]
+    for engine in engines:
+        engine.reachable_many(pairs)
+        for node in sample:
+            engine.reachable(node, nodes[-1])
+            engine.successors(node)
+            engine.predecessors(node)
+        engine.reachable_from_set(sample)
+        engine.reaching_set(sample)
+        engine.any_reachable(sample, nodes[-1:])
+
+    # exercise the update path + compaction on the hybrid
+    fresh = "__stats_probe__"
+    hybrid.add_node(fresh, nodes[:1])
+    hybrid.reachable(nodes[0], fresh)
+    hybrid.remove_node(fresh)
+    hybrid.compact()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store = DurableTCIndex.open(scratch, metrics=registry)
+        for node in topological_order(graph):
+            store.add_node(node, sorted(graph.predecessors(node), key=repr))
+        store.reachable_many(pairs)
+        store.checkpoint()
+        store.close()
+        # re-open so recovery metrics are reported too
+        store = DurableTCIndex.open(scratch, metrics=registry)
+        store.reachable(nodes[0], nodes[-1])
+        engines.append(store)
+        snapshot = registry.snapshot()
+        store.close()
+    return registry, engines, snapshot
+
+
+def _graph_for_stats(path: str):
+    """Accept an edge list or a saved index document (.json)."""
+    if not str(path).endswith(".json"):
+        return load_edge_list(path)
+    loaded = open_index(path, durable=False)
+    if hasattr(loaded, "graph"):
+        return loaded.graph
+    if hasattr(loaded, "index"):  # hybrid: delta-corrected truth
+        return loaded.index.graph
+    raise ReproError(
+        f"{path} holds frozen buffers with no graph; pass the edge list "
+        "or the saved mutable index instead")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    graph = load_edge_list(args.edges)
+    graph = _graph_for_stats(args.edges)
+    if args.stats_json or args.prom:
+        from repro.obs import render_json, render_prometheus
+        registry, engines, snapshot = _exercise_metrics(graph)
+        if args.stats_json:
+            print(render_json(snapshot))
+        else:
+            print(render_prometheus(registry), end="")
+        del engines
+        return 0
     comparison = compare_storage(graph, include_inverse=args.inverse)
     print(format_table([comparison.as_dict()], title=f"storage for {args.edges}"))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import QueryTracer, format_trace
+
+    tracer = QueryTracer(capacity=args.last)
+    engine = open_index(args.index, engine=args.engine or "auto",
+                        durable=False, tracer=tracer)
+    answer = engine.reachable(args.source, args.destination)
+    engine.successors(args.source)
+    if args.json:
+        # stdout stays pure JSON; the verdict rides on stderr + exit code
+        print(json.dumps(tracer.as_dicts(), indent=2))
+        print("reachable" if answer else "not-reachable", file=sys.stderr)
+    else:
+        for root in tracer.traces():
+            print(format_trace(root))
+        print("reachable" if answer else "not-reachable")
+    return 0 if answer else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -529,11 +611,32 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("edges")
     profile_cmd.set_defaults(handler=_cmd_profile)
 
-    stats = commands.add_parser("stats", help="storage comparison for an edge list")
-    stats.add_argument("edges")
+    stats = commands.add_parser(
+        "stats",
+        help="storage comparison for an edge list; --stats-json/--prom "
+             "instead export engine metrics from a mixed workload")
+    stats.add_argument("edges",
+                       help="edge-list file or saved index (.json)")
     stats.add_argument("--inverse", action="store_true",
                        help="also measure the inverse closure (O(n^2))")
+    stats.add_argument("--stats-json", action="store_true",
+                       help="run a mixed workload over all four engines "
+                            "and print the metrics snapshot as JSON")
+    stats.add_argument("--prom", action="store_true",
+                       help="like --stats-json but Prometheus text format")
     stats.set_defaults(handler=_cmd_stats)
+
+    trace = commands.add_parser(
+        "trace", help="run a query with tracing on and print the span tree")
+    trace.add_argument("index", help="saved index (.json) or edge-list file")
+    trace.add_argument("source")
+    trace.add_argument("destination")
+    _add_engine_option(trace)
+    trace.add_argument("--last", type=int, default=16,
+                       help="trace ring-buffer capacity (default 16)")
+    trace.add_argument("--json", action="store_true",
+                       help="print span trees as JSON instead of text")
+    trace.set_defaults(handler=_cmd_trace)
 
     bench = commands.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument("figure", choices=BENCH_CHOICES)

@@ -2,6 +2,7 @@
 
 from repro.core.bidirectional import BidirectionalTCIndex
 from repro.core.condensation import CondensedIndex
+from repro.core.engine import TCEngine
 from repro.core.frozen import FrozenTCIndex
 from repro.core.hybrid import HybridTCIndex
 from repro.core.index import DEFAULT_GAP, IndexStats, IntervalTCIndex
@@ -48,6 +49,7 @@ __all__ = [
     "IntervalTCIndex",
     "Labeling",
     "POLICIES",
+    "TCEngine",
     "TreeCover",
     "VIRTUAL_ROOT",
     "all_tree_covers",

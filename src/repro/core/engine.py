@@ -1,0 +1,83 @@
+"""The shared query-engine protocol all four engines implement.
+
+Four engines answer the same reachability questions with different
+trade-offs — :class:`~repro.core.index.IntervalTCIndex` (updatable,
+Section 4 algorithms), :class:`~repro.core.frozen.FrozenTCIndex`
+(read-only flat arrays), :class:`~repro.core.hybrid.HybridTCIndex`
+(frozen base + delta overlay), and
+:class:`~repro.durability.store.DurableTCIndex` (crash-safe facade).
+:class:`TCEngine` is the structural type they all satisfy: helper code
+(:mod:`repro.core.queries`), the CLI, and the observability layer are
+written against it, so instrumentation and routing attach at one seam
+instead of four divergent class surfaces.
+
+The protocol is ``runtime_checkable`` — ``isinstance(engine, TCEngine)``
+checks method presence (not signatures; the conformance suite in
+``tests/core/test_engine_protocol.py`` pins exact signatures with
+:func:`inspect.signature`).
+"""
+
+from __future__ import annotations
+
+from typing import (Iterable, Iterator, List, Protocol, Set, Tuple,
+                    runtime_checkable)
+
+from repro.graph.digraph import Node
+
+__all__ = ["TCEngine"]
+
+
+@runtime_checkable
+class TCEngine(Protocol):
+    """Anything that answers transitive-closure queries.
+
+    All query semantics are reflexive by the paper's convention (every
+    node reaches itself); ``reflexive=False`` opts out per call.  Batch
+    forms return answers in input order.  ``stats()`` returns a
+    size/health report (an :class:`~repro.core.index.IndexStats` or a
+    plain dict, both ``as_dict()``-able or already a dict).
+    """
+
+    # -- point queries --------------------------------------------------
+    def reachable(self, source: Node, destination: Node) -> bool: ...
+
+    def successors(self, source: Node, *,
+                   reflexive: bool = True) -> Set[Node]: ...
+
+    def predecessors(self, destination: Node, *,
+                     reflexive: bool = True) -> Set[Node]: ...
+
+    def iter_successors(self, source: Node, *,
+                        reflexive: bool = True) -> Iterator[Node]: ...
+
+    def count_successors(self, source: Node, *,
+                         reflexive: bool = True) -> int: ...
+
+    # -- batch queries --------------------------------------------------
+    def reachable_many(self,
+                       pairs: Iterable[Tuple[Node, Node]]) -> List[bool]: ...
+
+    def successors_many(self, sources: Iterable[Node], *,
+                        reflexive: bool = True) -> List[Set[Node]]: ...
+
+    def predecessors_many(self, destinations: Iterable[Node], *,
+                          reflexive: bool = True) -> List[Set[Node]]: ...
+
+    # -- set semijoins --------------------------------------------------
+    def reachable_from_set(self, sources: Iterable[Node]) -> Set[Node]: ...
+
+    def reaching_set(self, destinations: Iterable[Node]) -> Set[Node]: ...
+
+    def any_reachable(self, sources: Iterable[Node],
+                      destinations: Iterable[Node]) -> bool: ...
+
+    def are_disjoint(self, first: Node, second: Node) -> bool: ...
+
+    # -- membership and introspection -----------------------------------
+    def nodes(self) -> Iterator[Node]: ...
+
+    def stats(self): ...
+
+    def __contains__(self, node: Node) -> bool: ...
+
+    def __len__(self) -> int: ...

@@ -71,6 +71,7 @@ from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
 
 from repro.errors import IndexStateError, NodeNotFoundError, ReproError
 from repro.graph.digraph import Node
+from repro.obs.instrument import instrumented
 
 try:  # numpy is an optional dependency (the ``test`` extra installs it)
     import numpy as _np
@@ -136,6 +137,8 @@ class FrozenTCIndex:
             raise ReproError("duplicate node labels in frozen buffers")
         self._source = source
         self._source_epoch = source_epoch
+        self._obs = None
+        self._tracer = None
         if self._backend == "numpy":
             self._materialize_numpy(offsets, lows, highs)
         else:
@@ -323,6 +326,7 @@ class FrozenTCIndex:
         position = bisect_right(self._lo, rank, start, stop)
         return position > start and self._hi[position - 1] >= rank
 
+    @instrumented("reachable")
     def reachable(self, source: Node, destination: Node) -> bool:
         """Whether ``source`` reaches ``destination`` (reflexive).
 
@@ -331,8 +335,13 @@ class FrozenTCIndex:
         """
         self._check_fresh()
         sid = self._id(source)
-        return self._covers(sid, self._id(destination))
+        covered = self._covers(sid, self._id(destination))
+        tracer = self._tracer
+        if tracer is not None and tracer.current() is not None:
+            tracer.annotate("hit", "interval" if covered else "miss")
+        return covered
 
+    @instrumented("successors")
     def successors(self, source: Node, *, reflexive: bool = True) -> Set[Node]:
         """All nodes reachable from ``source`` — a walk over rank slices."""
         self._check_fresh()
@@ -361,6 +370,7 @@ class FrozenTCIndex:
                     continue
                 yield node
 
+    @instrumented("count_successors")
     def count_successors(self, source: Node, *, reflexive: bool = True) -> int:
         """Successor count straight off the run widths — no set built."""
         self._check_fresh()
@@ -370,6 +380,7 @@ class FrozenTCIndex:
                     for position in range(start, stop))
         return total if reflexive else total - 1
 
+    @instrumented("predecessors")
     def predecessors(self, destination: Node, *,
                      reflexive: bool = True) -> Set[Node]:
         """Every node that reaches ``destination``, via the reverse index.
@@ -403,6 +414,7 @@ class FrozenTCIndex:
     # ------------------------------------------------------------------
     # batch queries
     # ------------------------------------------------------------------
+    @instrumented("reachable_many")
     def reachable_many(self, pairs: Iterable[Tuple[Node, Node]]) -> List[bool]:
         """Vectorised :meth:`reachable` over ``(source, destination)`` pairs.
 
@@ -462,12 +474,14 @@ class FrozenTCIndex:
             return None
         return ids.reshape(count, 2)
 
+    @instrumented("successors_many")
     def successors_many(self, sources: Iterable[Node], *,
                         reflexive: bool = True) -> List[Set[Node]]:
         """One successor set per source, in input order."""
         return [self.successors(source, reflexive=reflexive)
                 for source in sources]
 
+    @instrumented("predecessors_many")
     def predecessors_many(self, destinations: Iterable[Node], *,
                           reflexive: bool = True) -> List[Set[Node]]:
         """One predecessor set per destination, in input order."""
@@ -477,6 +491,7 @@ class FrozenTCIndex:
     # ------------------------------------------------------------------
     # set semijoins (the building blocks of recursive query evaluation)
     # ------------------------------------------------------------------
+    @instrumented("reachable_from_set")
     def reachable_from_set(self, sources: Iterable[Node]) -> Set[Node]:
         """Everything reachable from *any* source (reflexive) — the
         forward semijoin, one union of rank slices."""
@@ -491,6 +506,7 @@ class FrozenTCIndex:
                                     int(self._hi[position]) + 1])
         return result
 
+    @instrumented("reaching_set")
     def reaching_set(self, destinations: Iterable[Node]) -> Set[Node]:
         """Everything that reaches *any* destination (reflexive) — one
         reverse-index stab per distinct destination."""
@@ -501,6 +517,7 @@ class FrozenTCIndex:
             result.update(self._nodes[owner] for owner in self._stab(rank))
         return result
 
+    @instrumented("any_reachable")
     def any_reachable(self, sources: Iterable[Node],
                       destinations: Iterable[Node]) -> bool:
         """Does any source reach any destination?  Early-exit semijoin:
@@ -520,6 +537,7 @@ class FrozenTCIndex:
                     return True
         return False
 
+    @instrumented("are_disjoint")
     def are_disjoint(self, first: Node, second: Node) -> bool:
         """Whether the two nodes share no common descendant (reflexive).
 

@@ -63,6 +63,7 @@ Typical use::
 from __future__ import annotations
 
 import random
+import time as _time
 from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
                     Sequence, Set, Tuple, Union)
 
@@ -70,6 +71,7 @@ from repro.core.frozen import FrozenTCIndex
 from repro.core.index import DEFAULT_GAP, IntervalTCIndex
 from repro.errors import IndexStateError, NodeNotFoundError, ReproError
 from repro.graph.digraph import DiGraph, Node
+from repro.obs.instrument import instrumented
 
 #: Default compaction threshold, in delta cost units (1 per added arc or
 #: node, ``delete_cost`` per pre-snapshot deletion).
@@ -113,6 +115,8 @@ class HybridTCIndex:
         self._delete_cost = delete_cost
         self._auto_compact_on_query = auto_compact_on_query
         self._compactions = 0
+        self._obs = None
+        self._tracer = None
         self._base = self._compile()
         self._reset_delta()
 
@@ -175,6 +179,8 @@ class HybridTCIndex:
         self._delete_cost = delete_cost
         self._auto_compact_on_query = auto_compact_on_query
         self._compactions = 0
+        self._obs = None
+        self._tracer = None
         self._base = base.detach()
         self._reset_delta()
         self._delta_arcs = [(source, destination)
@@ -190,8 +196,14 @@ class HybridTCIndex:
         # stay strict (stale after one epoch), while the base must be
         # pinned.  Detaching a shared cache entry would leak never-stale
         # views to other callers.
-        return FrozenTCIndex.from_index(self._index,
-                                        backend=self._backend).detach()
+        frozen = FrozenTCIndex.from_index(self._index,
+                                          backend=self._backend).detach()
+        # Every recompiled base inherits this hybrid's observability so
+        # base lookups keep reporting after a compaction.
+        frozen._obs = (self._obs.child("FrozenTCIndex")
+                       if self._obs is not None else None)
+        frozen._tracer = self._tracer
+        return frozen
 
     def _reset_delta(self) -> None:
         self._delta_arcs: List[Tuple[Node, Node]] = []
@@ -288,9 +300,18 @@ class HybridTCIndex:
                 and not self._tainted
                 and self._expected_epoch == self._index.epoch):
             return False
+        obs = self._obs
+        started = _time.perf_counter_ns() if obs is not None else 0
         self._base = self._compile()
         self._reset_delta()
         self._compactions += 1
+        if obs is not None:
+            obs.counter("tc_hybrid_compaction_total",
+                        help="delta folds into a fresh base").inc()
+            obs.histogram(
+                "tc_hybrid_compaction_seconds",
+                help="wall time folding the delta into a fresh base",
+            ).observe_ns(_time.perf_counter_ns() - started)
         return True
 
     def _note_mutation(self, cost: int) -> None:
@@ -304,6 +325,7 @@ class HybridTCIndex:
     # ------------------------------------------------------------------
     # mutations (write-through + delta log)
     # ------------------------------------------------------------------
+    @instrumented("add_node")
     def add_node(self, node: Node, parents: Sequence[Node] = ()) -> None:
         """Insert a new node with arcs from each of ``parents``.
 
@@ -318,6 +340,7 @@ class HybridTCIndex:
             self._record_arc(parent, node)
         self._note_mutation(1 + len(parent_list))
 
+    @instrumented("add_arc")
     def add_arc(self, source: Node, destination: Node) -> None:
         """Insert an arc between existing nodes; O(1) amortised overlay append."""
         before = self._index.epoch
@@ -333,6 +356,7 @@ class HybridTCIndex:
             self._delta_arc_set.add(arc)
             self._delta_arcs.append(arc)
 
+    @instrumented("remove_arc")
     def remove_arc(self, source: Node, destination: Node) -> None:
         """Delete an arc.
 
@@ -353,6 +377,7 @@ class HybridTCIndex:
             self._tainted = True
             self._note_mutation(self._delete_cost)
 
+    @instrumented("remove_node")
     def remove_node(self, node: Node) -> None:
         """Delete a node and all incident arcs (same taint rule as arcs).
 
@@ -487,6 +512,7 @@ class HybridTCIndex:
     # ------------------------------------------------------------------
     # point queries
     # ------------------------------------------------------------------
+    @instrumented("reachable")
     def reachable(self, source: Node, destination: Node) -> bool:
         """Whether ``source`` reaches ``destination`` (reflexive).
 
@@ -494,19 +520,28 @@ class HybridTCIndex:
         when the overlay is non-empty.  Tainted: exact answer from the
         mutable index.
         """
+        tracer = self._tracer
+        in_span = tracer is not None and tracer.current() is not None
         if self._sync():
+            if in_span:
+                tracer.annotate("route", "index")
             return self._index.reachable(source, destination)
+        if in_span:
+            tracer.annotate("route", "base")
         self._require(source)
         self._require(destination)
         if self._base_reach(source, destination):
             return True
         if not self._delta_arcs:
             return False
+        if in_span:
+            tracer.annotate("overlay", True)
         for target in self._entry_targets(source):
             if self._base_reach(target, destination):
                 return True
         return False
 
+    @instrumented("successors")
     def successors(self, source: Node, *, reflexive: bool = True) -> Set[Node]:
         """All nodes reachable from ``source``: base slice walk + overlay union."""
         if self._sync():
@@ -525,6 +560,7 @@ class HybridTCIndex:
         """Duplicate-free successor iterator (order unspecified)."""
         return iter(self.successors(source, reflexive=reflexive))
 
+    @instrumented("count_successors")
     def count_successors(self, source: Node, *, reflexive: bool = True) -> int:
         """Successor count; run-width arithmetic on the clean no-delta path."""
         if self._sync():
@@ -534,6 +570,7 @@ class HybridTCIndex:
         total = len(self.successors(source))
         return total if reflexive else total - 1
 
+    @instrumented("predecessors")
     def predecessors(self, destination: Node, *,
                      reflexive: bool = True) -> Set[Node]:
         """Every node that reaches ``destination``.
@@ -557,6 +594,7 @@ class HybridTCIndex:
     # ------------------------------------------------------------------
     # batch queries
     # ------------------------------------------------------------------
+    @instrumented("reachable_many")
     def reachable_many(self, pairs: Iterable[Tuple[Node, Node]]) -> List[bool]:
         """Batch :meth:`reachable`.
 
@@ -599,12 +637,14 @@ class HybridTCIndex:
                         break
         return results
 
+    @instrumented("successors_many")
     def successors_many(self, sources: Iterable[Node], *,
                         reflexive: bool = True) -> List[Set[Node]]:
         """One successor set per source, in input order."""
         return [self.successors(source, reflexive=reflexive)
                 for source in sources]
 
+    @instrumented("predecessors_many")
     def predecessors_many(self, destinations: Iterable[Node], *,
                           reflexive: bool = True) -> List[Set[Node]]:
         """One predecessor set per destination, in input order."""
@@ -614,6 +654,7 @@ class HybridTCIndex:
     # ------------------------------------------------------------------
     # set semijoins
     # ------------------------------------------------------------------
+    @instrumented("reachable_from_set")
     def reachable_from_set(self, sources: Iterable[Node]) -> Set[Node]:
         """Everything reachable from *any* source (reflexive)."""
         source_list = list(sources)
@@ -631,6 +672,7 @@ class HybridTCIndex:
             result |= self.successors(source)
         return result
 
+    @instrumented("reaching_set")
     def reaching_set(self, destinations: Iterable[Node]) -> Set[Node]:
         """Everything that reaches *any* destination (reflexive)."""
         destination_list = list(destinations)
@@ -648,6 +690,7 @@ class HybridTCIndex:
             result |= self.predecessors(destination)
         return result
 
+    @instrumented("any_reachable")
     def any_reachable(self, sources: Iterable[Node],
                       destinations: Iterable[Node]) -> bool:
         """Does any source reach any destination?  Early-exit semijoin."""
@@ -669,6 +712,7 @@ class HybridTCIndex:
                 return True
         return False
 
+    @instrumented("are_disjoint")
     def are_disjoint(self, first: Node, second: Node) -> bool:
         """Whether the two nodes share no common descendant (reflexive)."""
         if (not self._sync() and not self._delta_arcs

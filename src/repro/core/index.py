@@ -27,7 +27,7 @@ import random
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
-                    Sequence, Set, Union)
+                    Sequence, Set, Tuple, Union)
 
 from repro.core import updates as _updates
 from repro.core.intervals import Interval, IntervalSet
@@ -36,6 +36,7 @@ from repro.core.tree_cover import TreeCover, build_tree_cover
 from repro.errors import IndexStateError, NodeNotFoundError
 from repro.graph.digraph import DiGraph, Node
 from repro.graph.traversal import reachable_from
+from repro.obs.instrument import instrumented
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.frozen import FrozenTCIndex
@@ -62,6 +63,11 @@ class IndexStats:
     max_intervals_per_node: int = 0
     tree_depth: int = 0
     numbering: str = "integer"
+    #: Free postorder numbers below the current maximum (Section 4's
+    #: insertion headroom); -1 means unlimited (fractional numbering).
+    gap_budget_remaining: int = 0
+    #: Full renumbering passes this index has performed.
+    renumber_count: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view for report tables."""
@@ -128,6 +134,14 @@ class IntervalTCIndex:
         #: :class:`repro.durability.wal.WalWriter`.  ``None`` costs one
         #: attribute test per mutation.
         self.journal = None
+        #: Observability hooks (see :mod:`repro.obs.instrument`): per-op
+        #: metrics instruments and a query tracer, both attached after
+        #: construction via :func:`repro.obs.instrument.attach`.  ``None``
+        #: costs two attribute reads per instrumented call.
+        self._obs = None
+        self._tracer = None
+        #: Full renumbering passes (:func:`repro.core.updates.renumber`).
+        self._renumber_count = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -244,6 +258,7 @@ class IntervalTCIndex:
         """All indexed nodes."""
         return iter(self.postorder)
 
+    @instrumented("reachable")
     def reachable(self, source: Node, destination: Node) -> bool:
         """Whether a directed path ``source ->* destination`` exists.
 
@@ -257,8 +272,22 @@ class IntervalTCIndex:
             number = self.postorder[destination]
         except KeyError:
             raise NodeNotFoundError(destination) from None
-        return self.intervals[source].covers(number)
+        covered = self.intervals[source].covers(number)
+        tracer = self._tracer
+        if tracer is not None and tracer.current() is not None:
+            # Lemma 1 explanation: the destination's number is inside the
+            # source's own subtree interval (a tree hit), inside an
+            # interval propagated from a non-tree arc, or nowhere.
+            if not covered:
+                kind = "miss"
+            else:
+                tree = self.tree_interval[source]
+                kind = ("tree-interval" if tree.lo <= number <= tree.hi
+                        else "propagated-interval")
+            tracer.annotate("hit", kind)
+        return covered
 
+    @instrumented("successors")
     def successors(self, source: Node, *, reflexive: bool = True) -> Set[Node]:
         """The full successor list of ``source``, decoded from its intervals.
 
@@ -305,6 +334,7 @@ class IntervalTCIndex:
                 yield node
             previous_hi = hi if previous_hi is None else max(previous_hi, hi)
 
+    @instrumented("predecessors")
     def predecessors(self, destination: Node, *, reflexive: bool = True) -> Set[Node]:
         """Every node that can reach ``destination``.
 
@@ -321,6 +351,7 @@ class IntervalTCIndex:
             result.discard(destination)
         return result
 
+    @instrumented("count_successors")
     def count_successors(self, source: Node, *, reflexive: bool = True) -> int:
         """Number of successors without materialising the set."""
         if source not in self.postorder:
@@ -337,6 +368,92 @@ class IntervalTCIndex:
         return seen if reflexive else seen - 1
 
     # ------------------------------------------------------------------
+    # batch queries and set semijoins (the shared TCEngine surface; the
+    # frozen/hybrid engines override these with vectorised fast paths,
+    # here they are the straightforward single-op loops)
+    # ------------------------------------------------------------------
+    @instrumented("reachable_many")
+    def reachable_many(self, pairs: Iterable[Tuple[Node, Node]]) -> List[bool]:
+        """Batch :meth:`reachable` over ``(source, destination)`` pairs."""
+        return [self.reachable(source, destination)
+                for source, destination in pairs]
+
+    @instrumented("successors_many")
+    def successors_many(self, sources: Iterable[Node], *,
+                        reflexive: bool = True) -> List[Set[Node]]:
+        """One successor set per source, in input order."""
+        return [self.successors(source, reflexive=reflexive)
+                for source in sources]
+
+    @instrumented("predecessors_many")
+    def predecessors_many(self, destinations: Iterable[Node], *,
+                          reflexive: bool = True) -> List[Set[Node]]:
+        """One predecessor set per destination, in input order."""
+        return [self.predecessors(destination, reflexive=reflexive)
+                for destination in destinations]
+
+    @instrumented("reachable_from_set")
+    def reachable_from_set(self, sources: Iterable[Node]) -> Set[Node]:
+        """Everything reachable from *any* source (reflexive)."""
+        result: Set[Node] = set()
+        for source in sources:
+            result |= self.successors(source)
+        return result
+
+    @instrumented("reaching_set")
+    def reaching_set(self, destinations: Iterable[Node]) -> Set[Node]:
+        """Everything that reaches *any* destination (reflexive).
+
+        Target numbers are sorted once; each node then pays one
+        early-exit bisect pass over its own intervals.
+        """
+        targets = sorted({self._number_of(destination)
+                          for destination in destinations})
+        if not targets:
+            return set()
+        result: Set[Node] = set()
+        for node, interval_set in self.intervals.items():
+            if self._covers_any(interval_set, targets):
+                result.add(node)
+        return result
+
+    @instrumented("any_reachable")
+    def any_reachable(self, sources: Iterable[Node],
+                      destinations: Iterable[Node]) -> bool:
+        """Does any source reach any destination?  Early-exit semijoin."""
+        targets = sorted({self._number_of(destination)
+                          for destination in destinations})
+        if not targets:
+            return False
+        for source in sources:
+            if source not in self.postorder:
+                raise NodeNotFoundError(source)
+            if self._covers_any(self.intervals[source], targets):
+                return True
+        return False
+
+    @instrumented("are_disjoint")
+    def are_disjoint(self, first: Node, second: Node) -> bool:
+        """Whether the two nodes share no common descendant (reflexive)."""
+        return not (self.successors(first) & self.successors(second))
+
+    def _number_of(self, node: Node) -> int:
+        try:
+            return self.postorder[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    @staticmethod
+    def _covers_any(interval_set: IntervalSet,
+                    targets: Sequence[int]) -> bool:
+        """Whether any of the sorted ``targets`` lies inside the set."""
+        for lo, hi in interval_set:
+            position = bisect_left(targets, lo)
+            if position < len(targets) and targets[position] <= hi:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     # size accounting
     # ------------------------------------------------------------------
     @property
@@ -348,6 +465,25 @@ class IntervalTCIndex:
     def storage_units(self) -> int:
         """Paper accounting: two end-points per interval (Section 3.3)."""
         return 2 * self.num_intervals
+
+    @property
+    def gap_budget_remaining(self) -> int:
+        """Free postorder numbers below the current maximum.
+
+        The Section 4 insertion headroom: how many more nodes fit before
+        a gap exhaustion can force :meth:`renumber`.  ``-1`` means
+        unlimited (fractional numbering never runs out).
+        """
+        if self.numbering == "fractional":
+            return -1
+        if not self.used_numbers:
+            return 0
+        return int(self.used_numbers[-1]) - len(self.used_numbers)
+
+    @property
+    def renumber_count(self) -> int:
+        """Full renumbering passes this index has performed."""
+        return self._renumber_count
 
     def stats(self) -> IndexStats:
         """A full size report."""
@@ -369,6 +505,8 @@ class IntervalTCIndex:
                 default=0),
             tree_depth=self._tree_depth(),
             numbering=self.numbering,
+            gap_budget_remaining=self.gap_budget_remaining,
+            renumber_count=self._renumber_count,
         )
 
     def _tree_depth(self) -> int:
@@ -386,6 +524,7 @@ class IntervalTCIndex:
     # ------------------------------------------------------------------
     # incremental updates (Section 4) — implemented in repro.core.updates
     # ------------------------------------------------------------------
+    @instrumented("add_node")
     def add_node(self, node: Node, parents: Sequence[Node] = ()) -> None:
         """Insert a new node with arcs from each of ``parents``.
 
@@ -396,6 +535,7 @@ class IntervalTCIndex:
         _updates.add_node(self, node, parents)
         self._journal_op(["add_node", node, list(parents)])
 
+    @instrumented("add_arc")
     def add_arc(self, source: Node, destination: Node) -> None:
         """Insert an arc between two existing nodes (non-tree arc addition)."""
         before = self._version
@@ -403,6 +543,7 @@ class IntervalTCIndex:
         if self._version != before:
             self._journal_op(["add_arc", source, destination])
 
+    @instrumented("remove_arc")
     def remove_arc(self, source: Node, destination: Node) -> None:
         """Delete an arc; dispatches to the tree/non-tree procedures of §4.2."""
         before = self._version
@@ -413,6 +554,7 @@ class IntervalTCIndex:
         if self._version != before:
             self._journal_op(["remove_arc", source, destination])
 
+    @instrumented("remove_node")
     def remove_node(self, node: Node) -> None:
         """Delete a node and all incident arcs."""
         before = self._version

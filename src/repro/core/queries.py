@@ -7,60 +7,43 @@ top of :class:`~repro.core.index.IntervalTCIndex`, and provides the
 irreflexive (strict) view of reachability for callers who do not want the
 paper's every-node-reaches-itself convention.
 
-Every helper also accepts a :class:`~repro.core.frozen.FrozenTCIndex` or
-a :class:`~repro.core.hybrid.HybridTCIndex` (:func:`topological_level`
-needs a graph, which the hybrid engine also carries), and — given a
-mutable index that currently has a fresh frozen view (see
-:meth:`IntervalTCIndex.freeze`) — transparently routes through the flat
-array engine: predecessor-flavoured queries then use the reverse interval
-index instead of scanning every node, and :func:`path_exists_batch` runs
-vectorised.  A hybrid engine routes internally (base snapshot + delta
-overlay), so it is always used as-is.
+Every helper is written against the shared
+:class:`~repro.core.engine.TCEngine` protocol, so any engine works —
+mutable, frozen, hybrid, or durable (:func:`topological_level` is the
+one exception: it needs a graph, which only mutable-backed engines
+carry).  Given a mutable index that currently has a fresh frozen view
+(see :meth:`IntervalTCIndex.freeze`), queries transparently route
+through the flat-array engine: predecessor-flavoured queries then use
+the reverse interval index instead of scanning every node, and
+:func:`path_exists_batch` runs vectorised.  A hybrid engine routes
+internally (base snapshot + delta overlay), so it is always used as-is.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from typing import Iterable, List, Sequence, Set, Union
+from typing import Iterable, List, Set
 
-from repro.core.frozen import FrozenTCIndex
-from repro.core.hybrid import HybridTCIndex
+from repro.core.engine import TCEngine
 from repro.core.index import IntervalTCIndex
-from repro.core.intervals import IntervalSet
 from repro.graph.digraph import Node
 
-#: Anything with the shared query surface (reachable/successors/predecessors).
-Engine = Union[IntervalTCIndex, FrozenTCIndex, HybridTCIndex]
-
-#: Engines that expose the batch/semijoin fast paths natively.
-_BATCH_ENGINES = (FrozenTCIndex, HybridTCIndex)
+#: Anything with the shared query surface — kept as an alias so existing
+#: ``queries.Engine`` annotations keep working.
+Engine = TCEngine
 
 
 def _engine(index: Engine) -> Engine:
     """The fastest engine available for ``index`` without compiling one.
 
-    Frozen and hybrid indexes are used as-is (the hybrid does its own
-    base/delta routing); a mutable index is swapped for its cached frozen
-    view when that view exists and is fresh.  Freezing is never triggered
-    here — callers opt in with ``index.freeze()``.
+    Frozen, hybrid and durable engines are used as-is (the hybrid does
+    its own base/delta routing); a mutable index is swapped for its
+    cached frozen view when that view exists and is fresh.  Freezing is
+    never triggered here — callers opt in with ``index.freeze()``.
     """
-    if isinstance(index, _BATCH_ENGINES):
-        return index
-    view = index.frozen_view()
-    return index if view is None else view
-
-
-def _covers_any(interval_set: IntervalSet, targets: Sequence[int]) -> bool:
-    """Whether any of the sorted ``targets`` lies inside the set.
-
-    One bisect per stored interval with early exit — O(k log t) instead
-    of the naive O(t log k) of testing every target separately.
-    """
-    for lo, hi in interval_set:
-        position = bisect_left(targets, lo)
-        if position < len(targets) and targets[position] <= hi:
-            return True
-    return False
+    if isinstance(index, IntervalTCIndex):
+        view = index.frozen_view()
+        return index if view is None else view
+    return index
 
 
 def descendants(index: Engine, node: Node) -> Set[Node]:
@@ -139,12 +122,7 @@ def are_disjoint(index: Engine, first: Node, second: Node) -> bool:
     this is a two-pointer walk over the two rank-run lists; no successor
     set is materialised.
     """
-    engine = _engine(index)
-    if isinstance(engine, _BATCH_ENGINES):
-        return engine.are_disjoint(first, second)
-    if engine.reachable(first, second) or engine.reachable(second, first):
-        return False
-    return not common_descendants(engine, [first, second])
+    return _engine(index).are_disjoint(first, second)
 
 
 def are_comparable(index: Engine, first: Node, second: Node) -> bool:
@@ -186,11 +164,7 @@ def path_exists_batch(index: Engine,
     lookup under numpy) whenever a frozen view is available; the
     list-of-bools contract is identical either way.
     """
-    engine = _engine(index)
-    if isinstance(engine, _BATCH_ENGINES):
-        return engine.reachable_many(pairs)
-    return [engine.reachable(source, destination)
-            for source, destination in pairs]
+    return _engine(index).reachable_many(pairs)
 
 
 def reachable_from_set(index: Engine,
@@ -200,13 +174,7 @@ def reachable_from_set(index: Engine,
     The semijoin building block of recursive query evaluation: one
     interval-set union instead of per-source traversals.
     """
-    engine = _engine(index)
-    if isinstance(engine, _BATCH_ENGINES):
-        return engine.reachable_from_set(sources)
-    result: Set[Node] = set()
-    for source in sources:
-        result |= engine.successors(source)
-    return result
+    return _engine(index).reachable_from_set(sources)
 
 
 def reaching_set(index: Engine,
@@ -219,18 +187,7 @@ def reaching_set(index: Engine,
     own intervals — O(n k log t) worst case, versus the naive
     O(n t log k) of testing every target against every node.
     """
-    engine = _engine(index)
-    if isinstance(engine, _BATCH_ENGINES):
-        return engine.reaching_set(destinations)
-    targets = sorted({engine.postorder[destination]
-                      for destination in destinations})
-    if not targets:
-        return set()
-    result: Set[Node] = set()
-    for node, interval_set in engine.intervals.items():
-        if _covers_any(interval_set, targets):
-            result.add(node)
-    return result
+    return _engine(index).reaching_set(destinations)
 
 
 def any_reachable(index: Engine, sources: Iterable[Node],
@@ -240,14 +197,4 @@ def any_reachable(index: Engine, sources: Iterable[Node],
     Target numbers are sorted once; each source then needs one bisect per
     stored interval, stopping at the first hit.
     """
-    engine = _engine(index)
-    if isinstance(engine, _BATCH_ENGINES):
-        return engine.any_reachable(sources, destinations)
-    targets = sorted({engine.postorder[destination]
-                      for destination in destinations})
-    if not targets:
-        return False
-    for source in sources:
-        if _covers_any(engine.intervals[source], targets):
-            return True
-    return False
+    return _engine(index).any_reachable(sources, destinations)

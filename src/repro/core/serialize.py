@@ -21,6 +21,7 @@ root is encoded as ``None`` in the parent map.
 from __future__ import annotations
 
 import json
+import warnings
 from fractions import Fraction
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -177,9 +178,24 @@ def save_index(index: IntervalTCIndex, path: Union[str, Path]) -> None:
     atomic_write_text(path, json.dumps(index_to_dict(index)))
 
 
-def load_index(path: Union[str, Path]) -> IntervalTCIndex:
-    """Read an index previously written by :func:`save_index`."""
+def _load_index(path: Union[str, Path]) -> IntervalTCIndex:
     return _rebuild(path, index_from_dict, _read_document(path))
+
+
+def load_index(path: Union[str, Path]) -> IntervalTCIndex:
+    """Read an index previously written by :func:`save_index`.
+
+    .. deprecated:: use :func:`repro.open_index` — it dispatches on the
+       document kind and wires observability.
+    """
+    _warn_deprecated("load_index")
+    return _load_index(path)
+
+
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; use repro.open_index() instead",
+        DeprecationWarning, stacklevel=3)
 
 
 # ----------------------------------------------------------------------
@@ -228,11 +244,21 @@ def save_frozen_index(frozen: FrozenTCIndex, path: Union[str, Path]) -> None:
     atomic_write_text(path, json.dumps(frozen_to_dict(frozen)))
 
 
-def load_frozen_index(path: Union[str, Path], *,
-                      backend: Optional[str] = None) -> FrozenTCIndex:
-    """Read buffers previously written by :func:`save_frozen_index`."""
+def _load_frozen_index(path: Union[str, Path], *,
+                       backend: Optional[str] = None) -> FrozenTCIndex:
     return _rebuild(path, frozen_from_dict, _read_document(path),
                     backend=backend)
+
+
+def load_frozen_index(path: Union[str, Path], *,
+                      backend: Optional[str] = None) -> FrozenTCIndex:
+    """Read buffers previously written by :func:`save_frozen_index`.
+
+    .. deprecated:: use :func:`repro.open_index` with
+       ``engine="frozen"``.
+    """
+    _warn_deprecated("load_frozen_index")
+    return _load_frozen_index(path, backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -295,20 +321,40 @@ def save_hybrid_index(hybrid: "HybridTCIndex",
     atomic_write_text(path, json.dumps(hybrid_to_dict(hybrid)))
 
 
-def load_hybrid_index(path: Union[str, Path], *,
-                      backend: Optional[str] = None) -> "HybridTCIndex":
-    """Read a hybrid engine previously written by :func:`save_hybrid_index`."""
+def _load_hybrid_index(path: Union[str, Path], *,
+                       backend: Optional[str] = None) -> "HybridTCIndex":
     return _rebuild(path, hybrid_from_dict, _read_document(path),
                     backend=backend)
 
 
-def load_any(path: Union[str, Path]
-             ) -> Union[IntervalTCIndex, FrozenTCIndex, "HybridTCIndex"]:
-    """Load whichever index kind ``path`` holds (used by the CLI)."""
+def load_hybrid_index(path: Union[str, Path], *,
+                      backend: Optional[str] = None) -> "HybridTCIndex":
+    """Read a hybrid engine previously written by :func:`save_hybrid_index`.
+
+    .. deprecated:: use :func:`repro.open_index` with
+       ``engine="hybrid"``.
+    """
+    _warn_deprecated("load_hybrid_index")
+    return _load_hybrid_index(path, backend=backend)
+
+
+def _load_any(path: Union[str, Path], *, backend: Optional[str] = None
+              ) -> Union[IntervalTCIndex, FrozenTCIndex, "HybridTCIndex"]:
     document = _read_document(path)
     kind = document.get("kind")
     if kind == FROZEN_KIND:
-        return _rebuild(path, frozen_from_dict, document)
+        return _rebuild(path, frozen_from_dict, document, backend=backend)
     if kind == HYBRID_KIND:
-        return _rebuild(path, hybrid_from_dict, document)
+        return _rebuild(path, hybrid_from_dict, document, backend=backend)
     return _rebuild(path, index_from_dict, document)
+
+
+def load_any(path: Union[str, Path]
+             ) -> Union[IntervalTCIndex, FrozenTCIndex, "HybridTCIndex"]:
+    """Load whichever index kind ``path`` holds.
+
+    .. deprecated:: use :func:`repro.open_index` — the same dispatch,
+       plus engine coercion and observability wiring.
+    """
+    _warn_deprecated("load_any")
+    return _load_any(path)

@@ -227,6 +227,7 @@ def add_non_tree_arc(index: "IntervalTCIndex", source: Node, destination: Node) 
     index._invalidate()
     index.graph.add_arc(source, destination)
 
+    cutoffs = 0
     queue = deque([(source, list(index.intervals[destination]))])
     while queue:
         node, incoming = queue.popleft()
@@ -235,6 +236,16 @@ def add_non_tree_arc(index: "IntervalTCIndex", source: Node, destination: Node) 
         if surviving:
             for predecessor in index.graph.predecessors(node):
                 queue.append((predecessor, surviving))
+        else:
+            cutoffs += 1
+    tracer = getattr(index, "_tracer", None)
+    if tracer is not None:
+        tracer.annotate("cutoffs", cutoffs)
+    obs = getattr(index, "_obs", None)
+    if obs is not None and cutoffs:
+        obs.counter("tc_subsumption_cutoffs_total",
+                    help="propagations stopped by subsumption "
+                         "(Section 4.1)").inc(cutoffs)
 
 
 # ----------------------------------------------------------------------
@@ -385,6 +396,11 @@ def make_room(index: "IntervalTCIndex", parent: Node) -> None:
     """
     if parent is VIRTUAL_ROOT:
         return  # the virtual root always has room above the maximum
+    obs = getattr(index, "_obs", None)
+    if obs is not None:
+        obs.counter("tc_make_room_total",
+                    help="local shifts to open one free number "
+                         "(Section 4.1)").inc()
     index._invalidate()
     parent_number = index.postorder[parent]
     numbers = index.used_numbers
@@ -458,6 +474,7 @@ def renumber(index: "IntervalTCIndex", gap: Optional[int] = None) -> None:
             raise GraphError(f"gap must be >= 1, got {gap}")
         index.gap = gap
     index._invalidate()
+    index._renumber_count = getattr(index, "_renumber_count", 0) + 1
     stride = index.gap
 
     counter = 0

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.index import DEFAULT_GAP
 from repro.durability import checkpoint as _checkpoint
@@ -38,6 +39,8 @@ from repro.durability import wal as _wal
 from repro.durability.atomic import REAL_FS, RealFS, atomic_write_bytes
 from repro.durability.recovery import RecoveryReport, recover
 from repro.errors import CorruptFileError, PersistenceError, ReproError
+from repro.graph.digraph import Node
+from repro.obs.instrument import instrumented
 
 CONFIG_NAME = "store.json"
 CONFIG_KIND = "durable-store"
@@ -90,13 +93,16 @@ class DurableTCIndex:
              gap: int = DEFAULT_GAP, numbering: str = "integer",
              fsync_every: int = 1, keep_checkpoints: int = 2,
              backend: Optional[str] = None, create: bool = True,
-             fs: Optional[RealFS] = None) -> "DurableTCIndex":
+             fs: Optional[RealFS] = None, metrics=None,
+             tracer=None) -> "DurableTCIndex":
         """Open a store directory, creating or recovering as needed.
 
         ``engine``/``gap``/``numbering`` configure a *new* store; an
         existing store's config wins over them.  ``create=False`` raises
         :class:`FileNotFoundError` instead of initialising an empty
-        store.
+        store.  ``metrics``/``tracer`` wire observability into the whole
+        stack (store, inner engine, WAL writer) at open time, so the
+        recovery that just ran is reported too.
         """
         if engine not in ENGINE_KINDS:
             raise PersistenceError(
@@ -112,6 +118,10 @@ class DurableTCIndex:
         self._backend = backend
         self._writer: Optional[_wal.WalWriter] = None
         self._closed = False
+        self._obs = None
+        self._tracer = None
+        self._wal_instruments = None
+        self._recovery_ns: Optional[int] = None
 
         config_path = os.path.join(self._directory, CONFIG_NAME)
         if os.path.exists(config_path):
@@ -131,6 +141,9 @@ class DurableTCIndex:
                 "numbering": numbering,
             }
             self._initialise()
+        if metrics is not None or tracer is not None:
+            from repro.obs.instrument import attach
+            attach(self, metrics=metrics, tracer=tracer)
         return self
 
     # ------------------------------------------------------------------
@@ -164,10 +177,12 @@ class DurableTCIndex:
     def _recover(self) -> None:
         """Existing store: run recovery, then resume the log tail."""
         config = self._config
+        started = time.perf_counter_ns()
         self._engine, report = recover(
             self._directory, engine_kind=config["engine"],
             gap=config["gap"], numbering=config["numbering"],
             backend=self._backend)
+        self._recovery_ns = time.perf_counter_ns() - started
         self._report = report
         next_seq = report.last_seq + 1
         if report.tail_path is not None:
@@ -181,7 +196,39 @@ class DurableTCIndex:
         self._writer = _wal.WalWriter(path, next_seq=next_seq,
                                       fsync_every=self._fsync_every,
                                       fs=self._fs)
+        self._writer.metrics = self._wal_instruments
         self._engine.journal = self._writer
+
+    def _attach_observability(self, registry, tracer) -> None:
+        """Finish :func:`repro.obs.instrument.attach` for the full stack.
+
+        ``attach`` already set ``_obs``/``_tracer`` on the store itself;
+        this wires the inner engine, the WAL writer, and reports the
+        recovery that ran at open time (once — re-attaching later does
+        not double-count it).
+        """
+        from repro.obs.instrument import WalInstruments, attach
+        attach(self._engine, metrics=registry, tracer=tracer)
+        if registry is None:
+            self._wal_instruments = None
+            if self._writer is not None:
+                self._writer.metrics = None
+            return
+        self._wal_instruments = WalInstruments(registry)
+        if self._writer is not None:
+            self._writer.metrics = self._wal_instruments
+        obs = self._obs
+        if self._recovery_ns is not None and obs is not None:
+            obs.counter("tc_recoveries_total",
+                        help="crash recoveries run at open").inc()
+            obs.histogram("tc_recovery_seconds",
+                          help="wall time of open-time recovery "
+                          ).observe_ns(self._recovery_ns)
+            if self._report is not None:
+                obs.counter("tc_recovered_ops_total",
+                            help="WAL records replayed by recovery"
+                            ).inc(self._report.ops_replayed)
+            self._recovery_ns = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -223,19 +270,23 @@ class DurableTCIndex:
         if self._closed or self._writer is None:
             raise PersistenceError(f"{self._directory}: store is closed")
 
-    def add_node(self, node, parents: Sequence = ()) -> None:
+    @instrumented("add_node")
+    def add_node(self, node: Node, parents: Sequence[Node] = ()) -> None:
         self._check_open()
         self._engine.add_node(node, list(parents))
 
-    def add_arc(self, source, destination) -> None:
+    @instrumented("add_arc")
+    def add_arc(self, source: Node, destination: Node) -> None:
         self._check_open()
         self._engine.add_arc(source, destination)
 
-    def remove_arc(self, source, destination) -> None:
+    @instrumented("remove_arc")
+    def remove_arc(self, source: Node, destination: Node) -> None:
         self._check_open()
         self._engine.remove_arc(source, destination)
 
-    def remove_node(self, node) -> None:
+    @instrumented("remove_node")
+    def remove_node(self, node: Node) -> None:
         self._check_open()
         self._engine.remove_node(node)
 
@@ -294,25 +345,75 @@ class DurableTCIndex:
     # ------------------------------------------------------------------
     # queries (delegate to the engine)
     # ------------------------------------------------------------------
-    def reachable(self, source, destination) -> bool:
+    @instrumented("reachable")
+    def reachable(self, source: Node, destination: Node) -> bool:
         return self._engine.reachable(source, destination)
 
-    def successors(self, source, *, reflexive: bool = True) -> Set:
+    @instrumented("successors")
+    def successors(self, source: Node, *, reflexive: bool = True) -> Set[Node]:
         return self._engine.successors(source, reflexive=reflexive)
 
-    def predecessors(self, destination, *, reflexive: bool = True) -> Set:
+    @instrumented("predecessors")
+    def predecessors(self, destination: Node, *,
+                     reflexive: bool = True) -> Set[Node]:
         return self._engine.predecessors(destination, reflexive=reflexive)
 
-    def iter_successors(self, source, *, reflexive: bool = True) -> Iterator:
+    def iter_successors(self, source: Node, *,
+                        reflexive: bool = True) -> Iterator[Node]:
         return self._engine.iter_successors(source, reflexive=reflexive)
 
-    def count_successors(self, source, *, reflexive: bool = True) -> int:
+    @instrumented("count_successors")
+    def count_successors(self, source: Node, *, reflexive: bool = True) -> int:
         return self._engine.count_successors(source, reflexive=reflexive)
 
-    def nodes(self) -> Iterator:
+    @instrumented("reachable_many")
+    def reachable_many(self, pairs: Iterable[Tuple[Node, Node]]) -> List[bool]:
+        return self._engine.reachable_many(pairs)
+
+    @instrumented("successors_many")
+    def successors_many(self, sources: Iterable[Node], *,
+                        reflexive: bool = True) -> List[Set[Node]]:
+        return self._engine.successors_many(sources, reflexive=reflexive)
+
+    @instrumented("predecessors_many")
+    def predecessors_many(self, destinations: Iterable[Node], *,
+                          reflexive: bool = True) -> List[Set[Node]]:
+        return self._engine.predecessors_many(destinations,
+                                              reflexive=reflexive)
+
+    @instrumented("reachable_from_set")
+    def reachable_from_set(self, sources: Iterable[Node]) -> Set[Node]:
+        return self._engine.reachable_from_set(sources)
+
+    @instrumented("reaching_set")
+    def reaching_set(self, destinations: Iterable[Node]) -> Set[Node]:
+        return self._engine.reaching_set(destinations)
+
+    @instrumented("any_reachable")
+    def any_reachable(self, sources: Iterable[Node],
+                      destinations: Iterable[Node]) -> bool:
+        return self._engine.any_reachable(sources, destinations)
+
+    @instrumented("are_disjoint")
+    def are_disjoint(self, first: Node, second: Node) -> bool:
+        return self._engine.are_disjoint(first, second)
+
+    def nodes(self) -> Iterator[Node]:
         return self._engine.nodes()
 
-    def __contains__(self, node) -> bool:
+    def stats(self) -> dict:
+        """Engine size report plus the store's durability accounting."""
+        engine_stats = self._engine.stats()
+        if hasattr(engine_stats, "as_dict"):
+            engine_stats = engine_stats.as_dict()
+        return {
+            "engine": self._config["engine"],
+            "directory": self._directory,
+            "last_seq": self.last_seq,
+            "engine_stats": engine_stats,
+        }
+
+    def __contains__(self, node: Node) -> bool:
         return node in self._engine
 
     def __len__(self) -> int:
@@ -341,6 +442,8 @@ class DurableTCIndex:
         replay.  Returns the new checkpoint's path.
         """
         self._check_open()
+        obs = self._obs
+        started = time.perf_counter_ns() if obs is not None else 0
         writer = self._writer
         writer.sync()
         seq = writer.last_seq
@@ -353,6 +456,12 @@ class DurableTCIndex:
         _checkpoint.rotate(self._directory, keep=self._keep_checkpoints,
                            fs=self._fs)
         self._fs.crash_point("checkpoint.post-rotate")
+        if obs is not None:
+            obs.counter("tc_checkpoint_total",
+                        help="checkpoints published").inc()
+            obs.histogram("tc_checkpoint_seconds",
+                          help="checkpoint publish wall time"
+                          ).observe_ns(time.perf_counter_ns() - started)
         return path
 
     def log_stats(self) -> dict:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -163,6 +164,9 @@ class WalWriter:
         self._pending = 0
         #: Records appended through this writer (monitoring only).
         self.appended = 0
+        #: Optional :class:`repro.obs.instrument.WalInstruments`; ``None``
+        #: keeps the hot path free of metric calls.
+        self.metrics = None
 
     @property
     def last_seq(self) -> int:
@@ -181,11 +185,18 @@ class WalWriter:
         seq = self._next_seq
         record = encode_record(seq, op)
         fs = self._fs
+        metrics = self.metrics
+        started = time.perf_counter_ns() if metrics is not None else 0
         fs.crash_point("wal.append.pre-write")
         fs.write(self._handle, record, label="wal.append")
         self._next_seq += 1
         self._pending += 1
         self.appended += 1
+        if metrics is not None:
+            metrics.append_total.inc()
+            metrics.append_seconds.observe_ns(
+                time.perf_counter_ns() - started)
+            metrics.pending.set(self._pending)
         fs.crash_point("wal.append.pre-sync")
         if self._pending >= self.fsync_every:
             self.sync()
@@ -195,8 +206,15 @@ class WalWriter:
     def sync(self) -> None:
         """Force the pending batch to stable storage."""
         if self._handle is not None and self._pending:
+            metrics = self.metrics
+            started = time.perf_counter_ns() if metrics is not None else 0
             self._fs.fsync(self._handle)
             self._pending = 0
+            if metrics is not None:
+                metrics.fsync_total.inc()
+                metrics.fsync_seconds.observe_ns(
+                    time.perf_counter_ns() - started)
+                metrics.pending.set(0)
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,171 @@
+"""`open_index` — the front door to every query engine.
+
+One call replaces the four historical loaders (``load_index``,
+``load_frozen_index``, ``load_hybrid_index``, ``load_any``, all now
+deprecated shims): it dispatches on what ``source`` *is* (a graph, an
+edge-list file, a saved index document, a durable store directory) and
+on which ``engine`` the caller wants, then wires observability into
+whatever it built.
+
+Dispatch matrix (rows: what ``source`` holds; columns: ``engine=``):
+
+===============  =========  ==========  ==========  ==========
+source           ``auto``   ``interval``  ``frozen``  ``hybrid``
+===============  =========  ==========  ==========  ==========
+graph/edge list  interval   build       build+freeze  build+wrap
+mutable doc      interval   load        load+freeze   load+wrap
+frozen doc       frozen     error       load          error
+hybrid doc       hybrid     inner idx   inner+freeze  load
+store directory  durable (inner engine per the store's config)
+===============  =========  ==========  ==========  ==========
+
+Frozen buffers cannot serve a mutable engine — they hold no tree cover
+to update — so that coercion raises :class:`~repro.errors.ReproError`
+rather than silently rebuilding.
+
+Typical use::
+
+    from repro import open_index
+    from repro.obs import MetricsRegistry
+
+    engine = open_index("closure.json")                  # follows the file
+    frozen = open_index(graph, engine="frozen")          # build + compile
+    store = open_index("store/", durable=True)           # crash-safe
+    registry = MetricsRegistry()
+    engine = open_index("closure.json", metrics=registry)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.frozen import FrozenTCIndex
+from repro.core.hybrid import HybridTCIndex
+from repro.core.index import DEFAULT_GAP, IntervalTCIndex
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["open_index", "ENGINES"]
+
+#: Accepted ``engine=`` values (``"dict"`` is the CLI's historical alias
+#: for ``"interval"``).
+ENGINES = ("auto", "interval", "dict", "frozen", "hybrid")
+
+#: The config file that marks a directory as a durable store.
+_STORE_CONFIG = "store.json"
+
+
+def _normalise_engine(engine: str) -> str:
+    if engine == "dict":
+        return "interval"
+    if engine is None:
+        return "auto"
+    if engine not in ENGINES:
+        raise ReproError(
+            f"unknown engine {engine!r}; choose from {ENGINES}")
+    return engine
+
+
+def _coerce(loaded, engine: str, *, backend: Optional[str],
+            origin: str):
+    """Turn whatever was loaded/built into the requested engine."""
+    if isinstance(loaded, FrozenTCIndex):
+        if engine in ("interval", "hybrid"):
+            raise ReproError(
+                f"{origin} holds frozen buffers and cannot serve the "
+                f"{engine!r} engine; rebuild from the graph or a saved "
+                f"mutable index")
+        return loaded
+    if isinstance(loaded, HybridTCIndex):
+        if engine == "interval":
+            return loaded.index
+        if engine == "frozen":
+            return loaded.index.freeze(backend=backend)
+        return loaded
+    # a mutable IntervalTCIndex
+    if engine == "frozen":
+        return loaded.freeze(backend=backend)
+    if engine == "hybrid":
+        return HybridTCIndex.from_index(loaded, backend=backend)
+    return loaded
+
+
+def _is_store_directory(path: str) -> bool:
+    return os.path.isdir(path) and os.path.exists(
+        os.path.join(path, _STORE_CONFIG))
+
+
+def open_index(source, *, engine: str = "auto",
+               durable: Optional[bool] = None, metrics=None, tracer=None,
+               backend: Optional[str] = None, gap: int = DEFAULT_GAP,
+               **kwargs):
+    """Open, load, or build a transitive-closure query engine.
+
+    ``source`` may be a :class:`~repro.graph.digraph.DiGraph`, an
+    already-constructed engine (coerced per the dispatch matrix), a path
+    to a saved index document (``.json``), a path to an edge-list file,
+    or a durable store directory.
+
+    ``engine`` selects the representation (``"auto"`` follows the
+    source); ``durable=True`` forces the crash-safe store (``None``
+    auto-detects a store directory, ``False`` forbids one).  ``metrics``
+    (a :class:`~repro.obs.metrics.MetricsRegistry`) and ``tracer`` (a
+    :class:`~repro.obs.tracing.QueryTracer`) attach observability to the
+    returned engine and everything nested inside it.
+
+    Extra keyword arguments flow to the underlying constructor:
+    :meth:`IntervalTCIndex.build` for graph/edge-list sources (e.g.
+    ``policy``, ``numbering``), :meth:`DurableTCIndex.open` for durable
+    stores (e.g. ``fsync_every``, ``create``).
+    """
+    from repro.obs.instrument import attach
+
+    engine = _normalise_engine(engine)
+
+    if isinstance(source, (str, Path)):
+        path = str(source)
+        if durable is None:
+            durable = _is_store_directory(path)
+        if durable:
+            from repro.durability.store import DurableTCIndex
+            if engine == "frozen":
+                raise ReproError(
+                    "durable stores persist a mutable op-log; "
+                    "engine='frozen' cannot be journalled — choose "
+                    "'interval' or 'hybrid'")
+            store_engine = "hybrid" if engine == "hybrid" else "interval"
+            kwargs.setdefault("create", not os.path.exists(
+                os.path.join(path, _STORE_CONFIG)))
+            return DurableTCIndex.open(
+                path, engine=store_engine, gap=gap, backend=backend,
+                metrics=metrics, tracer=tracer, **kwargs)
+        if path.endswith(".json"):
+            from repro.core.serialize import _load_any
+            loaded = _load_any(path, backend=backend)
+        else:
+            from repro.graph.io import load_edge_list
+            loaded = IntervalTCIndex.build(load_edge_list(path), gap=gap,
+                                           **kwargs)
+        result = _coerce(loaded, engine, backend=backend, origin=path)
+        return attach(result, metrics=metrics, tracer=tracer)
+
+    if durable:
+        raise ReproError(
+            "durable=True needs a store directory path, not "
+            f"{type(source).__name__}")
+
+    if isinstance(source, DiGraph):
+        built = IntervalTCIndex.build(source, gap=gap, **kwargs)
+        result = _coerce(built, engine, backend=backend, origin="graph")
+        return attach(result, metrics=metrics, tracer=tracer)
+
+    if isinstance(source, (IntervalTCIndex, FrozenTCIndex, HybridTCIndex)):
+        result = _coerce(source, engine, backend=backend,
+                         origin=type(source).__name__)
+        return attach(result, metrics=metrics, tracer=tracer)
+
+    raise ReproError(
+        f"cannot open {type(source).__name__!r}: expected a graph, an "
+        "engine, an index/edge-list path, or a durable store directory")

@@ -1,0 +1,147 @@
+"""Exporters: human table, JSON, and Prometheus text exposition.
+
+All three read a :class:`~repro.obs.metrics.MetricsRegistry` (or a
+snapshot dict from :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`);
+none of them mutates anything, so exporting is always safe mid-workload.
+Benchmarks that want "what did this workload do" rather than "what has
+happened since process start" snapshot before and after and diff with
+:func:`repro.obs.metrics.delta`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import List, Union
+
+from repro.obs.metrics import MetricsRegistry, _label_key, render_name
+
+__all__ = ["render_json", "render_prometheus", "render_table"]
+
+
+def _finite(value) -> Union[float, int, None]:
+    """JSON-safe number: non-finite floats become ``None``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _sanitize(snapshot: dict) -> dict:
+    out = {
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": {name: _finite(value)
+                   for name, value in snapshot.get("gauges", {}).items()},
+        "histograms": {},
+    }
+    for name, digest in snapshot.get("histograms", {}).items():
+        out["histograms"][name] = {key: _finite(value) if not isinstance(
+            value, list) else value for key, value in digest.items()}
+    return out
+
+
+def _snapshot_of(source: Union[MetricsRegistry, dict]) -> dict:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def render_json(source: Union[MetricsRegistry, dict], *,
+                indent: int = 2) -> str:
+    """The snapshot as a JSON document (``repro stats --stats-json``)."""
+    return json.dumps(_sanitize(_snapshot_of(source)), indent=indent,
+                      sort_keys=True)
+
+
+def render_table(source: Union[MetricsRegistry, dict]) -> str:
+    """A plain-text report: counters, gauges, histogram digests."""
+    snapshot = _sanitize(_snapshot_of(source))
+    lines: List[str] = []
+
+    counters = snapshot["counters"]
+    if counters:
+        lines.append("counters")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+
+    gauges = snapshot["gauges"]
+    if gauges:
+        if lines:
+            lines.append("")
+        lines.append("gauges")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            value = gauges[name]
+            shown = "n/a" if value is None else f"{value:g}"
+            lines.append(f"  {name:<{width}}  {shown}")
+
+    histograms = snapshot["histograms"]
+    if histograms:
+        if lines:
+            lines.append("")
+        lines.append("histograms"
+                     "  (count / mean / p50 / p90 / p99, seconds)")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            digest = histograms[name]
+            count = digest.get("count", 0)
+            if count:
+                mean = (digest.get("sum") or 0.0) / count
+                row = (f"{count} / {mean:.3g} / {digest.get('p50', 0):.3g}"
+                       f" / {digest.get('p90', 0):.3g}"
+                       f" / {digest.get('p99', 0):.3g}")
+            else:
+                row = "0"
+            lines.append(f"  {name:<{width}}  {row}")
+
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format (version 0.0.4).
+
+    Works from the registry (not a snapshot) because the format needs
+    instrument kinds and help strings.  Histograms export cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``, the shape
+    ``histogram_quantile()`` expects.
+    """
+    lines: List[str] = []
+    seen_headers = set()
+    for kind, instrument in registry.kinds():
+        name = instrument.name
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} "
+                         f"{'untyped' if kind not in ('counter', 'gauge', 'histogram') else kind}")
+        label_key = _label_key(instrument.labels)
+        if kind in ("counter", "gauge"):
+            lines.append(f"{render_name(name, label_key)} "
+                         f"{_prom_value(instrument.value)}")
+            continue
+        digest = instrument.summary()
+        for bound, cumulative in digest["buckets"]:
+            bucket_key = label_key + (("le", _prom_value(float(bound))),)
+            lines.append(f"{render_name(name + '_bucket', bucket_key)} "
+                         f"{cumulative}")
+        inf_key = label_key + (("le", "+Inf"),)
+        lines.append(f"{render_name(name + '_bucket', inf_key)} "
+                     f"{digest['count']}")
+        lines.append(f"{render_name(name + '_sum', label_key)} "
+                     f"{_prom_value(digest['sum'])}")
+        lines.append(f"{render_name(name + '_count', label_key)} "
+                     f"{digest['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

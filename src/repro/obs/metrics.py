@@ -1,0 +1,447 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The observability layer mirrors the dimensions reachability-oracle papers
+evaluate on — label size, construction cost, query latency — but measures
+them *live*: every engine op increments a counter and records its wall
+time into a fixed-bucket histogram, and the paper's space metrics
+(interval counts, gap budget, renumber activity — Sections 3 and 5)
+surface as gauges.
+
+Design rules:
+
+* **No dependencies.**  Pure stdlib; timers use the monotonic
+  :func:`time.perf_counter_ns` clock.
+* **Thread-safe.**  Each instrument guards its state with one lock;
+  instrument creation is idempotent and lock-protected in the registry.
+* **Near-zero overhead when disabled.**  A disabled registry hands out
+  shared no-op instruments, and the engine instrumentation hooks skip
+  the timer entirely when no registry is attached (one attribute read
+  and a ``None`` test per call).
+* **Snapshot/delta semantics.**  :meth:`MetricsRegistry.snapshot` is a
+  plain-dict, JSON-safe view; :func:`delta` subtracts two snapshots so
+  benchmarks can report exactly what one workload did.
+
+Typical use::
+
+    registry = MetricsRegistry()
+    hits = registry.counter("cache_hits_total", help="lookup cache hits")
+    hits.inc()
+    latency = registry.histogram("op_latency_seconds")
+    with registry.timer(latency):
+        do_work()
+    registry.snapshot()["counters"]["cache_hits_total"]   # 1
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): 1µs .. 16s, powers of four, +inf.
+#: Fixed at registration so observation is one bisect, no allocation.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 4e-6, 16e-6, 64e-6, 256e-6,
+    1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
+    1.0, 4.0, 16.0,
+)
+
+#: Buckets for size-flavoured histograms (counts, bytes): powers of four.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144,
+)
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_name(name: str, label_key: Sequence[Tuple[str, str]]) -> str:
+    """``name{k="v",...}`` — the key snapshots and exporters index by."""
+    if not label_key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (ops, bytes, events)."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[Mapping[str, str]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({render_name(self.name, _label_key(self.labels))}={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down — or track a live callback.
+
+    A callback gauge (:meth:`set_function`) re-reads its source on every
+    snapshot, which is how the paper-level health gauges (interval count,
+    gap budget) stay current without the engines pushing updates.
+    """
+
+    __slots__ = ("name", "help", "labels", "_value", "_fn", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[Mapping[str, str]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value: float = 0
+        self._fn: Optional[Callable[[], float]] = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._fn = None
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` on every read instead of storing a value."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            try:
+                return fn()
+            except Exception:  # a dead engine must not break a scrape
+                return float("nan")
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({render_name(self.name, _label_key(self.labels))}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-bucket export semantics.
+
+    ``buckets`` are upper bounds (ascending); an implicit ``+inf`` bucket
+    catches the overflow.  Observation is one :func:`bisect.bisect_left`
+    plus three additions under the instrument lock.  Percentiles are
+    estimated by linear interpolation inside the winning bucket — exact
+    enough for latency reporting, and storage stays O(buckets) forever.
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "_counts", "_sum",
+                 "_count", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Optional[Sequence[float]] = None,
+                 labels: Optional[Mapping[str, str]] = None) -> None:
+        bounds = tuple(buckets if buckets is not None
+                       else DEFAULT_LATENCY_BUCKETS)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be strictly "
+                             f"ascending, got {bounds}")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        slot = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def observe_ns(self, nanoseconds: int) -> None:
+        """Record a :func:`time.perf_counter_ns` interval, in seconds."""
+        self.observe(nanoseconds / 1e9)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, overflow bucket last."""
+        return list(self._counts)
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``0 < q <= 100``).
+
+        Interpolates linearly within the bucket containing the target
+        rank, clamped to the observed min/max so a one-observation
+        histogram reports that observation, not a bucket edge.
+        """
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            target = q / 100.0 * total
+            running = 0
+            for slot, bucket_count in enumerate(self._counts):
+                running += bucket_count
+                if running >= target:
+                    if slot < len(self.bounds):
+                        hi = self.bounds[slot]
+                        lo = self.bounds[slot - 1] if slot else 0.0
+                    else:  # overflow bucket: clamp to the observed max
+                        hi = self._max
+                        lo = self.bounds[-1] if self.bounds else 0.0
+                    if bucket_count:
+                        fraction = (target - (running - bucket_count)) / bucket_count
+                    else:  # pragma: no cover - running only moves on hits
+                        fraction = 1.0
+                    estimate = lo + (hi - lo) * fraction
+                    return min(max(estimate, self._min), self._max)
+        return self._max  # pragma: no cover - loop always crosses target
+
+    def summary(self) -> dict:
+        """JSON-safe digest used by snapshots and the benchmark reports."""
+        with self._lock:
+            count = self._count
+            observed_min = self._min if count else 0.0
+            observed_max = self._max if count else 0.0
+            digest = {
+                "count": count,
+                "sum": self._sum,
+                "min": observed_min,
+                "max": observed_max,
+                "buckets": [[bound, cumulative] for bound, cumulative
+                            in zip(self.bounds, self._cumulative())],
+            }
+        if count:
+            digest["p50"] = self.percentile(50)
+            digest["p90"] = self.percentile(90)
+            digest["p99"] = self.percentile(99)
+        return digest
+
+    def _cumulative(self) -> List[int]:
+        running = 0
+        out = []
+        for bucket_count in self._counts[:-1]:
+            running += bucket_count
+            out.append(running)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Histogram({render_name(self.name, _label_key(self.labels))}"
+                f" count={self._count})")
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    labels: Dict[str, str] = {}
+    bounds: Tuple[float, ...] = ()
+    value = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_ns(self, nanoseconds: int) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def bucket_counts(self) -> List[int]:
+        return []
+
+    def summary(self) -> dict:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "buckets": []}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Owner of every instrument; the unit engines share and exporters read.
+
+    ``enabled=False`` turns the whole registry into a no-op: every
+    ``counter``/``gauge``/``histogram`` call returns the shared
+    :data:`NULL_INSTRUMENT` and :meth:`snapshot` is empty.  Engines also
+    honour ``None`` as "no registry at all", which skips even the timer
+    read — the truly-zero-overhead default.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, str, Tuple[Tuple[str, str], ...]],
+                                object] = {}
+
+    # ------------------------------------------------------------------
+    # instrument factories (idempotent per name+labels)
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, factory, name: str, help: str,
+             labels: Optional[Mapping[str, str]], **kwargs):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory(name, help=help, labels=labels, **kwargs)
+                self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, *, help: str = "",
+                labels: Optional[Mapping[str, str]] = None) -> Counter:
+        return self._get("counter", Counter, name, help, labels)
+
+    def gauge(self, name: str, *, help: str = "",
+              labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        return self._get("gauge", Gauge, name, help, labels)
+
+    def histogram(self, name: str, *, help: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  labels: Optional[Mapping[str, str]] = None) -> Histogram:
+        return self._get("histogram", Histogram, name, help, labels,
+                         buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timer(self, histogram: Histogram,
+              counter: Optional[Counter] = None) -> Iterator[None]:
+        """Record the block's wall time into ``histogram`` (and count it)."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            histogram.observe_ns(time.perf_counter_ns() - started)
+            if counter is not None:
+                counter.inc()
+
+    # ------------------------------------------------------------------
+    # introspection / export source
+    # ------------------------------------------------------------------
+    def instruments(self) -> List[object]:
+        """Every live instrument, sorted by (kind, name, labels)."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return [instrument for _, instrument in items]
+
+    def kinds(self) -> List[Tuple[str, object]]:
+        """``(kind, instrument)`` pairs in deterministic order."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return [(key[0], instrument) for key, instrument in items]
+
+    def snapshot(self) -> dict:
+        """A JSON-safe view of every instrument's current value."""
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, dict] = {}
+        for kind, instrument in self.kinds():
+            rendered = render_name(instrument.name,
+                                   _label_key(instrument.labels))
+            if kind == "counter":
+                counters[rendered] = instrument.value
+            elif kind == "gauge":
+                gauges[rendered] = instrument.value
+            else:
+                histograms[rendered] = instrument.summary()
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+
+def delta(before: dict, after: dict) -> dict:
+    """What happened between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Counters and histogram counts/sums subtract; gauges report the
+    ``after`` value (a gauge is a level, not a flow).  Keys absent from
+    ``before`` count from zero, so an instrument created mid-workload
+    still reports correctly.
+    """
+    out = {"counters": {}, "gauges": dict(after.get("gauges", {})),
+           "histograms": {}}
+    before_counters = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        out["counters"][name] = value - before_counters.get(name, 0)
+    before_histograms = before.get("histograms", {})
+    for name, digest in after.get("histograms", {}).items():
+        earlier = before_histograms.get(name, {})
+        entry = dict(digest)
+        entry["count"] = digest.get("count", 0) - earlier.get("count", 0)
+        entry["sum"] = digest.get("sum", 0.0) - earlier.get("sum", 0.0)
+        earlier_buckets = {bound: cumulative for bound, cumulative
+                           in earlier.get("buckets", [])}
+        entry["buckets"] = [
+            [bound, cumulative - earlier_buckets.get(bound, 0)]
+            for bound, cumulative in digest.get("buckets", [])]
+        out["histograms"][name] = entry
+    return out
+
+
+#: The module-wide disabled registry — a safe default to pass around.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,230 @@
+"""TCEngine conformance: all four engines share one query surface.
+
+Parametrized over the mutable, frozen, hybrid and durable engines:
+method presence (``isinstance`` against the runtime-checkable protocol),
+exact signature equality via :func:`inspect.signature`, shared reflexive
+semantics, empty-graph edge cases, batch-equals-singles, and the
+observability contract (counters increment, histograms record, a
+disabled registry stays empty).
+"""
+
+import inspect
+
+import pytest
+
+from repro.core.engine import TCEngine
+from repro.core.frozen import FrozenTCIndex
+from repro.core.hybrid import HybridTCIndex
+from repro.core.index import IntervalTCIndex
+from repro.durability.store import DurableTCIndex
+from repro.graph.digraph import DiGraph
+from repro.obs import MetricsRegistry, QueryTracer, attach
+
+ENGINE_NAMES = ("interval", "frozen", "hybrid", "durable")
+
+#: The query surface whose signatures must match byte-for-byte.
+QUERY_METHODS = (
+    "reachable",
+    "successors",
+    "predecessors",
+    "iter_successors",
+    "count_successors",
+    "reachable_many",
+    "successors_many",
+    "predecessors_many",
+    "reachable_from_set",
+    "reaching_set",
+    "any_reachable",
+    "are_disjoint",
+    "nodes",
+    "__contains__",
+    "__len__",
+)
+
+
+def paper_graph() -> DiGraph:
+    graph = DiGraph()
+    for source, destination in [("a", "b"), ("b", "c"), ("b", "d"),
+                                ("a", "e"), ("e", "d"), ("c", "f")]:
+        graph.add_arc(source, destination)
+    return graph
+
+
+def make_engine(name, graph, tmp_path, *, metrics=None, tracer=None):
+    if name == "interval":
+        index = IntervalTCIndex.build(graph)
+        return attach(index, metrics=metrics, tracer=tracer)
+    if name == "frozen":
+        frozen = IntervalTCIndex.build(graph).freeze().detach()
+        return attach(frozen, metrics=metrics, tracer=tracer)
+    if name == "hybrid":
+        hybrid = HybridTCIndex.build(graph)
+        return attach(hybrid, metrics=metrics, tracer=tracer)
+    if name == "durable":
+        from repro.graph.traversal import topological_order
+        store = DurableTCIndex.open(tmp_path / "store", metrics=metrics,
+                                    tracer=tracer)
+        for node in topological_order(graph):
+            store.add_node(node, sorted(graph.predecessors(node), key=repr))
+        return store
+    raise AssertionError(name)
+
+
+@pytest.fixture(params=ENGINE_NAMES)
+def engine(request, tmp_path):
+    built = make_engine(request.param, paper_graph(), tmp_path)
+    yield built
+    if hasattr(built, "close"):
+        built.close()
+
+
+class TestProtocol:
+    def test_isinstance(self, engine):
+        assert isinstance(engine, TCEngine)
+
+    @pytest.mark.parametrize("method", QUERY_METHODS)
+    def test_signatures_match_the_mutable_index(self, engine, method):
+        reference = inspect.signature(getattr(IntervalTCIndex, method))
+        actual = inspect.signature(getattr(type(engine), method))
+        assert actual == reference, (
+            f"{type(engine).__name__}.{method} signature drifted: "
+            f"{actual} != {reference}")
+
+    def test_stats_takes_no_arguments(self, engine):
+        parameters = inspect.signature(type(engine).stats).parameters
+        assert list(parameters) == ["self"]
+
+
+class TestSemantics:
+    def test_reflexive_by_default(self, engine):
+        assert engine.reachable("a", "a")
+        assert "a" in engine.successors("a")
+        assert "a" not in engine.successors("a", reflexive=False)
+        assert "d" not in engine.predecessors("d", reflexive=False)
+
+    def test_point_queries(self, engine):
+        assert engine.reachable("a", "f")
+        assert not engine.reachable("f", "a")
+        assert engine.successors("b", reflexive=False) == {"c", "d", "f"}
+        assert engine.predecessors("d", reflexive=False) == {"a", "b", "e"}
+        assert engine.count_successors("a") == len(engine.successors("a"))
+        assert (sorted(engine.iter_successors("b"), key=str)
+                == sorted(engine.successors("b"), key=str))
+
+    def test_batch_equals_singles(self, engine):
+        nodes = sorted(engine.nodes(), key=str)
+        pairs = [(s, d) for s in nodes for d in nodes]
+        assert engine.reachable_many(pairs) == [
+            engine.reachable(s, d) for s, d in pairs]
+        assert engine.successors_many(nodes) == [
+            engine.successors(n) for n in nodes]
+        assert engine.predecessors_many(nodes, reflexive=False) == [
+            engine.predecessors(n, reflexive=False) for n in nodes]
+
+    def test_set_semijoins(self, engine):
+        assert engine.reachable_from_set(["b", "e"]) == (
+            engine.successors("b") | engine.successors("e"))
+        assert engine.reaching_set(["f"]) == engine.predecessors("f")
+        assert engine.any_reachable(["e"], ["f", "d"])
+        assert not engine.any_reachable(["f"], ["a", "b"])
+        assert engine.are_disjoint("f", "d")
+        assert not engine.are_disjoint("b", "e")  # share d
+
+    def test_membership(self, engine):
+        assert "a" in engine and "ghost" not in engine
+        assert len(engine) == 6
+        assert set(engine.nodes()) == {"a", "b", "c", "d", "e", "f"}
+
+    def test_stats_reports(self, engine):
+        stats = engine.stats()
+        payload = stats.as_dict() if hasattr(stats, "as_dict") else stats
+        assert isinstance(payload, dict) and payload
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+class TestEmptyGraph:
+    def test_empty_engine(self, name, tmp_path):
+        engine = make_engine(name, DiGraph(), tmp_path)
+        try:
+            assert len(engine) == 0
+            assert list(engine.nodes()) == []
+            assert "ghost" not in engine
+            assert engine.reachable_many([]) == []
+            assert engine.reachable_from_set([]) == set()
+            assert engine.reaching_set([]) == set()
+            assert not engine.any_reachable([], [])
+        finally:
+            if hasattr(engine, "close"):
+                engine.close()
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+class TestObservability:
+    def test_metrics_record(self, name, tmp_path):
+        registry = MetricsRegistry()
+        engine = make_engine(name, paper_graph(), tmp_path,
+                             metrics=registry)
+        try:
+            engine.reachable("a", "f")
+            engine.successors("a")
+            engine.reachable_many([("a", "f"), ("f", "a")])
+        finally:
+            if hasattr(engine, "close"):
+                engine.close()
+        snapshot = registry.snapshot()
+        label = type(engine).__name__
+        counter = f'tc_op_total{{engine="{label}",op="reachable"}}'
+        assert snapshot["counters"][counter] >= 1
+        histogram = (f'tc_op_latency_seconds{{engine="{label}",'
+                     f'op="reachable"}}')
+        digest = snapshot["histograms"][histogram]
+        assert digest["count"] >= 1 and digest["sum"] > 0
+
+    def test_disabled_registry_records_nothing(self, name, tmp_path):
+        registry = MetricsRegistry(enabled=False)
+        engine = make_engine(name, paper_graph(), tmp_path,
+                             metrics=registry)
+        try:
+            engine.reachable("a", "f")
+        finally:
+            if hasattr(engine, "close"):
+                engine.close()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        # the truly-zero-overhead path: no instruments were attached
+        inner = engine.engine if hasattr(engine, "engine") else engine
+        assert inner._obs is None
+
+    def test_tracer_records_spans(self, name, tmp_path):
+        tracer = QueryTracer()
+        engine = make_engine(name, paper_graph(), tmp_path, tracer=tracer)
+        try:
+            engine.reachable("a", "f")
+        finally:
+            if hasattr(engine, "close"):
+                engine.close()
+        assert len(tracer) >= 1
+        root = tracer.traces(last=1)[0]
+        assert root.name == "reachable"
+        assert root.annotations["engine"] == type(engine).__name__
+
+
+def test_health_gauges_present():
+    registry = MetricsRegistry()
+    index = attach(IntervalTCIndex.build(paper_graph()), metrics=registry)
+    gauges = registry.snapshot()["gauges"]
+    for name in ("tc_nodes", "tc_intervals_total", "tc_intervals_per_node",
+                 "tc_gap_budget_remaining", "tc_renumber_total"):
+        key = f'{name}{{engine="IntervalTCIndex"}}'
+        assert key in gauges, key
+    assert gauges['tc_nodes{engine="IntervalTCIndex"}'] == len(index)
+    assert gauges['tc_gap_budget_remaining{engine="IntervalTCIndex"}'] >= 0
+
+
+def test_gauges_survive_engine_collection():
+    registry = MetricsRegistry()
+    attach(IntervalTCIndex.build(paper_graph()), metrics=registry)
+    import gc
+    gc.collect()
+    gauges = registry.snapshot()["gauges"]
+    assert gauges['tc_nodes{engine="IntervalTCIndex"}'] == 0.0

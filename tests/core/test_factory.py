@@ -1,0 +1,198 @@
+"""`repro.open_index` dispatch matrix and deprecated-loader shims."""
+
+import warnings
+
+import pytest
+
+from repro import open_index
+from repro.core.frozen import FrozenTCIndex
+from repro.core.hybrid import HybridTCIndex
+from repro.core.index import IntervalTCIndex
+from repro.core.serialize import (load_any, load_frozen_index,
+                                  load_hybrid_index, load_index,
+                                  save_frozen_index, save_hybrid_index,
+                                  save_index)
+from repro.durability.store import DurableTCIndex
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.obs import MetricsRegistry
+
+
+def diamond() -> DiGraph:
+    graph = DiGraph()
+    for source, destination in [("a", "b"), ("a", "c"), ("b", "d"),
+                                ("c", "d")]:
+        graph.add_arc(source, destination)
+    return graph
+
+
+class TestFromGraph:
+    def test_auto_builds_interval(self):
+        engine = open_index(diamond())
+        assert isinstance(engine, IntervalTCIndex)
+        assert engine.reachable("a", "d")
+
+    def test_frozen(self):
+        engine = open_index(diamond(), engine="frozen")
+        assert isinstance(engine, FrozenTCIndex)
+        assert engine.reachable("a", "d")
+
+    def test_hybrid(self):
+        engine = open_index(diamond(), engine="hybrid")
+        assert isinstance(engine, HybridTCIndex)
+        engine.add_node("e", ["d"])
+        assert engine.reachable("a", "e")
+
+    def test_dict_alias(self):
+        assert isinstance(open_index(diamond(), engine="dict"),
+                          IntervalTCIndex)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ReproError, match="unknown engine"):
+            open_index(diamond(), engine="quantum")
+
+    def test_build_kwargs_flow_through(self):
+        engine = open_index(diamond(), policy="first_parent")
+        assert engine.policy == "first_parent"
+
+
+class TestFromDocuments:
+    def test_mutable_doc_follows_auto(self, tmp_path):
+        path = tmp_path / "idx.json"
+        save_index(IntervalTCIndex.build(diamond()), path)
+        assert isinstance(open_index(path), IntervalTCIndex)
+
+    def test_mutable_doc_coerces_to_frozen_and_hybrid(self, tmp_path):
+        path = tmp_path / "idx.json"
+        save_index(IntervalTCIndex.build(diamond()), path)
+        assert isinstance(open_index(path, engine="frozen"), FrozenTCIndex)
+        assert isinstance(open_index(path, engine="hybrid"), HybridTCIndex)
+
+    def test_frozen_doc_follows_auto(self, tmp_path):
+        path = tmp_path / "frozen.json"
+        save_frozen_index(IntervalTCIndex.build(diamond()).freeze(), path)
+        engine = open_index(path)
+        assert isinstance(engine, FrozenTCIndex)
+        assert engine.reachable("a", "d")
+
+    def test_frozen_doc_refuses_mutable_engines(self, tmp_path):
+        path = tmp_path / "frozen.json"
+        save_frozen_index(IntervalTCIndex.build(diamond()).freeze(), path)
+        with pytest.raises(ReproError, match="frozen buffers"):
+            open_index(path, engine="interval")
+        with pytest.raises(ReproError, match="frozen buffers"):
+            open_index(path, engine="hybrid")
+
+    def test_hybrid_doc_all_engines(self, tmp_path):
+        path = tmp_path / "hybrid.json"
+        hybrid = HybridTCIndex.build(diamond())
+        hybrid.add_node("e", ["d"])
+        save_hybrid_index(hybrid, path)
+        assert isinstance(open_index(path), HybridTCIndex)
+        assert isinstance(open_index(path, engine="interval"),
+                          IntervalTCIndex)
+        frozen = open_index(path, engine="frozen")
+        assert isinstance(frozen, FrozenTCIndex)
+        assert frozen.reachable("a", "e")
+
+    def test_edge_list_path(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\nb c\n")
+        engine = open_index(path, engine="frozen")
+        assert isinstance(engine, FrozenTCIndex)
+        assert engine.reachable("a", "c")
+
+
+class TestFromEngines:
+    def test_passthrough(self):
+        index = IntervalTCIndex.build(diamond())
+        assert open_index(index) is index
+
+    def test_coerce_existing_index_to_hybrid(self):
+        hybrid = open_index(IntervalTCIndex.build(diamond()),
+                            engine="hybrid")
+        assert isinstance(hybrid, HybridTCIndex)
+
+    def test_frozen_instance_refuses_interval(self):
+        frozen = IntervalTCIndex.build(diamond()).freeze().detach()
+        with pytest.raises(ReproError, match="frozen buffers"):
+            open_index(frozen, engine="interval")
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(ReproError, match="cannot open"):
+            open_index(42)
+
+
+class TestDurable:
+    def test_create_and_autodetect(self, tmp_path):
+        target = tmp_path / "store"
+        store = open_index(target, durable=True)
+        assert isinstance(store, DurableTCIndex)
+        store.add_node("a")
+        store.add_node("b", ["a"])
+        store.close()
+        reopened = open_index(target)  # durable=None auto-detects
+        try:
+            assert isinstance(reopened, DurableTCIndex)
+            assert reopened.reachable("a", "b")
+        finally:
+            reopened.close()
+
+    def test_durable_false_forbids_store(self, tmp_path):
+        target = tmp_path / "store"
+        open_index(target, durable=True).close()
+        with pytest.raises(Exception):
+            open_index(target, durable=False)
+
+    def test_frozen_engine_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="journalled"):
+            open_index(tmp_path / "store", durable=True, engine="frozen")
+
+    def test_durable_needs_a_path(self):
+        with pytest.raises(ReproError, match="store directory path"):
+            open_index(diamond(), durable=True)
+
+
+class TestObservabilityWiring:
+    def test_metrics_attach_through_factory(self):
+        registry = MetricsRegistry()
+        engine = open_index(diamond(), metrics=registry)
+        engine.reachable("a", "d")
+        counters = registry.snapshot()["counters"]
+        assert counters[
+            'tc_op_total{engine="IntervalTCIndex",op="reachable"}'] >= 1
+
+    def test_factory_emits_no_deprecation_warnings(self, tmp_path):
+        path = tmp_path / "idx.json"
+        save_index(IntervalTCIndex.build(diamond()), path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            open_index(path)
+            open_index(path, engine="frozen")
+
+
+class TestDeprecatedShims:
+    def test_load_index_warns(self, tmp_path):
+        path = tmp_path / "idx.json"
+        save_index(IntervalTCIndex.build(diamond()), path)
+        with pytest.deprecated_call():
+            loaded = load_index(path)
+        assert loaded.reachable("a", "d")
+
+    def test_load_frozen_index_warns(self, tmp_path):
+        path = tmp_path / "frozen.json"
+        save_frozen_index(IntervalTCIndex.build(diamond()).freeze(), path)
+        with pytest.deprecated_call():
+            load_frozen_index(path)
+
+    def test_load_hybrid_index_warns(self, tmp_path):
+        path = tmp_path / "hybrid.json"
+        save_hybrid_index(HybridTCIndex.build(diamond()), path)
+        with pytest.deprecated_call():
+            load_hybrid_index(path)
+
+    def test_load_any_warns(self, tmp_path):
+        path = tmp_path / "idx.json"
+        save_index(IntervalTCIndex.build(diamond()), path)
+        with pytest.deprecated_call():
+            load_any(path)

@@ -12,11 +12,10 @@ from repro.core.serialize import (
     frozen_to_dict,
     index_to_dict,
     index_from_dict,
-    load_any,
-    load_frozen_index,
     save_frozen_index,
     save_index,
 )
+from repro.factory import open_index
 from repro.errors import IndexStateError, NodeNotFoundError, ReproError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import random_dag
@@ -228,7 +227,7 @@ def test_frozen_round_trip(paper_index, backend, tmp_path):
     frozen = paper_index.freeze(backend=backend)
     path = tmp_path / "frozen.json"
     save_frozen_index(frozen, path)
-    loaded = load_frozen_index(path, backend=backend)
+    loaded = open_index(path, engine="frozen", backend=backend)
     assert loaded.backend == backend
     for u in paper_index.nodes():
         assert loaded.successors(u) == paper_index.successors(u)
@@ -244,8 +243,8 @@ def test_load_any_dispatches(paper_index, tmp_path):
     frozen_path = tmp_path / "frozen.json"
     save_index(paper_index, mutable_path)
     save_frozen_index(paper_index.freeze(), frozen_path)
-    assert isinstance(load_any(mutable_path), IntervalTCIndex)
-    assert isinstance(load_any(frozen_path), FrozenTCIndex)
+    assert isinstance(open_index(mutable_path), IntervalTCIndex)
+    assert isinstance(open_index(frozen_path), FrozenTCIndex)
 
 
 def test_wrong_loader_raises(paper_index):
@@ -264,7 +263,7 @@ def test_fractional_round_trip(tmp_path):
     index.add_node("d", parents=["a"])
     path = tmp_path / "frozen.json"
     save_frozen_index(index.freeze(), path)
-    loaded = load_frozen_index(path)
+    loaded = open_index(path, engine="frozen")
     for node in index.nodes():
         assert loaded.successors(node) == index.successors(node)
 

@@ -13,10 +13,9 @@ from repro.core.index import IntervalTCIndex
 from repro.core.serialize import (
     hybrid_from_dict,
     hybrid_to_dict,
-    load_any,
-    load_hybrid_index,
     save_hybrid_index,
 )
+from repro.factory import open_index
 from repro.errors import NodeNotFoundError, ReproError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import random_dag
@@ -301,15 +300,15 @@ class TestPersistence:
         hybrid.add_arc("g", "d")
         path = tmp_path / "hybrid.json"
         save_hybrid_index(hybrid, path)
-        loaded = load_hybrid_index(path)
+        loaded = open_index(path, engine="hybrid")
         assert loaded.reachable("g", "d")
-        assert isinstance(load_any(path), HybridTCIndex)
+        assert isinstance(open_index(path), HybridTCIndex)
 
     def test_restored_base_is_pinned(self, tmp_path, paper_dag):
         hybrid = HybridTCIndex.build(paper_dag)
         path = tmp_path / "hybrid.json"
         save_hybrid_index(hybrid, path)
-        loaded = load_hybrid_index(path)
+        loaded = open_index(path, engine="hybrid")
         loaded.add_arc("g", "d")  # must not raise staleness
         assert loaded.reachable("g", "d")
         assert_matches_index(loaded)

@@ -8,9 +8,9 @@ from repro.core.index import IntervalTCIndex
 from repro.core.serialize import (
     index_from_dict,
     index_to_dict,
-    load_index,
     save_index,
 )
+from repro.factory import open_index
 from repro.errors import ReproError
 from repro.graph.generators import random_dag
 
@@ -41,7 +41,7 @@ class TestRoundTrip:
         index = IntervalTCIndex.build(paper_dag, gap=4, merge=True)
         path = tmp_path / "index.json"
         save_index(index, path)
-        loaded = load_index(path)
+        loaded = open_index(path, engine="interval")
         assert_equivalent(index, loaded)
         assert loaded.merged is True
 
@@ -56,7 +56,7 @@ class TestRoundTrip:
         index = IntervalTCIndex.build(paper_dag)
         path = tmp_path / "index.json"
         save_index(index, path)
-        loaded = load_index(path)
+        loaded = open_index(path, engine="interval")
         loaded.add_node("post-load", parents=["b"])
         loaded.remove_arc("a", "c")
         loaded.check_invariants()

@@ -14,7 +14,8 @@ import os
 import pytest
 
 from repro.core.index import IntervalTCIndex
-from repro.core.serialize import load_any, load_index, save_index
+from repro.core.serialize import save_index
+from repro.factory import open_index
 from repro.durability import DurableTCIndex, list_checkpoints, scan_wal
 from repro.durability.wal import RECORD_HEADER, encode_record
 from repro.errors import (CorruptFileError, PersistenceError, RecoveryError,
@@ -216,9 +217,9 @@ class TestCorruptPlainFiles:
         with open(path, "wb") as handle:
             handle.write(blob[:len(blob) // 2])
         with pytest.raises(CorruptFileError):
-            load_index(path)
+            open_index(path, engine="interval")
         with pytest.raises(CorruptFileError):
-            load_any(path)
+            open_index(path)
 
     def test_missing_tables_json(self, tmp_path):
         """Right kind and version, but the payload tables are gone."""
@@ -226,14 +227,14 @@ class TestCorruptPlainFiles:
         with open(path, "w") as handle:
             json.dump({"format_version": 1}, handle)
         with pytest.raises(CorruptFileError):
-            load_index(path)
+            open_index(path, engine="interval")
 
     def test_non_dict_json(self, tmp_path):
         path = str(tmp_path / "closure.json")
         with open(path, "w") as handle:
             json.dump([1, 2, 3], handle)
         with pytest.raises(CorruptFileError):
-            load_any(path)
+            open_index(path)
 
     def test_rtcx_bad_magic(self, tmp_path):
         path = str(tmp_path / "closure.rtcx")

@@ -1,0 +1,160 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshot/delta."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_LATENCY_BUCKETS, NULL_REGISTRY,
+                               MetricsRegistry, delta)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("ops_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_counters_are_distinct(self):
+        registry = MetricsRegistry()
+        first = registry.counter("ops_total", labels={"engine": "a"})
+        second = registry.counter("ops_total", labels={"engine": "b"})
+        first.inc()
+        assert first.value == 1 and second.value == 0
+
+    def test_factory_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_callback_gauge_read_at_snapshot(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live")
+        state = {"value": 1.0}
+        gauge.set_function(lambda: state["value"])
+        state["value"] = 42.0
+        assert registry.snapshot()["gauges"]["live"] == 42.0
+
+    def test_callback_exception_reads_nan(self):
+        registry = MetricsRegistry()
+        registry.gauge("boom").set_function(lambda: 1 / 0)
+        assert math.isnan(registry.snapshot()["gauges"]["boom"])
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        histogram = MetricsRegistry().histogram(
+            "latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        digest = histogram.summary()
+        assert digest["count"] == 4
+        assert digest["sum"] == pytest.approx(55.55)
+        # cumulative bucket counts
+        assert [count for _, count in digest["buckets"]] == [1, 2, 3]
+
+    def test_percentiles_clamped_to_observed_range(self):
+        histogram = MetricsRegistry().histogram("latency")
+        histogram.observe(0.5)
+        assert histogram.percentile(50) == pytest.approx(0.5)
+        assert histogram.percentile(99) == pytest.approx(0.5)
+
+    def test_percentile_monotone(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for i in range(1, 101):
+            histogram.observe(i / 100)
+        p50, p90, p99 = (histogram.percentile(q) for q in (50, 90, 99))
+        assert p50 <= p90 <= p99
+        assert 0.3 < p50 < 0.7
+
+    def test_observe_ns(self):
+        histogram = MetricsRegistry().histogram("latency")
+        histogram.observe_ns(1_000_000)  # 1ms
+        assert histogram.summary()["sum"] == pytest.approx(1e-3)
+
+    def test_empty_percentile(self):
+        histogram = MetricsRegistry().histogram("latency")
+        assert histogram.percentile(99) == 0.0
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 0.5))
+
+
+class TestDisabledRegistry:
+    def test_disabled_instruments_are_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x")
+        counter.inc()
+        histogram = registry.histogram("y")
+        histogram.observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_null_registry_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+
+
+class TestSnapshotDelta:
+    def test_delta_subtracts_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops")
+        histogram = registry.histogram("lat", buckets=(1.0,))
+        counter.inc(3)
+        histogram.observe(0.5)
+        before = registry.snapshot()
+        counter.inc(2)
+        histogram.observe(0.7)
+        after = registry.snapshot()
+        diff = delta(before, after)
+        assert diff["counters"]["ops"] == 2
+        assert diff["histograms"]["lat"]["count"] == 1
+        assert diff["histograms"]["lat"]["sum"] == pytest.approx(0.7)
+
+    def test_timer_contextmanager(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        counter = registry.counter("calls")
+        with registry.timer(histogram, counter):
+            pass
+        assert counter.value == 1
+        assert histogram.summary()["count"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops")
+        histogram = registry.histogram("lat")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+        assert histogram.summary()["count"] == 4000

@@ -1,0 +1,135 @@
+"""QueryTracer: span trees, ring buffer, thread isolation."""
+
+import threading
+
+from repro.obs.tracing import QueryTracer, format_trace
+
+
+class TestSpans:
+    def test_single_span(self):
+        tracer = QueryTracer()
+        with tracer.span("reachable", engine="Test"):
+            pass
+        assert len(tracer) == 1
+        [root] = tracer.traces()
+        assert root.name == "reachable"
+        assert root.annotations["engine"] == "Test"
+        assert root.duration_ns >= 0
+
+    def test_nesting_builds_a_tree(self):
+        tracer = QueryTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        [root] = tracer.traces()
+        assert [child.name for child in root.children] == ["inner", "sibling"]
+        assert len(tracer) == 1  # only roots are retained
+
+    def test_annotate_into_innermost_open_span(self):
+        tracer = QueryTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.annotate("hit", "tree-interval")
+        [root] = tracer.traces()
+        assert root.children[0].annotations["hit"] == "tree-interval"
+        assert "hit" not in root.annotations
+
+    def test_annotate_outside_span_is_noop(self):
+        tracer = QueryTracer()
+        tracer.annotate("orphan", 1)  # must not raise
+        assert len(tracer) == 0
+
+    def test_current(self):
+        tracer = QueryTracer()
+        assert tracer.current() is None
+        with tracer.span("op"):
+            assert tracer.current().name == "op"
+        assert tracer.current() is None
+
+    def test_span_survives_exceptions(self):
+        tracer = QueryTracer()
+        try:
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert len(tracer) == 1
+        assert tracer.current() is None
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        tracer = QueryTracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"op{i}"):
+                pass
+        names = [root.name for root in tracer.traces()]
+        assert names == ["op2", "op3", "op4"]
+
+    def test_last(self):
+        tracer = QueryTracer(capacity=8)
+        for i in range(5):
+            with tracer.span(f"op{i}"):
+                pass
+        assert [r.name for r in tracer.traces(last=2)] == ["op3", "op4"]
+
+    def test_clear(self):
+        tracer = QueryTracer()
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestExport:
+    def test_as_dicts_is_jsonable(self):
+        import json
+
+        tracer = QueryTracer()
+        with tracer.span("outer", engine="E"):
+            with tracer.span("inner"):
+                tracer.annotate("count", 3)
+        payload = tracer.as_dicts()
+        json.dumps(payload)  # must not raise
+        assert payload[0]["name"] == "outer"
+        assert payload[0]["children"][0]["annotations"]["count"] == 3
+
+    def test_format_trace(self):
+        tracer = QueryTracer()
+        with tracer.span("outer", engine="E"):
+            with tracer.span("inner"):
+                pass
+        [root] = tracer.traces()
+        text = format_trace(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "engine=E" in lines[0]
+
+
+class TestThreads:
+    def test_stacks_are_thread_local(self):
+        tracer = QueryTracer()
+        errors = []
+
+        def work(name):
+            try:
+                for _ in range(200):
+                    with tracer.span(name):
+                        barrier_noop()
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        def barrier_noop():
+            pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert 0 < len(tracer) <= 400

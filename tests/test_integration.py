@@ -14,7 +14,8 @@ from repro.core.batch import apply_diff
 from repro.core.bidirectional import BidirectionalTCIndex
 from repro.core.condensation import CondensedIndex
 from repro.core.index import IntervalTCIndex
-from repro.core.serialize import load_index, save_index
+from repro.core.serialize import save_index
+from repro.factory import open_index
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import random_hierarchy
 from repro.kb import ABox, Classifier, InheritanceEngine, Taxonomy
@@ -53,7 +54,7 @@ class TestIndexLifecycle:
         # Persist as JSON, reload, keep updating.
         json_path = tmp_path / "lifecycle.json"
         save_index(index, json_path)
-        reloaded = load_index(json_path)
+        reloaded = open_index(json_path, engine="interval")
         first_arc = next(iter(reloaded.graph.arcs()))
         apply_diff(reloaded,
                    f"+ n3 late-arrival\n- {first_arc[0]} {first_arc[1]}\n")
