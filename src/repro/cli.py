@@ -131,7 +131,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
               f"(checkpoint {checkpoint_path})")
         return 0
     index = IntervalTCIndex.build(graph, policy=args.policy, gap=args.gap,
-                                  merge=args.merge)
+                                  merge=args.merge,
+                                  propagation=args.propagation)
     if args.output:
         save_index(index, args.output)
     stats = index.stats()
@@ -168,9 +169,52 @@ def _cmd_predecessors(args: argparse.Namespace) -> int:
 def _cmd_freeze(args: argparse.Namespace) -> int:
     index = _load_index_or_build(args.index)
     frozen = index.freeze(backend=args.backend)
-    save_frozen_index(frozen, args.output)
+    format = args.format or ("rtcf" if args.output.endswith(".rtcf")
+                             else "json")
+    save_frozen_index(frozen, args.output, format=format)
     print(format_table([frozen.stats()], title="frozen index"))
-    print(f"frozen buffers written to {args.output}")
+    print(f"frozen buffers written to {args.output} ({format})")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Migrate a JSON frozen document to the RTCF zero-copy container."""
+    import os
+    import time
+
+    from repro.core.rtcf import load_rtcf, save_rtcf, sniff_rtcf
+    from repro.core.serialize import _load_frozen_index
+
+    if sniff_rtcf(args.index):
+        raise ReproError(f"{args.index} is already an RTCF file")
+    loaded = open_index(args.index, durable=False)
+    if not isinstance(loaded, FrozenTCIndex):
+        raise ReproError(
+            f"{args.index} holds a mutable or hybrid index; convert "
+            "migrates frozen documents — freeze first "
+            "(repro-tc freeze INDEX -o OUT.rtcf)")
+    output = args.output or (
+        args.index[:-len(".json")] + ".rtcf"
+        if args.index.endswith(".json") else args.index + ".rtcf")
+    written = save_rtcf(loaded, output)
+
+    json_bytes = os.path.getsize(args.index)
+    started = time.perf_counter()
+    _load_frozen_index(args.index)
+    json_load_s = time.perf_counter() - started
+    started = time.perf_counter()
+    load_rtcf(output, verify=args.verify)
+    rtcf_load_s = time.perf_counter() - started
+    print(format_table([{
+        "json_bytes": json_bytes,
+        "rtcf_bytes": written,
+        "size_ratio": round(written / json_bytes, 3) if json_bytes else None,
+        "json_load_s": round(json_load_s, 6),
+        "rtcf_load_s": round(rtcf_load_s, 6),
+        "load_speedup": (round(json_load_s / rtcf_load_s, 1)
+                         if rtcf_load_s else None),
+    }], title=f"converted {args.index} -> {output}"))
+    print(f"rtcf index written to {output}")
     return 0
 
 
@@ -325,6 +369,18 @@ def _graph_for_stats(path: str):
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.rtcf import sniff_rtcf, verify_rtcf
+    if sniff_rtcf(args.edges):
+        # Binary frozen container: verify checksums end to end and
+        # report the layout instead of the storage comparison (which
+        # needs the graph, and frozen buffers carry none).
+        report = verify_rtcf(args.edges)
+        sections = report.pop("sections")
+        print(format_table([report], title=f"rtcf container {args.edges}"))
+        print(format_table(
+            [dict(section=name, **row) for name, row in sections.items()],
+            title="sections (all CRCs verified)"))
+        return 0
     graph = _graph_for_stats(args.edges)
     if args.stats_json or args.prom:
         from repro.obs import render_json, render_prometheus
@@ -528,6 +584,13 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--gap", type=int, default=DEFAULT_GAP)
     build.add_argument("--merge", action="store_true",
                        help="apply adjacent-interval merging")
+    build.add_argument("--propagation",
+                       choices=("python", "vectorized", "parallel"),
+                       default="python",
+                       help="interval-propagation kernel: the sequential "
+                            "reference pass, the numpy level kernel, or "
+                            "the multiprocessing level-parallel mode "
+                            "(identical output; file output only)")
     build.add_argument(
         "--durable", metavar="PATH", default=None,
         help="instead of a JSON file, create a crash-safe durable store "
@@ -563,10 +626,25 @@ def build_parser() -> argparse.ArgumentParser:
         "freeze", help="compile an index into frozen flat-array buffers")
     freeze.add_argument("index", help="saved index (.json) or edge-list file")
     freeze.add_argument("-o", "--output", required=True,
-                        help="write the frozen buffers as JSON")
+                        help="write the frozen buffers (JSON or RTCF)")
     freeze.add_argument("--backend", choices=("numpy", "array"), default=None,
                         help="buffer backend (default: numpy when installed)")
+    freeze.add_argument("--format", choices=("json", "rtcf"), default=None,
+                        help="output format (default: rtcf when the output "
+                             "ends in .rtcf, else json)")
     freeze.set_defaults(handler=_cmd_freeze)
+
+    convert = commands.add_parser(
+        "convert",
+        help="migrate a JSON frozen index to the RTCF zero-copy binary "
+             "container (atomic; prints the size and load-time delta)")
+    convert.add_argument("index", help="saved frozen index (.json)")
+    convert.add_argument("-o", "--output",
+                         help="output path (default: input with .rtcf)")
+    convert.add_argument("--verify", action="store_true",
+                         help="CRC-check every section of the written file "
+                              "during the load-time measurement")
+    convert.set_defaults(handler=_cmd_convert)
 
     compact = commands.add_parser(
         "compact",

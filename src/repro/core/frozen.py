@@ -73,21 +73,39 @@ from repro.errors import IndexStateError, NodeNotFoundError, ReproError
 from repro.graph.digraph import Node
 from repro.obs.instrument import instrumented
 
-try:  # numpy is an optional dependency (the ``test`` extra installs it)
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised on numpy-free installs
-    _np = None
-
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.index import IntervalTCIndex
 
 #: Buffer backends, best first; ``freeze(backend=...)`` selects explicitly.
 BACKENDS = ("numpy", "array")
 
+#: Lazily-probed numpy module (or ``None``); written once by :func:`_numpy`.
+_np = None
+_NUMPY_PROBED = False
+
+
+def _numpy():
+    """The numpy module, probed at most once per process.
+
+    numpy is an optional dependency (the ``test`` extra installs it) and
+    importing it costs ~100ms, so the probe is deferred until a freeze or
+    backend resolution actually needs it and the outcome is cached for
+    the life of the process — ``import repro`` stays numpy-free.
+    """
+    global _np, _NUMPY_PROBED
+    if not _NUMPY_PROBED:
+        try:
+            import numpy
+            _np = numpy
+        except ImportError:  # pragma: no cover - numpy-free installs
+            _np = None
+        _NUMPY_PROBED = True
+    return _np
+
 
 def default_backend() -> str:
     """``"numpy"`` when importable, else the pure-stdlib ``"array"``."""
-    return "numpy" if _np is not None else "array"
+    return "numpy" if _numpy() is not None else "array"
 
 
 def _resolve_backend(backend: Optional[str]) -> str:
@@ -96,7 +114,7 @@ def _resolve_backend(backend: Optional[str]) -> str:
     if backend not in BACKENDS:
         raise ReproError(
             f"unknown frozen backend {backend!r}; choose from {BACKENDS}")
-    if backend == "numpy" and _np is None:
+    if backend == "numpy" and _numpy() is None:
         raise ReproError("backend 'numpy' requested but numpy is not installed")
     return backend
 
@@ -184,14 +202,20 @@ class FrozenTCIndex:
     @classmethod
     def from_buffers(cls, *, nodes: Sequence[Node], numbers: Sequence,
                      offsets: Sequence[int], lows: Sequence[int],
-                     highs: Sequence[int],
-                     backend: Optional[str] = None) -> "FrozenTCIndex":
-        """Rehydrate from persisted buffers — no source index, never stale."""
+                     highs: Sequence[int], backend: Optional[str] = None,
+                     epoch: int = 0) -> "FrozenTCIndex":
+        """Rehydrate from persisted buffers — no source index, never stale.
+
+        ``epoch`` restores the source-index epoch captured when the view
+        was originally compiled, so a reloaded snapshot reports the same
+        :attr:`epoch` it was saved with while behaving exactly like a
+        :meth:`detach`-ed view (``lag() == 0``, ``is_stale()`` false).
+        """
         return cls(nodes=nodes, numbers=numbers, offsets=offsets, lows=lows,
-                   highs=highs, backend=backend)
+                   highs=highs, backend=backend, source_epoch=epoch)
 
     def _materialize_numpy(self, offsets, lows, highs) -> None:
-        np = _np
+        np = _numpy()
         n = len(self._nodes)
         # Rank-space keys fit int32 for every graph below ~46k nodes; the
         # keyed array is what searchsorted walks, so the narrower the better.
@@ -236,7 +260,7 @@ class FrozenTCIndex:
         graphs; the table lets batch translation run as one vectorised
         gather instead of a Python dict lookup per element.
         """
-        np = _np
+        np = _numpy()
         n = len(self._nodes)
         if n == 0:
             return None
@@ -400,7 +424,7 @@ class FrozenTCIndex:
     def _stab(self, rank: int):
         """Owner ids of every interval containing ``rank``."""
         if self._backend == "numpy":
-            np = _np
+            np = _numpy()
             stop = int(np.searchsorted(self._rev_lo, rank, side="right"))
             start = int(np.searchsorted(self._rev_maxhi[:stop], rank,
                                         side="left"))
@@ -434,7 +458,7 @@ class FrozenTCIndex:
                 for source, destination in pair_list]
 
     def _reachable_many_numpy(self, pair_list: List[Tuple[Node, Node]]) -> List[bool]:
-        np = _np
+        np = _numpy()
         if self._lo_keyed.size == 0:  # hand-built buffers with empty rows
             return [self._covers(self._id(source), self._id(destination))
                     for source, destination in pair_list]
@@ -461,7 +485,7 @@ class FrozenTCIndex:
         table = self._lut
         if table is None:
             return None
-        np = _np
+        np = _numpy()
         try:
             flat = np.fromiter(chain.from_iterable(pair_list),
                                dtype=np.int64, count=2 * count)
@@ -588,6 +612,8 @@ class FrozenTCIndex:
 
         The reverse index and keyed arrays are derived, not stored: a load
         re-sorts ``lo`` once (O(m log m)) instead of shipping them.
+        ``epoch`` rides along so staleness metadata survives the
+        round-trip (see :meth:`from_buffers`).
         """
         return {
             "nodes": list(self._nodes),
@@ -595,6 +621,7 @@ class FrozenTCIndex:
             "offsets": [int(value) for value in self._off],
             "lows": [int(value) for value in self._lo],
             "highs": [int(value) for value in self._hi],
+            "epoch": self._source_epoch,
         }
 
     def stats(self) -> dict:

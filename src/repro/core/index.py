@@ -151,6 +151,7 @@ class IntervalTCIndex:
               merge: bool = False, merge_ordering: bool = False,
               auto_renumber: bool = True,
               renumber_strategy: str = "global", numbering: str = "integer",
+              propagation: str = "python",
               rng: Union[random.Random, int, None] = None) -> "IntervalTCIndex":
         """Compute the compressed closure of an acyclic ``graph``.
 
@@ -161,17 +162,23 @@ class IntervalTCIndex:
         merging pass, and ``merge_ordering=True`` additionally reorders
         tree siblings by the affinity heuristic so more intervals abut
         (see :mod:`repro.core.merge_ordering` — the paper leaves the
-        optimal ordering open as "a combinatorial problem").  Raises
+        optimal ordering open as "a combinatorial problem").
+        ``propagation`` selects the interval-propagation kernel:
+        ``"python"`` (the sequential reference pass), ``"vectorized"``
+        (the numpy level kernel — same labeling, much faster on large
+        graphs), or ``"parallel"`` (adds a multiprocessing fan-out for
+        wide levels); see :mod:`repro.core.propagation`.  Raises
         :class:`repro.errors.CycleError` on cyclic input — wrap cyclic
         graphs with :class:`repro.core.condensation.CondensedIndex`
         instead.
         """
+        from repro.core.propagation import run_propagation
         cover = build_tree_cover(graph, policy, rng=rng)
         if merge_ordering:
             from repro.core.merge_ordering import order_children_for_merging
             order_children_for_merging(graph, cover)
         labeling = assign_postorder(cover, gap)
-        propagate_intervals(graph, cover, labeling)
+        run_propagation(graph, cover, labeling, propagation)
         if merge:
             merge_all(labeling)
         return cls(graph, cover, labeling, policy=policy, merged=merge,

@@ -126,14 +126,22 @@ def propagate_intervals(graph: DiGraph, cover: TreeCover, labeling: Labeling) ->
 
 
 def label_graph(graph: DiGraph, cover: TreeCover, gap: int = 1, *,
-                merge: bool = False) -> Labeling:
+                merge: bool = False, propagation: str = "python") -> Labeling:
     """Produce the full compressed-closure labeling for ``graph``.
 
     Convenience wrapper: postorder numbering, interval propagation, and
     (optionally) the adjacent/overlapping interval merging post-pass.
+    ``propagation`` picks the propagation kernel (``"python"``,
+    ``"vectorized"``, or ``"parallel"`` — see
+    :mod:`repro.core.propagation`); every mode yields the identical
+    labeling.
     """
     labeling = assign_postorder(cover, gap)
-    propagate_intervals(graph, cover, labeling)
+    if propagation == "python":
+        propagate_intervals(graph, cover, labeling)
+    else:
+        from repro.core.propagation import run_propagation
+        run_propagation(graph, cover, labeling, propagation)
     if merge:
         merge_all(labeling)
     return labeling

@@ -61,6 +61,8 @@ def _read_document(path: Union[str, Path]) -> dict:
         raise
     except OSError as error:
         raise CorruptFileError(path, f"unreadable: {error}") from error
+    except UnicodeDecodeError as error:
+        raise CorruptFileError(path, f"not UTF-8 text: {error}") from error
     try:
         document = json.loads(text)
     except ValueError as error:
@@ -207,6 +209,7 @@ def frozen_to_dict(frozen: FrozenTCIndex) -> dict:
     return {
         "format_version": FROZEN_FORMAT_VERSION,
         "kind": FROZEN_KIND,
+        "epoch": buffers.get("epoch", 0),
         "nodes": buffers["nodes"],
         "numbers": [_encode_number(number) for number in buffers["numbers"]],
         "offsets": buffers["offsets"],
@@ -236,16 +239,35 @@ def frozen_from_dict(document: dict, *,
         lows=document["lows"],
         highs=document["highs"],
         backend=backend,
+        epoch=document.get("epoch", 0),
     )
 
 
-def save_frozen_index(frozen: FrozenTCIndex, path: Union[str, Path]) -> None:
-    """Write a frozen engine's buffers to ``path`` as JSON (atomically)."""
-    atomic_write_text(path, json.dumps(frozen_to_dict(frozen)))
+def save_frozen_index(frozen: FrozenTCIndex, path: Union[str, Path], *,
+                      format: str = "json") -> None:
+    """Write a frozen engine to ``path`` atomically.
+
+    ``format="json"`` writes the textual buffer document (portable,
+    human-inspectable, the only choice for fractional numbering);
+    ``format="rtcf"`` writes the binary zero-copy container
+    (:mod:`repro.core.rtcf`), which :func:`load_any` and
+    :func:`repro.open_index` reopen through ``mmap`` in O(1).
+    """
+    if format == "json":
+        atomic_write_text(path, json.dumps(frozen_to_dict(frozen)))
+    elif format == "rtcf":
+        from repro.core.rtcf import save_rtcf
+        save_rtcf(frozen, path)
+    else:
+        raise ReproError(
+            f"unknown frozen format {format!r}; choose 'json' or 'rtcf'")
 
 
 def _load_frozen_index(path: Union[str, Path], *,
                        backend: Optional[str] = None) -> FrozenTCIndex:
+    from repro.core.rtcf import load_rtcf, sniff_rtcf
+    if sniff_rtcf(path):
+        return load_rtcf(path, backend=backend)
     return _rebuild(path, frozen_from_dict, _read_document(path),
                     backend=backend)
 
@@ -340,6 +362,9 @@ def load_hybrid_index(path: Union[str, Path], *,
 
 def _load_any(path: Union[str, Path], *, backend: Optional[str] = None
               ) -> Union[IntervalTCIndex, FrozenTCIndex, "HybridTCIndex"]:
+    from repro.core.rtcf import load_rtcf, sniff_rtcf
+    if sniff_rtcf(path):
+        return load_rtcf(path, backend=backend)
     document = _read_document(path)
     kind = document.get("kind")
     if kind == FROZEN_KIND:

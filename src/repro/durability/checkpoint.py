@@ -39,12 +39,24 @@ CHECKPOINT_KIND = "durable-checkpoint"
 CHECKPOINT_FORMAT_VERSION = 1
 CHECKPOINT_PREFIX = "checkpoint-"
 CHECKPOINT_SUFFIX = ".json"
+#: Optional zero-copy sidecar next to a generation: the engine's frozen
+#: snapshot in RTCF form (see :mod:`repro.core.rtcf`), so readers can
+#: ``mmap`` the checkpointed closure without replaying or rebuilding.
+SIDECAR_SUFFIX = ".rtcf"
 WAL_PREFIX = "wal-"
 WAL_SUFFIX = ".log"
 
 
 def checkpoint_name(wal_seq: int) -> str:
     return f"{CHECKPOINT_PREFIX}{wal_seq:016d}{CHECKPOINT_SUFFIX}"
+
+
+def sidecar_path_for(checkpoint_path) -> str:
+    """The RTCF sidecar path belonging to a checkpoint path."""
+    root = os.fspath(checkpoint_path)
+    if root.endswith(CHECKPOINT_SUFFIX):
+        root = root[:-len(CHECKPOINT_SUFFIX)]
+    return root + SIDECAR_SUFFIX
 
 
 def wal_name(first_seq: int) -> str:
@@ -105,8 +117,20 @@ def engine_document(engine) -> Tuple[str, dict]:
 
 
 def write_checkpoint(directory, engine, wal_seq: int, *,
-                     fs: Optional[RealFS] = None) -> str:
-    """Publish one generation atomically; returns its path."""
+                     fs: Optional[RealFS] = None,
+                     frozen_sidecar: bool = False) -> str:
+    """Publish one generation atomically; returns its path.
+
+    ``frozen_sidecar=True`` additionally publishes the engine's frozen
+    snapshot as ``checkpoint-<seq>.rtcf`` next to the JSON generation,
+    with the same atomic-rename discipline and its own per-section
+    CRCs.  The sidecar is a read-side convenience — recovery always
+    replays from the JSON + WAL, because only those carry the mutable
+    state — but a query fleet can ``open_index`` the sidecar and serve
+    the checkpointed closure straight off shared mapped pages.
+    Fractional-numbered engines skip the sidecar (RTCF is
+    integer-only).
+    """
     kind, payload = engine_document(engine)
     document = {
         "kind": CHECKPOINT_KIND,
@@ -119,6 +143,13 @@ def write_checkpoint(directory, engine, wal_seq: int, *,
     path = os.path.join(os.fspath(directory), checkpoint_name(wal_seq))
     atomic_write_bytes(path, json.dumps(document).encode("utf-8"), fs=fs,
                        label="checkpoint")
+    if frozen_sidecar:
+        from repro.core.rtcf import rtcf_bytes
+        index = engine.index if kind == "hybrid" else engine
+        if index.numbering != "fractional":
+            atomic_write_bytes(sidecar_path_for(path),
+                               rtcf_bytes(index.freeze()), fs=fs,
+                               label="checkpoint-sidecar")
     return path
 
 
@@ -188,6 +219,9 @@ def rotate(directory, *, keep: int, fs: RealFS) -> Tuple[List[str], List[str]]:
     for seq, path in checkpoints[:-keep] if keep > 0 else []:
         fs.remove(path)
         removed_checkpoints.append(path)
+        sidecar = sidecar_path_for(path)
+        if os.path.exists(sidecar):
+            fs.remove(sidecar)
     if not retained:
         return removed_checkpoints, removed_segments
     oldest_retained_seq = retained[0][0]

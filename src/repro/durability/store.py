@@ -431,7 +431,7 @@ class DurableTCIndex:
         self._check_open()
         self._writer.sync()
 
-    def checkpoint(self) -> str:
+    def checkpoint(self, *, frozen_sidecar: bool = False) -> str:
         """Snapshot current state atomically; rotate the log.
 
         Sequence: fsync the log (nothing acknowledged can be lost by
@@ -440,6 +440,11 @@ class DurableTCIndex:
         older than the retention window.  A crash at *any* point leaves
         a recoverable store — at worst the old checkpoint plus a full
         replay.  Returns the new checkpoint's path.
+
+        ``frozen_sidecar=True`` also publishes the frozen snapshot as a
+        zero-copy ``checkpoint-<seq>.rtcf`` next to the generation (see
+        :func:`repro.durability.checkpoint.write_checkpoint`); rotation
+        removes sidecars together with their generations.
         """
         self._check_open()
         obs = self._obs
@@ -448,7 +453,8 @@ class DurableTCIndex:
         writer.sync()
         seq = writer.last_seq
         path = _checkpoint.write_checkpoint(self._directory, self._engine,
-                                            seq, fs=self._fs)
+                                            seq, fs=self._fs,
+                                            frozen_sidecar=frozen_sidecar)
         writer.close()
         self._open_writer(os.path.join(self._directory,
                                        _checkpoint.wal_name(seq + 1)),

@@ -105,8 +105,10 @@ def open_index(source, *, engine: str = "auto",
 
     ``source`` may be a :class:`~repro.graph.digraph.DiGraph`, an
     already-constructed engine (coerced per the dispatch matrix), a path
-    to a saved index document (``.json``), a path to an edge-list file,
-    or a durable store directory.
+    to a saved index document (``.json``, or a binary ``.rtcf`` frozen
+    container — recognised by extension or magic and opened through
+    ``mmap``), a path to an edge-list file, or a durable store
+    directory.
 
     ``engine`` selects the representation (``"auto"`` follows the
     source); ``durable=True`` forces the crash-safe store (``None``
@@ -141,7 +143,8 @@ def open_index(source, *, engine: str = "auto",
             return DurableTCIndex.open(
                 path, engine=store_engine, gap=gap, backend=backend,
                 metrics=metrics, tracer=tracer, **kwargs)
-        if path.endswith(".json"):
+        from repro.core.rtcf import sniff_rtcf
+        if path.endswith((".json", ".rtcf")) or sniff_rtcf(path):
             from repro.core.serialize import _load_any
             loaded = _load_any(path, backend=backend)
         else:

@@ -70,8 +70,8 @@ OP_KINDS = MUTATING_KINDS | {"freeze", "query", "compact"}
 #: Default differential matrix: frozen + live hybrid mirror + rebuilds +
 #: every baseline (``hybrid-delta`` rebuilds with a live overlay).
 DEFAULT_ENGINES: Tuple[str, ...] = ("frozen", "hybrid", "rebuild",
-                                    "rebuild-merged", "baselines",
-                                    "hybrid-delta")
+                                    "rebuild-merged", "rebuild-vectorized",
+                                    "rtcf", "baselines", "hybrid-delta")
 
 #: Compaction threshold of the live hybrid mirror: small enough that a
 #: fuzz run crosses it many times, so freeze→mutate→query→compact

@@ -225,11 +225,46 @@ def _build_hybrid_delta(graph: DiGraph):
     return hybrid
 
 
+def _build_interval_vectorized(graph: DiGraph):
+    """An index built through the vectorized propagation kernel.
+
+    Same gap as the plain rebuild, so any divergence between the numpy
+    level sweep and the sequential reference pass shows up as a
+    differential mismatch rather than a silent mislabeling.
+    """
+    from repro.core.index import IntervalTCIndex
+    return IntervalTCIndex.build(graph, gap=1, propagation="vectorized")
+
+
+def _build_rtcf(graph: DiGraph):
+    """A frozen engine compared after a real save/mmap-load cycle.
+
+    Freezes a fresh build, writes the RTCF container to a temp file, and
+    reopens it through ``mmap`` with full checksum verification — so the
+    comparison exercises the binary writer, the structural validator,
+    and the zero-copy mapped view, not just the in-memory freeze.  The
+    backing temp directory stays alive as long as the view is
+    referenced.
+    """
+    import os
+    import tempfile
+    from repro.core.index import IntervalTCIndex
+    from repro.core.rtcf import load_rtcf, save_rtcf
+    guard = tempfile.TemporaryDirectory(prefix="rtcf-engine-")
+    path = os.path.join(guard.name, "engine.rtcf")
+    save_rtcf(IntervalTCIndex.build(graph).freeze(), path)
+    mapped = load_rtcf(path, verify=True)
+    mapped._tempdir_guard = guard
+    return mapped
+
+
 #: From-scratch engine builders, keyed by the names the CLI accepts.
 ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "rebuild": _build_interval,
     "rebuild-merged": _build_interval_merged,
+    "rebuild-vectorized": _build_interval_vectorized,
     "rebuild-frozen": _build_frozen,
+    "rtcf": _build_rtcf,
     "full": _build_full,
     "bitmatrix": _build_bitmatrix,
     "pointer": _build_pointer,

@@ -20,7 +20,7 @@ from repro.durability.store import DurableTCIndex
 from repro.graph.digraph import DiGraph
 from repro.obs import MetricsRegistry, QueryTracer, attach
 
-ENGINE_NAMES = ("interval", "frozen", "hybrid", "durable")
+ENGINE_NAMES = ("interval", "frozen", "hybrid", "durable", "rtcf")
 
 #: The query surface whose signatures must match byte-for-byte.
 QUERY_METHODS = (
@@ -67,6 +67,12 @@ def make_engine(name, graph, tmp_path, *, metrics=None, tracer=None):
         for node in topological_order(graph):
             store.add_node(node, sorted(graph.predecessors(node), key=repr))
         return store
+    if name == "rtcf":
+        from repro.core.rtcf import load_rtcf, save_rtcf
+        path = str(tmp_path / "engine.rtcf")
+        save_rtcf(IntervalTCIndex.build(graph).freeze(), path)
+        return attach(load_rtcf(path, verify=True), metrics=metrics,
+                      tracer=tracer)
     raise AssertionError(name)
 
 

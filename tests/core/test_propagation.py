@@ -1,0 +1,145 @@
+"""Vectorized interval propagation must equal the sequential pass bit
+for bit: same graph, same gap => identical interval sets on every node.
+
+The python implementation (:func:`repro.core.labeling.propagate_intervals`)
+is the reference; the vectorized kernel replays the same reverse
+topological order as per-level segmented sweeps, and the parallel mode
+additionally splits each sweep across worker processes.  Any divergence
+is an indexing bug, so these tests compare the *full* label tables, not
+just query answers.
+"""
+
+import random
+
+import pytest
+
+from repro.core.frozen import default_backend
+from repro.core.index import IntervalTCIndex
+from repro.core.propagation import (PROPAGATION_MODES,
+                                    propagate_intervals_vectorized,
+                                    run_propagation)
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_dag_local
+
+HAVE_NUMPY = default_backend() == "numpy"
+
+MODES = [mode for mode in PROPAGATION_MODES if mode != "python"]
+
+
+def interval_table(index):
+    return {node: sorted(index.intervals[node])
+            for node in index.graph.nodes()}
+
+
+def graphs():
+    rng = random.Random(20260808)
+    yield "paper", DiGraph(arcs=[("a", "b"), ("b", "c"), ("b", "d"),
+                                 ("a", "e"), ("e", "d"), ("c", "f")])
+    yield "chain", DiGraph(arcs=[(i, i + 1) for i in range(40)])
+    yield "diamond-stack", DiGraph(
+        arcs=[(i, i + 1 + (i % 2)) for i in range(30)]
+        + [(i, i + 2) for i in range(0, 30, 2)])
+    yield "empty", DiGraph()
+    yield "singletons", DiGraph(nodes=["x", "y", "z"])
+    for seed in (1, 7, 23):
+        yield f"dag-{seed}", random_dag(120, 2.5, random.Random(seed))
+    yield "local", random_dag_local(90, 3.0, rng, window=12)
+    yield "dense", random_dag(45, 6.0, rng)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vectorized kernel needs numpy")
+class TestParity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("gap", [1, 4, 32])
+    def test_full_table_parity(self, mode, gap):
+        for name, graph in graphs():
+            reference = IntervalTCIndex.build(graph, gap=gap)
+            candidate = IntervalTCIndex.build(graph, gap=gap,
+                                              propagation=mode)
+            assert interval_table(candidate) == interval_table(reference), \
+                f"{mode} diverged from python on {name!r} at gap={gap}"
+            assert candidate.postorder == reference.postorder
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_queries_after_vectorized_build(self, mode):
+        graph = random_dag(150, 3.0, random.Random(5))
+        reference = IntervalTCIndex.build(graph)
+        candidate = IntervalTCIndex.build(graph, propagation=mode)
+        nodes = sorted(graph.nodes())
+        for node in nodes[::7]:
+            assert candidate.successors(node) == reference.successors(node)
+            assert (candidate.predecessors(node)
+                    == reference.predecessors(node))
+
+    @pytest.mark.parametrize("policy", ["alg1", "min_pred"])
+    def test_parity_across_tree_cover_policies(self, policy):
+        graph = random_dag(100, 2.0, random.Random(9))
+        reference = IntervalTCIndex.build(graph, policy=policy)
+        candidate = IntervalTCIndex.build(graph, policy=policy,
+                                          propagation="vectorized")
+        assert interval_table(candidate) == interval_table(reference)
+
+    def test_frozen_views_are_bit_identical(self):
+        from repro.core.rtcf import rtcf_bytes
+        graph = random_dag(80, 2.5, random.Random(2))
+        python_bytes = rtcf_bytes(IntervalTCIndex.build(graph).freeze())
+        vector_bytes = rtcf_bytes(
+            IntervalTCIndex.build(graph, propagation="vectorized").freeze())
+        assert python_bytes == vector_bytes
+
+
+class TestDispatch:
+    def test_unknown_mode_rejected(self):
+        graph = DiGraph(arcs=[("a", "b")])
+        with pytest.raises(ReproError, match="propagation"):
+            IntervalTCIndex.build(graph, propagation="simd")
+
+    def test_python_mode_is_the_default(self):
+        graph = DiGraph(arcs=[("a", "b")])
+        built = IntervalTCIndex.build(graph)
+        explicit = IntervalTCIndex.build(graph, propagation="python")
+        assert interval_table(built) == interval_table(explicit)
+
+    def test_vectorized_falls_back_without_numpy(self, monkeypatch):
+        """A numpy-free interpreter still serves the mode: the kernel
+        degrades to the sequential pass instead of crashing."""
+        import repro.core.frozen as frozen_module
+        import repro.core.propagation as propagation_module
+        monkeypatch.setattr(frozen_module, "_NUMPY_PROBED", True)
+        monkeypatch.setattr(frozen_module, "_np", None)
+        assert propagation_module._numpy() is None
+        graph = DiGraph(arcs=[("a", "b"), ("b", "c"), ("a", "c")])
+        built = IntervalTCIndex.build(graph, propagation="vectorized")
+        assert built.successors("a") == {"a", "b", "c"}
+
+    def test_run_propagation_signature(self):
+        """The dispatcher is what build() and label_graph() call; it must
+        accept every advertised mode."""
+        from repro.core.labeling import assign_postorder
+        from repro.core.tree_cover import build_tree_cover
+        for mode in PROPAGATION_MODES:
+            graph = DiGraph(arcs=[("a", "b"), ("a", "c"), ("b", "c")])
+            cover = build_tree_cover(graph)
+            labeling = assign_postorder(cover, gap=8)
+            run_propagation(graph, cover, labeling, mode)
+            assert labeling.intervals["a"].covers(
+                labeling.postorder["c"])
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="parallel sweep needs numpy")
+class TestParallelSweep:
+    def test_forced_parallel_matches_sequential(self):
+        """Drop the size floor so the pool really runs, then compare
+        against the plain vectorized build."""
+        import repro.core.propagation as propagation_module
+        graph = random_dag(200, 3.0, random.Random(31))
+        reference = IntervalTCIndex.build(graph, gap=4)
+        original = propagation_module.PARALLEL_MIN_ITEMS
+        propagation_module.PARALLEL_MIN_ITEMS = 0
+        try:
+            candidate = IntervalTCIndex.build(graph, gap=4,
+                                              propagation="parallel")
+        finally:
+            propagation_module.PARALLEL_MIN_ITEMS = original
+        assert interval_table(candidate) == interval_table(reference)
