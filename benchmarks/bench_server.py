@@ -1,0 +1,303 @@
+"""Reachability service throughput: batch coalescing on vs off.
+
+The server's coalescer gathers ``check`` requests that arrive in the
+same event-loop ready cycle — across any number of connections — and
+answers them through one vectorised ``reachable_many`` call against a
+single pinned snapshot.  This harness measures what that buys at the
+wire: a real ``repro serve`` subprocess, hammered by closed-loop asyncio
+clients, once with coalescing on and once with ``--no-coalesce``.
+
+Two workloads:
+
+* ``single_check`` — each client sends one ``check`` per round trip,
+  the worst case for coalescing (batches only form across connections);
+* ``page16_pipeline`` — each client pipelines a 16-check page per
+  round trip (the "is each hit on this result page reachable?" shape),
+  where one connection's flush alone forms a batch.
+
+Run as a script to (re)generate ``BENCH_server.json`` at the repo root::
+
+    $ python benchmarks/bench_server.py            # full matrix
+    $ python benchmarks/bench_server.py --smoke    # CI-sized sanity run
+
+The pytest wrapper runs the same harness at smoke scale against a
+throwaway output path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from random import Random
+from typing import List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+if str(SRC_ROOT) not in sys.path:  # script mode: make `repro` importable
+    sys.path.insert(0, str(SRC_ROOT))
+
+from repro.graph.generators import random_dag  # noqa: E402
+from repro.graph.io import load_edge_list, save_edge_list  # noqa: E402
+from repro.server.protocol import encode_frame, read_frame  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_server.json"
+_ADDRESS = re.compile(r"serving on ([0-9.]+):(\d+)")
+
+
+# ----------------------------------------------------------------------
+# server subprocess
+# ----------------------------------------------------------------------
+def start_server(edges: Path, *, coalesce: bool,
+                 max_batch: int = 512) -> Tuple[subprocess.Popen, str, int]:
+    """Launch ``repro serve`` on a free port; return (proc, host, port)."""
+    command = [sys.executable, "-m", "repro.cli", "serve", str(edges),
+               "--engine", "hybrid", "--port", "0",
+               "--max-batch", str(max_batch)]
+    if not coalesce:
+        command.append("--no-coalesce")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(command, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    match = _ADDRESS.search(line)
+    if not match:
+        proc.terminate()
+        _, stderr = proc.communicate(timeout=10)
+        raise RuntimeError(f"server did not start: {line!r}\n{stderr}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    proc.terminate()
+    try:
+        proc.communicate(timeout=10)
+    except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+        proc.kill()
+        proc.communicate()
+
+
+# ----------------------------------------------------------------------
+# closed-loop client load
+# ----------------------------------------------------------------------
+async def _worker(host: str, port: int, pairs: List[Tuple[str, str]],
+                  page: int, measure_start: float, deadline: float,
+                  latencies: List[float], counter: List[int]) -> None:
+    """One closed-loop client: send a page, await every answer, repeat."""
+    reader, writer = await asyncio.open_connection(host, port)
+    request_id = 0
+    cursor = 0
+    try:
+        while True:
+            now = time.perf_counter()
+            if now >= deadline:
+                return
+            frames = []
+            for _ in range(page):
+                source, destination = pairs[cursor % len(pairs)]
+                cursor += 1
+                frames.append(encode_frame({"id": request_id, "op": "check",
+                                            "u": source, "v": destination}))
+                request_id += 1
+            started = time.perf_counter()
+            writer.write(b"".join(frames))
+            await writer.drain()
+            for _ in range(page):
+                response = await read_frame(reader)
+                assert response is not None, "server closed mid-benchmark"
+            elapsed = time.perf_counter() - started
+            if started >= measure_start:
+                latencies.append(elapsed)
+                counter[0] += page
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def run_cell(host: str, port: int, pairs: List[Tuple[str, str]], *,
+             concurrency: int, page: int, warmup: float, duration: float,
+             repeats: int = 1) -> dict:
+    """Hammer the server with ``concurrency`` closed-loop clients.
+
+    Best-of-``repeats``: scheduler noise on a shared box only ever
+    *lowers* throughput, so the fastest rep is the least-noisy one.
+    """
+    best = None
+    for _ in range(repeats):
+        latencies: List[float] = []
+        counter = [0]
+
+        async def scenario() -> None:
+            start = time.perf_counter()
+            measure_start = start + warmup
+            deadline = measure_start + duration
+            await asyncio.gather(*(
+                _worker(host, port, pairs[offset:] + pairs[:offset], page,
+                        measure_start, deadline, latencies, counter)
+                for offset in range(concurrency)))
+
+        asyncio.run(scenario())
+        latencies.sort()
+        cell = {
+            "requests": counter[0],
+            "req_per_sec": round(counter[0] / duration, 1),
+            "round_trip_p50_ms": round(
+                _percentile(latencies, 0.50) * 1e3, 3),
+            "round_trip_p99_ms": round(
+                _percentile(latencies, 0.99) * 1e3, 3),
+        }
+        if best is None or cell["req_per_sec"] > best["req_per_sec"]:
+            best = cell
+    return best
+
+
+# ----------------------------------------------------------------------
+# the matrix
+# ----------------------------------------------------------------------
+def run_benchmark(*, nodes: int, degree: float, seed: int,
+                  concurrency_levels: Tuple[int, ...], warmup: float,
+                  duration: float, repeats: int = 1,
+                  pair_pool: int = 4096) -> dict:
+    graph = random_dag(nodes, degree, seed)
+    with tempfile.TemporaryDirectory(prefix="bench-server-") as scratch:
+        edges = Path(scratch) / "graph.edges"
+        save_edge_list(graph, edges)
+        # Query with the labels the server will load (edge-list label
+        # round-trip), so hit rates match what the server sees.
+        loaded = load_edge_list(edges)
+        node_list = sorted(loaded.nodes(), key=repr)
+        rng = Random(seed + 1)
+        pairs = [(rng.choice(node_list), rng.choice(node_list))
+                 for _ in range(pair_pool)]
+
+        workloads = {"single_check": 1, "page16_pipeline": 16}
+        results: dict = {name: {"page": page, "per_concurrency": {}}
+                         for name, page in workloads.items()}
+        # Both servers run for the whole matrix, and each cell's reps
+        # alternate on/off so the two modes see the same box noise —
+        # a background burst can no longer skew one mode's whole phase.
+        servers = {}
+        try:
+            for coalesce in (True, False):
+                mode = "coalesce_on" if coalesce else "coalesce_off"
+                servers[mode] = start_server(edges, coalesce=coalesce)
+            for name, page in workloads.items():
+                for concurrency in concurrency_levels:
+                    cell: dict = {}
+                    for _ in range(repeats):
+                        for mode, (_, host, port) in servers.items():
+                            rep = run_cell(host, port, pairs,
+                                           concurrency=concurrency,
+                                           page=page, warmup=warmup,
+                                           duration=duration)
+                            if (mode not in cell or rep["req_per_sec"]
+                                    > cell[mode]["req_per_sec"]):
+                                cell[mode] = rep
+                    results[name]["per_concurrency"][str(concurrency)] = cell
+        finally:
+            for proc, _, _ in servers.values():
+                stop_server(proc)
+
+        for name in workloads:
+            for concurrency, cell in results[name]["per_concurrency"].items():
+                on = cell["coalesce_on"]["req_per_sec"]
+                off = cell["coalesce_off"]["req_per_sec"]
+                cell["throughput_ratio"] = round(on / off, 3) if off else None
+
+    return {
+        "meta": {
+            "nodes": nodes,
+            "degree": degree,
+            "arcs": graph.num_arcs,
+            "seed": seed,
+            "concurrency_levels": list(concurrency_levels),
+            "warmup_seconds": warmup,
+            "duration_seconds": duration,
+            "repeats_best_of": repeats,
+            "pair_pool": pair_pool,
+            "python": sys.version.split()[0],
+            "transport": "framed JSON over TCP, closed-loop clients",
+        },
+        "workloads": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="served-reachability throughput, coalescing on vs off")
+    parser.add_argument("--nodes", type=int, default=5000)
+    parser.add_argument("--degree", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=1989)
+    parser.add_argument("--concurrency", type=int, nargs="+",
+                        default=[1, 8, 32, 64])
+    parser.add_argument("--warmup", type=float, default=0.4,
+                        help="seconds of unmeasured traffic per cell")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="measured seconds per cell")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N reps per cell")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced scale for CI (overrides scale flags)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.nodes = min(args.nodes, 600)
+        args.concurrency = [1, 8]
+        args.warmup = min(args.warmup, 0.1)
+        args.duration = min(args.duration, 0.4)
+        args.repeats = min(args.repeats, 1)
+
+    result = run_benchmark(nodes=args.nodes, degree=args.degree,
+                           seed=args.seed,
+                           concurrency_levels=tuple(args.concurrency),
+                           warmup=args.warmup, duration=args.duration,
+                           repeats=args.repeats)
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"\nresults written to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest wrapper (collected via the bench_*.py pattern)
+# ----------------------------------------------------------------------
+def test_server_bench_smoke(tmp_path):
+    """The harness runs end to end and produces a sane document."""
+    result = run_benchmark(nodes=400, degree=1.8, seed=7,
+                           concurrency_levels=(1, 4), warmup=0.05,
+                           duration=0.25)
+    (tmp_path / "BENCH_server.json").write_text(json.dumps(result))
+    for name in ("single_check", "page16_pipeline"):
+        for cell in result["workloads"][name]["per_concurrency"].values():
+            assert cell["coalesce_on"]["requests"] > 0
+            assert cell["coalesce_off"]["requests"] > 0
+            assert cell["coalesce_on"]["round_trip_p50_ms"] <= \
+                cell["coalesce_on"]["round_trip_p99_ms"]
+            assert cell["throughput_ratio"] is not None
+    # The on-beats-off acceptance bar is enforced on the committed
+    # full-scale BENCH_server.json, not at smoke scale, where cells are
+    # too short for stable ratios.
+
+
+if __name__ == "__main__":
+    sys.exit(main())

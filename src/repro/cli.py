@@ -564,6 +564,52 @@ def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import MetricsRegistry, QueryTracer
+    from repro.server.app import ReachabilityServer
+
+    async def _run(engine) -> None:
+        tracer = QueryTracer(capacity=args.trace_last) if args.trace else None
+        server = ReachabilityServer(
+            engine,
+            metrics=MetricsRegistry(),
+            tracer=tracer,
+            coalesce=not args.no_coalesce,
+            window=args.window_us / 1_000_000.0,
+            max_batch=args.max_batch,
+        )
+        host, port = await server.start(args.host, args.port)
+        mode = "read-only" if server.state.read_only else "read-write"
+        coalescing = "off" if args.no_coalesce else "on"
+        print(f"serving on {host}:{port} ({mode}, coalescing {coalescing}, "
+              f"epoch {server.state.epoch})", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await server.stop()
+        print("shut down cleanly", flush=True)
+
+    with _engine_for(args) as engine:
+        if args.read_only and not isinstance(engine, FrozenTCIndex):
+            # Pin an immutable snapshot of whatever was loaded; the
+            # server then refuses every write with a read-only error.
+            if hasattr(engine, "snapshot"):
+                engine = engine.snapshot()
+            elif isinstance(engine, IntervalTCIndex):
+                engine = engine.freeze()
+            else:
+                raise ReproError(
+                    f"--read-only cannot snapshot a "
+                    f"{type(engine).__name__}")
+        try:
+            asyncio.run(_run(engine))
+        except KeyboardInterrupt:
+            print("interrupted; shut down", flush=True)
+    return 0
+
+
 BENCH_CHOICES = ("fig3.9", "fig3.10", "fig3.11", "fig3.12", "merging",
                  "worst-case", "chains", "ablation", "updates", "queries",
                  "io", "workloads")
@@ -803,6 +849,38 @@ def build_parser() -> argparse.ArgumentParser:
     crash_cmd.add_argument("--no-bit-flips", action="store_true",
                            help="skip the bit-rot (flip one byte) phase")
     crash_cmd.set_defaults(handler=_cmd_crash_fuzz)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve reachability over TCP (framed JSON + minimal HTTP)")
+    serve.add_argument("index", nargs="?", default=None,
+                       help="saved index (.json/.rtcf) or edge-list file")
+    _add_engine_option(serve)
+    _add_durable_option(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="listening port (0 picks a free one)")
+    serve.add_argument("--read-only", action="store_true",
+                       help="serve a pinned immutable snapshot; refuse "
+                            "all writes")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="answer each check individually instead of "
+                            "batching concurrent checks through one "
+                            "reachable_many call")
+    serve.add_argument("--window-us", type=float, default=0.0,
+                       help="coalescing gather window, microseconds; 0 "
+                            "(the default) gathers for one scheduler "
+                            "pass, right for request-response clients — "
+                            "set a few hundred for open-loop traffic")
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="drain a batch early past this many pending "
+                            "checks (default 512)")
+    serve.add_argument("--trace", action="store_true",
+                       help="record per-request span trees (see the "
+                            "'trace' command)")
+    serve.add_argument("--trace-last", type=int, default=64,
+                       help="trace ring-buffer capacity (default 64)")
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

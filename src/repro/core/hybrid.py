@@ -266,6 +266,30 @@ class HybridTCIndex:
         return self._base
 
     @property
+    def epoch(self) -> int:
+        """How many distinct bases this hybrid has pinned.
+
+        Counts publishes (base swaps), not mutations: a burst of writes
+        folded by one :meth:`compact` advances the epoch once.  This is
+        the number a serving layer can expose as "which snapshot
+        answered you".
+        """
+        return self._compactions
+
+    def snapshot(self) -> FrozenTCIndex:
+        """An immutable engine for the *current* exact state.
+
+        Folds any pending delta (one freeze, no closure recomputation)
+        and returns the fresh pinned base — detached, so it stays valid
+        and internally consistent no matter what is mutated afterwards.
+        Callers may hand it to any number of readers without
+        coordination; the next ``snapshot()`` after further writes
+        returns a different object and never touches this one.
+        """
+        self.compact()
+        return self._base
+
+    @property
     def graph(self) -> DiGraph:
         """The live graph (owned by the write-through index)."""
         return self._index.graph

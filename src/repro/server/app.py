@@ -1,0 +1,623 @@
+"""The asyncio front end: connection handling and op dispatch.
+
+One listening socket speaks two protocols.  Connections that open with
+an HTTP method line get the minimal HTTP/1.1 mode (one request per
+connection — made for ``curl`` and Prometheus scrapes of ``/metrics``);
+everything else is the framed protocol from
+:mod:`repro.server.protocol`.
+
+The framed read loop is chunk-oriented: each socket read is split into
+every complete frame it contains, and consecutive ``check`` requests
+within a chunk form one *group* for the coalescer.  Check groups ride
+the coalescer's callback path — the drain itself encodes and writes
+their responses, with no per-request future or task wakeup — so the
+read loop never blocks on a check and keeps feeding the batch.  A
+per-connection sequencer (:class:`_OrderedWriter`) buffers whatever
+completes early, so responses always hit the socket in request order
+even when a drain callback and an inline op finish out of band.
+
+Queries read ``state.snapshot`` once and answer from it — lock-free,
+immutable, internally consistent.  Mutations await
+:meth:`ServeState.submit`, which acknowledges only after the epoch swap
+that makes them visible.  Malformed frames draw structured errors and
+never kill the serving loop; only an unframeable stream (oversized
+declared length) closes the connection, after answering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import CycleError, NodeNotFoundError, ReproError
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.server import protocol
+from repro.server.coalesce import (DEFAULT_MAX_BATCH, DEFAULT_WINDOW,
+                                   BatchCoalescer)
+from repro.server.protocol import (DEFAULT_MAX_FRAME, FrameParser,
+                                   ProtocolError, decode_payload,
+                                   encode_response, error_response,
+                                   looks_like_http, ok_response)
+from repro.server.state import ServeState
+
+__all__ = ["ReachabilityServer"]
+
+_READ_CHUNK = 1 << 16
+
+
+class _OrderedWriter:
+    """Sequence responses that complete out of band back into order.
+
+    Every response unit (a run of checks, or one inline op) takes a
+    sequence number in request order via :meth:`allocate`; whenever the
+    next expected unit completes, it and every contiguously buffered
+    successor go out in one socket write.
+    """
+
+    __slots__ = ("writer", "next_seq", "emit_seq", "buffered",
+                 "_flush_waiter")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.next_seq = 0
+        self.emit_seq = 0
+        self.buffered = {}
+        self._flush_waiter = None
+
+    def allocate(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def complete(self, seq: int, data: bytes) -> None:
+        self.buffered[seq] = data
+        if seq != self.emit_seq:
+            return
+        chunks = []
+        while self.emit_seq in self.buffered:
+            chunks.append(self.buffered.pop(self.emit_seq))
+            self.emit_seq += 1
+        if not self.writer.is_closing():
+            self.writer.write(b"".join(chunks))
+        if (self._flush_waiter is not None
+                and not self._flush_waiter.done()
+                and self.emit_seq == self.next_seq):
+            self._flush_waiter.set_result(None)
+
+    async def wait_flushed(self) -> None:
+        """Wait until every allocated unit has completed and been sent."""
+        while self.emit_seq < self.next_seq:
+            self._flush_waiter = asyncio.get_running_loop().create_future()
+            try:
+                if self.emit_seq < self.next_seq:
+                    await self._flush_waiter
+            finally:
+                self._flush_waiter = None
+
+
+def _field(request: dict, name: str) -> Any:
+    try:
+        return request[name]
+    except KeyError:
+        raise ProtocolError("bad-request",
+                            f"missing field {name!r}") from None
+
+
+def _pair_list(request: dict, name: str = "pairs") -> List[Tuple[Any, Any]]:
+    raw = _field(request, name)
+    if not isinstance(raw, list):
+        raise ProtocolError("bad-request", f"{name!r} must be a list")
+    pairs = []
+    for item in raw:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise ProtocolError(
+                "bad-request", f"{name!r} entries must be [u, v] pairs")
+        pairs.append((item[0], item[1]))
+    return pairs
+
+
+def _node_list(request: dict, name: str) -> List[Any]:
+    raw = _field(request, name)
+    if not isinstance(raw, list):
+        raise ProtocolError("bad-request", f"{name!r} must be a list")
+    return raw
+
+
+def _error_code(error: Exception) -> str:
+    if isinstance(error, ProtocolError):
+        return error.code
+    if isinstance(error, NodeNotFoundError):
+        return "not-found"
+    if isinstance(error, CycleError):
+        return "cycle"
+    if isinstance(error, ReproError):
+        return "bad-request"
+    return "server-error"
+
+
+class ReachabilityServer:
+    """Serve one engine over TCP (framed JSON) and minimal HTTP.
+
+    ``engine`` is anything :class:`~repro.server.state.ServeState`
+    accepts — typically ``open_index(path, engine="hybrid")`` for a
+    writable service or an RTCF/frozen view for a read-only one.
+    """
+
+    def __init__(self, engine, *, metrics: Optional[MetricsRegistry] = None,
+                 tracer=None, coalesce: bool = True,
+                 window: float = DEFAULT_WINDOW,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 allow_shutdown: bool = True) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.state = ServeState(engine, metrics=self.metrics, tracer=tracer)
+        self.coalescer = BatchCoalescer(
+            lambda: self.state.snapshot, window=window, max_batch=max_batch,
+            enabled=coalesce, metrics=self.metrics)
+        self.max_frame = max_frame
+        self.allow_shutdown = allow_shutdown
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Created in start(): pre-3.10 asyncio.Event binds its loop at
+        # construction, and the server may be built before asyncio.run().
+        self._shutdown: Optional[asyncio.Event] = None
+        self._connections_open = self.metrics.gauge(
+            "tc_server_connections_open", help="currently open connections")
+        self._connections_total = self.metrics.counter(
+            "tc_server_connections_total", help="accepted connections")
+        self._requests = {}
+        self._errors = {}
+        self._latency = {}
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Bind, start serving, and return the bound ``(host, port)``."""
+        if self._shutdown is None:
+            self._shutdown = asyncio.Event()
+        self.state.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the writer, close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.state.stop()
+
+    async def run(self, host: str = "127.0.0.1", port: int = 0,
+                  ready=None) -> Tuple[str, int]:
+        """start + serve_until_shutdown, reporting the bound address."""
+        bound = await self.start(host, port)
+        if ready is not None:
+            ready(bound)
+        await self.serve_until_shutdown()
+        return bound
+
+    # ------------------------------------------------------------------
+    # per-op metrics
+    # ------------------------------------------------------------------
+    def _observe(self, op: str, started_ns: int) -> None:
+        self._observe_ns(op, time.perf_counter_ns() - started_ns)
+
+    def _observe_ns(self, op: str, elapsed_ns: int) -> None:
+        pair = self._requests.get(op)
+        if pair is None:
+            labels = {"op": op}
+            pair = (
+                self.metrics.counter("tc_server_requests_total",
+                                     help="requests served", labels=labels),
+                self.metrics.histogram(
+                    "tc_server_request_seconds",
+                    help="request wall time, decode to encode",
+                    labels=labels),
+            )
+            self._requests[op] = pair
+        counter, histogram = pair
+        counter.inc()
+        histogram.observe_ns(elapsed_ns)
+
+    def _count_error(self, code: str) -> None:
+        counter = self._errors.get(code)
+        if counter is None:
+            counter = self.metrics.counter(
+                "tc_server_errors_total", help="error responses",
+                labels={"code": code})
+            self._errors[code] = counter
+        counter.inc()
+
+    def _respond_error(self, request_id: Any, error: Exception) -> dict:
+        code = _error_code(error)
+        self._count_error(code)
+        return error_response(request_id, code, str(error))
+
+    # ------------------------------------------------------------------
+    # framed connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections_total.inc()
+        self._connections_open.inc()
+        try:
+            first = await reader.read(_READ_CHUNK)
+            if not first:
+                return
+            if looks_like_http(first[:4]):
+                await self._handle_http(first, reader, writer)
+                return
+            await self._framed_loop(first, reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections_open.inc(-1)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _framed_loop(self, first: bytes, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        parser = FrameParser(self.max_frame)
+        ordered = _OrderedWriter(writer)
+        chunk = first
+        while chunk:
+            try:
+                bodies = parser.feed(chunk)
+            except ProtocolError as error:
+                # The stream cannot be re-framed: answer, then close.
+                self._count_error(error.code)
+                ordered.complete(ordered.allocate(), encode_response(
+                    error_response(None, error.code, str(error))))
+                await ordered.wait_flushed()
+                await writer.drain()
+                return
+            if bodies:
+                await self._serve_bodies(bodies, ordered)
+                # Backpressure only: check responses are written by the
+                # coalescer drain, possibly after this point.
+                await writer.drain()
+            if self._shutdown.is_set():
+                await ordered.wait_flushed()
+                return
+            chunk = await reader.read(_READ_CHUNK)
+        # EOF: a partial frame left behind is a truncation — nothing to
+        # answer (the peer is gone), but the serving loop survives.
+        await ordered.wait_flushed()
+
+    async def _serve_bodies(self, bodies: List[bytes],
+                            ordered: _OrderedWriter) -> None:
+        """Answer every frame of one chunk, preserving request order.
+
+        Consecutive ``check`` frames become a single coalescer group
+        whose responses the drain writes through ``ordered``; other ops
+        are dispatched inline and sequenced the same way.
+        """
+        checks: List[Tuple[Any, Tuple[Any, Any], int]] = []
+        coalescer = self.coalescer
+
+        def flush_checks() -> None:
+            if not checks:
+                return
+            run = checks[:]
+            checks.clear()
+            seq = ordered.allocate()
+            pairs = [pair for _, pair, _ in run]
+            if not coalescer.enabled:
+                answers, epoch = coalescer.answer_now(pairs)
+                ordered.complete(
+                    seq, self._encode_check_run(run, answers, epoch))
+                return
+
+            def deliver(answers, epoch, run=run, seq=seq):
+                ordered.complete(
+                    seq, self._encode_check_run(run, answers, epoch))
+
+            coalescer.submit_group(pairs, deliver)
+
+        for body in bodies:
+            request_id = None
+            try:
+                request = decode_payload(body)
+                request_id = request.get("id")
+                op = request.get("op")
+                if op == "check":
+                    pair = (_field(request, "u"), _field(request, "v"))
+                    checks.append((request_id, pair,
+                                   time.perf_counter_ns()))
+                    continue
+            except Exception as error:  # noqa: BLE001 - structured reply
+                flush_checks()
+                ordered.complete(ordered.allocate(), encode_response(
+                    self._respond_error(request_id, error)))
+                continue
+            flush_checks()
+            seq = ordered.allocate()
+            try:
+                response = await self._dispatch(op, request, request_id)
+            except Exception as error:  # noqa: BLE001 - structured reply
+                response = self._respond_error(request_id, error)
+            ordered.complete(seq, encode_response(response))
+        flush_checks()
+
+    def _encode_check_run(self, run: List[Tuple[Any, Tuple[Any, Any], int]],
+                          answers: List[Optional[bool]],
+                          epoch: int) -> bytes:
+        """Encode one check run's responses; runs inside the drain."""
+        out = []
+        now = time.perf_counter_ns()
+        for (request_id, pair, started), answer in zip(run, answers):
+            if answer is None:
+                missing = pair[0] if pair[0] not in \
+                    self.state.snapshot.engine else pair[1]
+                out.append(encode_response(self._respond_error(
+                    request_id, NodeNotFoundError(missing))))
+            else:
+                out.append(encode_response(ok_response(
+                    request_id, answer, epoch=epoch)))
+            self._observe_ns("check", now - started)
+        return b"".join(out)
+
+    # ------------------------------------------------------------------
+    # op dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, op: Any, request: dict,
+                        request_id: Any) -> dict:
+        started = time.perf_counter_ns()
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span(f"server.{op}", epoch=self.state.epoch):
+                response = await self._dispatch_inner(op, request,
+                                                      request_id)
+        else:
+            response = await self._dispatch_inner(op, request, request_id)
+        self._observe(str(op), started)
+        return response
+
+    async def _dispatch_inner(self, op: Any, request: dict,
+                              request_id: Any) -> dict:
+        snapshot = self.state.snapshot
+        engine = snapshot.engine
+        epoch = snapshot.epoch
+
+        if op == "ping":
+            return ok_response(request_id, "pong", epoch=epoch)
+        if op == "epoch":
+            return ok_response(request_id, epoch, epoch=epoch)
+
+        if op == "check-many":
+            pairs = _pair_list(request)
+            answers, batch_epoch = await self.coalescer.check_group(pairs)
+            if any(answer is None for answer in answers):
+                current = self.state.snapshot.engine
+                missing = next(
+                    node for pair, answer in zip(pairs, answers)
+                    if answer is None for node in pair
+                    if node not in current)
+                raise NodeNotFoundError(missing)
+            return ok_response(request_id, answers, epoch=batch_epoch)
+
+        if op == "expand":
+            node = _field(request, "u")
+            reflexive = bool(request.get("reflexive", True))
+            if node not in engine:
+                raise NodeNotFoundError(node)
+            return ok_response(
+                request_id,
+                sorted(engine.successors(node, reflexive=reflexive),
+                       key=repr),
+                epoch=epoch)
+        if op == "list-reaching":
+            node = _field(request, "v")
+            reflexive = bool(request.get("reflexive", True))
+            if node not in engine:
+                raise NodeNotFoundError(node)
+            return ok_response(
+                request_id,
+                sorted(engine.predecessors(node, reflexive=reflexive),
+                       key=repr),
+                epoch=epoch)
+
+        if op == "semijoin":
+            mode = request.get("mode", "any")
+            if mode == "any":
+                sources = _node_list(request, "sources")
+                destinations = _node_list(request, "destinations")
+                for node in sources + destinations:
+                    if node not in engine:
+                        raise NodeNotFoundError(node)
+                return ok_response(
+                    request_id,
+                    bool(engine.any_reachable(sources, destinations)),
+                    epoch=epoch)
+            if mode == "forward":
+                sources = _node_list(request, "sources")
+                for node in sources:
+                    if node not in engine:
+                        raise NodeNotFoundError(node)
+                return ok_response(
+                    request_id,
+                    sorted(engine.reachable_from_set(sources), key=repr),
+                    epoch=epoch)
+            if mode == "backward":
+                destinations = _node_list(request, "destinations")
+                for node in destinations:
+                    if node not in engine:
+                        raise NodeNotFoundError(node)
+                return ok_response(
+                    request_id,
+                    sorted(engine.reaching_set(destinations), key=repr),
+                    epoch=epoch)
+            raise ProtocolError(
+                "bad-request",
+                f"unknown semijoin mode {mode!r}; choose any, forward, "
+                f"or backward")
+
+        if op in ("add-arc", "remove-arc"):
+            args = (_field(request, "u"), _field(request, "v"))
+            visible = await self.state.submit(op, args)
+            return ok_response(request_id, True, epoch=visible)
+        if op == "add-node":
+            node = _field(request, "node")
+            parents = request.get("parents", [])
+            if not isinstance(parents, list):
+                raise ProtocolError("bad-request", "'parents' must be a list")
+            visible = await self.state.submit(op, (node, parents))
+            return ok_response(request_id, True, epoch=visible)
+        if op == "remove-node":
+            visible = await self.state.submit(
+                op, (_field(request, "node"),))
+            return ok_response(request_id, True, epoch=visible)
+
+        if op == "stats":
+            payload = self.state.stats()
+            payload["coalescer"] = self.coalescer.stats()
+            payload["uptime_seconds"] = round(
+                time.time() - self._started_at, 3)
+            return ok_response(request_id, payload, epoch=epoch)
+        if op == "metrics":
+            import json as _json
+            return ok_response(request_id,
+                               _json.loads(render_json(self.metrics)),
+                               epoch=epoch)
+        if op == "shutdown":
+            if not self.allow_shutdown:
+                raise ProtocolError("bad-request",
+                                    "shutdown is disabled on this server")
+            self.request_shutdown()
+            return ok_response(request_id, "bye", epoch=epoch)
+
+        raise ProtocolError("unknown-op", f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # HTTP mode
+    # ------------------------------------------------------------------
+    async def _handle_http(self, first: bytes, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        raw = bytearray(first)
+        while b"\r\n\r\n" not in raw:
+            chunk = await reader.read(_READ_CHUNK)
+            if not chunk:
+                return
+            raw.extend(chunk)
+            if len(raw) > self.max_frame:
+                writer.write(_http_response(431, "text/plain",
+                                            b"headers too large\n"))
+                await writer.drain()
+                return
+        head, _, rest = bytes(raw).partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            writer.write(_http_response(400, "text/plain",
+                                        b"malformed request line\n"))
+            await writer.drain()
+            return
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = bytearray(rest)
+        length = int(headers.get("content-length", "0") or "0")
+        while len(body) < length:
+            chunk = await reader.read(_READ_CHUNK)
+            if not chunk:
+                break
+            body.extend(chunk)
+
+        status, content_type, payload = await self._http_route(
+            method, target, bytes(body[:length]))
+        writer.write(_http_response(status, content_type, payload))
+        await writer.drain()
+
+    async def _http_route(self, method: str, target: str,
+                          body: bytes) -> Tuple[int, str, bytes]:
+        import json as _json
+        started = time.perf_counter_ns()
+        parts = urlsplit(target)
+        path = parts.path
+        query = {name: values[-1]
+                 for name, values in parse_qs(parts.query).items()}
+
+        def as_json(obj, status: int = 200) -> Tuple[int, str, bytes]:
+            return status, "application/json", (
+                _json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+        if path == "/metrics" and method in ("GET", "HEAD"):
+            self._observe("http.metrics", started)
+            return 200, "text/plain; version=0.0.4", \
+                render_prometheus(self.metrics).encode("utf-8")
+        if path == "/healthz":
+            self._observe("http.healthz", started)
+            return as_json({"ok": True, "epoch": self.state.epoch,
+                            "nodes": len(self.state.snapshot.engine),
+                            "read_only": self.state.read_only})
+        if path == "/query" and method == "POST":
+            try:
+                request = decode_payload(body)
+                response = await self._dispatch(request.get("op"), request,
+                                                request.get("id"))
+            except Exception as error:  # noqa: BLE001 - structured reply
+                response = self._respond_error(None, error)
+            return as_json(response,
+                           200 if response.get("ok") else 400)
+        if path in ("/check", "/expand", "/reaching") and method == "GET":
+            op = {"/check": "check-many", "/expand": "expand",
+                  "/reaching": "list-reaching"}[path]
+            request: dict = {"op": op}
+            try:
+                if path == "/check":
+                    request["pairs"] = [[query["u"], query["v"]]]
+                elif path == "/expand":
+                    request["u"] = query["u"]
+                else:
+                    request["v"] = query["v"]
+            except KeyError as missing:
+                return as_json({"ok": False, "error": {
+                    "code": "bad-request",
+                    "message": f"missing query parameter {missing}"}}, 400)
+            try:
+                response = await self._dispatch(op, request, None)
+            except Exception as error:  # noqa: BLE001 - structured reply
+                response = self._respond_error(None, error)
+            if path == "/check" and response.get("ok"):
+                response["result"] = response["result"][0]
+            return as_json(response, 200 if response.get("ok") else 400)
+        self._count_error("unknown-op")
+        return as_json({"ok": False, "error": {
+            "code": "unknown-op", "message": f"no route {method} {path}"}},
+            404)
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                431: "Request Header Fields Too Large"}
+
+
+def _http_response(status: int, content_type: str, payload: bytes) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Error")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + payload

@@ -1,0 +1,215 @@
+"""Client helper for the framed protocol.
+
+:class:`ReachabilityClient` holds one connection, pipelines requests,
+and correlates responses by ``id`` with a background reader task — so
+many coroutines can share a client, and pipelined calls overlap on the
+wire (which is what lets the server coalesce them).
+
+Usage::
+
+    client = await ReachabilityClient.connect(host, port)
+    try:
+        assert await client.check("a", "d")
+        answers = await client.check_many([("a", "d"), ("b", "c")])
+    finally:
+        await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CycleError, NodeNotFoundError, ReproError
+from repro.server.protocol import (DEFAULT_MAX_FRAME, ProtocolError,
+                                   encode_frame, read_frame)
+
+__all__ = ["ReachabilityClient", "ServerError"]
+
+
+class ServerError(ReproError):
+    """A structured error response from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.server_message = message
+
+
+#: Error codes re-raised as their local exception type, so code written
+#: against an in-process engine ports to the client unchanged.
+_CODE_EXCEPTIONS = {
+    "not-found": lambda msg: NodeNotFoundError(_node_from(msg)),
+    "cycle": lambda msg: CycleError(msg),
+}
+
+
+def _node_from(message: str) -> str:
+    # "node 'x' is not in the graph" -> best-effort extraction; the
+    # exact node value survives only for string nodes, which is all the
+    # wire protocol can carry anyway.
+    if "'" in message:
+        return message.split("'")[1]
+    return message
+
+
+class ReachabilityClient:
+    """One pipelined connection to a :class:`ReachabilityServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, *,
+                 max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._waiting: Dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *,
+                      max_frame: int = DEFAULT_MAX_FRAME
+                      ) -> "ReachabilityClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame=max_frame)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        error: Optional[Exception] = None
+        try:
+            while True:
+                response = await read_frame(self._reader,
+                                            max_frame=self._max_frame)
+                if response is None:
+                    break
+                future = self._waiting.pop(response.get("id"), None)
+                if future is not None and not future.cancelled():
+                    future.set_result(response)
+        except (ProtocolError, ConnectionResetError, OSError) as exc:
+            error = exc
+        finally:
+            self._closed = True
+            failure = error if error is not None else \
+                ConnectionResetError("server closed the connection")
+            for future in self._waiting.values():
+                if not future.cancelled():
+                    future.set_exception(failure)
+            self._waiting.clear()
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        """Send one request; await its raw response object."""
+        if self._closed:
+            raise ReproError("client connection is closed")
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[request_id] = future
+        payload = {"id": request_id, "op": op}
+        payload.update(fields)
+        self._writer.write(encode_frame(payload))
+        await self._writer.drain()
+        return await future
+
+    async def call(self, op: str, **fields: Any) -> Any:
+        """Send one request; return ``result`` or raise the error."""
+        response = await self.request(op, **fields)
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error", {})
+        code = error.get("code", "server-error")
+        message = error.get("message", "")
+        raise _CODE_EXCEPTIONS.get(code, lambda msg: ServerError(code, msg)
+                                   )(message)
+
+    async def close(self) -> None:
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
+    # op conveniences
+    # ------------------------------------------------------------------
+    async def ping(self) -> str:
+        return await self.call("ping")
+
+    async def epoch(self) -> int:
+        return await self.call("epoch")
+
+    async def check(self, source: Any, destination: Any) -> bool:
+        return await self.call("check", u=source, v=destination)
+
+    async def check_many(
+            self, pairs: Sequence[Tuple[Any, Any]]) -> List[bool]:
+        return await self.call(
+            "check-many", pairs=[[u, v] for u, v in pairs])
+
+    async def expand(self, source: Any, *,
+                     reflexive: bool = True) -> List[Any]:
+        return await self.call("expand", u=source, reflexive=reflexive)
+
+    async def list_reaching(self, destination: Any, *,
+                            reflexive: bool = True) -> List[Any]:
+        return await self.call("list-reaching", v=destination,
+                               reflexive=reflexive)
+
+    async def semijoin_any(self, sources: Sequence[Any],
+                           destinations: Sequence[Any]) -> bool:
+        return await self.call("semijoin", mode="any",
+                               sources=list(sources),
+                               destinations=list(destinations))
+
+    async def semijoin_forward(self, sources: Sequence[Any]) -> List[Any]:
+        return await self.call("semijoin", mode="forward",
+                               sources=list(sources))
+
+    async def semijoin_backward(
+            self, destinations: Sequence[Any]) -> List[Any]:
+        return await self.call("semijoin", mode="backward",
+                               destinations=list(destinations))
+
+    async def add_node(self, node: Any,
+                       parents: Sequence[Any] = ()) -> int:
+        response = await self.request("add-node", node=node,
+                                      parents=list(parents))
+        return self._write_epoch(response)
+
+    async def add_arc(self, source: Any, destination: Any) -> int:
+        response = await self.request("add-arc", u=source, v=destination)
+        return self._write_epoch(response)
+
+    async def remove_arc(self, source: Any, destination: Any) -> int:
+        response = await self.request("remove-arc", u=source,
+                                      v=destination)
+        return self._write_epoch(response)
+
+    async def remove_node(self, node: Any) -> int:
+        response = await self.request("remove-node", node=node)
+        return self._write_epoch(response)
+
+    def _write_epoch(self, response: dict) -> int:
+        """Write acks resolve to the epoch where the write is visible."""
+        if response.get("ok"):
+            return response["epoch"]
+        error = response.get("error", {})
+        code = error.get("code", "server-error")
+        message = error.get("message", "")
+        raise _CODE_EXCEPTIONS.get(code, lambda msg: ServerError(code, msg)
+                                   )(message)
+
+    async def stats(self) -> dict:
+        return await self.call("stats")
+
+    async def shutdown(self) -> str:
+        return await self.call("shutdown")

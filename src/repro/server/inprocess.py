@@ -1,0 +1,194 @@
+"""Run a server in a background thread; query it synchronously.
+
+This is the bridge that lets *synchronous* harnesses — the differential
+fuzzer, pytest helpers, the oracle comparison — treat a live server as
+just another engine.  :class:`ServerThread` owns a private event loop in
+a daemon thread running a :class:`~repro.server.app.ReachabilityServer`
+plus one pipelined client; :class:`ServerBackedEngine` adapts its
+``call`` into the engine query surface
+(:func:`~repro.testing.oracle.compare_engine` only needs
+``successors``/``predecessors``/``reachable``), so every answer the
+comparison sees made a real round trip through framing, dispatch, and
+the coalescer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.server.app import ReachabilityServer
+from repro.server.client import ReachabilityClient
+
+__all__ = ["ServerBackedEngine", "ServerThread"]
+
+_CALL_TIMEOUT = 30.0
+
+
+class ServerThread:
+    """A live server plus one client, owned by a private loop thread.
+
+    ``engine_factory`` is called *inside* the loop thread (asyncio
+    primitives bind to the running loop on older Pythons) and must
+    return the engine to serve.  Use as a context manager, or call
+    :meth:`close` explicitly.
+    """
+
+    def __init__(self, engine_factory, *, coalesce: bool = True,
+                 window: Optional[float] = None) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._server: Optional[ReachabilityServer] = None
+        self._client: Optional[ReachabilityClient] = None
+        self._engine_factory = engine_factory
+        self._coalesce = coalesce
+        self._window = window
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="reachability-server")
+        self._thread.start()
+        self._ready.wait(_CALL_TIMEOUT)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self._server is None:
+            raise ReproError("server thread failed to start")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._startup())
+        except BaseException as error:  # surface to the constructor
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+            self._loop.close()
+
+    async def _startup(self) -> None:
+        kwargs = {"coalesce": self._coalesce}
+        if self._window is not None:
+            kwargs["window"] = self._window
+        server = ReachabilityServer(self._engine_factory(), **kwargs)
+        host, port = await server.start("127.0.0.1", 0)
+        self._client = await ReachabilityClient.connect(host, port)
+        self._server = server
+        self.host, self.port = host, port
+
+    # ------------------------------------------------------------------
+    # sync bridge
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields: Any) -> Any:
+        """One request through the shared client, from any thread."""
+        client = self._client
+        if client is None:
+            raise ReproError("server thread is closed")
+        future = asyncio.run_coroutine_threadsafe(
+            client.call(op, **fields), self._loop)
+        return future.result(_CALL_TIMEOUT)
+
+    def connect(self) -> ReachabilityClient:
+        """A fresh client on the server's loop (for multi-conn tests)."""
+        return asyncio.run_coroutine_threadsafe(
+            ReachabilityClient.connect(self.host, self.port),
+            self._loop).result(_CALL_TIMEOUT)
+
+    def run_coro(self, coro) -> Any:
+        """Run an arbitrary coroutine on the server's loop."""
+        return asyncio.run_coroutine_threadsafe(
+            coro, self._loop).result(_CALL_TIMEOUT)
+
+    def close(self) -> None:
+        if self._client is None and self._server is None:
+            return
+        client, self._client = self._client, None
+        server, self._server = self._server, None
+
+        async def teardown() -> None:
+            if client is not None:
+                await client.close()
+            if server is not None:
+                await server.stop()
+
+        try:
+            asyncio.run_coroutine_threadsafe(
+                teardown(), self._loop).result(_CALL_TIMEOUT)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(_CALL_TIMEOUT)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServerBackedEngine:
+    """The engine query surface, answered by a live server.
+
+    Every method is one (or more) real protocol round trips.  Holds its
+    :class:`ServerThread` alive; ``close`` tears the server down.
+    """
+
+    def __init__(self, thread: ServerThread) -> None:
+        self._thread = thread
+
+    # -- queries -------------------------------------------------------
+    def reachable(self, source: Any, destination: Any) -> bool:
+        return self._thread.call("check", u=source, v=destination)
+
+    def reachable_many(
+            self, pairs: Sequence[Tuple[Any, Any]]) -> List[bool]:
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        return self._thread.call(
+            "check-many", pairs=[[u, v] for u, v in pairs])
+
+    def successors(self, source: Any, *, reflexive: bool = True):
+        return set(self._thread.call("expand", u=source,
+                                     reflexive=reflexive))
+
+    def predecessors(self, destination: Any, *, reflexive: bool = True):
+        return set(self._thread.call("list-reaching", v=destination,
+                                     reflexive=reflexive))
+
+    def any_reachable(self, sources: Iterable[Any],
+                      destinations: Iterable[Any]) -> bool:
+        return self._thread.call("semijoin", mode="any",
+                                 sources=list(sources),
+                                 destinations=list(destinations))
+
+    def reachable_from_set(self, sources: Iterable[Any]):
+        return set(self._thread.call("semijoin", mode="forward",
+                                     sources=list(sources)))
+
+    def reaching_set(self, destinations: Iterable[Any]):
+        return set(self._thread.call("semijoin", mode="backward",
+                                     destinations=list(destinations)))
+
+    def stats(self) -> dict:
+        return self._thread.call("stats")
+
+    def nodes(self) -> List[Any]:
+        return self._thread.call("stats")["nodes"]
+
+    def __contains__(self, node: Any) -> bool:
+        # Membership via a reflexive self-check: present nodes always
+        # reach themselves; absent ones draw not-found.
+        try:
+            return bool(self._thread.call("check", u=node, v=node))
+        except ReproError:
+            return False
+
+    def __len__(self) -> int:
+        return int(self._thread.call("stats")["nodes"])
+
+    def close(self) -> None:
+        self._thread.close()

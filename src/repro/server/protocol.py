@@ -1,0 +1,218 @@
+"""The wire protocol: length-prefixed JSON frames, shared by both ends.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests are JSON objects::
+
+    {"id": 7, "op": "check", "u": "alice", "v": "doc9"}
+
+and every request produces exactly one response object::
+
+    {"id": 7, "ok": true, "result": true, "epoch": 3}
+    {"id": 7, "ok": false, "error": {"code": "not-found", "message": "..."}}
+
+``id`` is an opaque client token echoed back verbatim, so clients may
+pipeline many requests over one connection and correlate out-of-order
+completions (coalesced checks can complete out of request order across
+connections, though each connection's responses preserve its own request
+order).  Responses are encoded with sorted keys and no whitespace, so a
+given payload always serialises to the same bytes — the
+batch-equals-singles test in ``tests/server`` compares raw frames.
+
+Malformed input never kills the serving loop: frames whose declared
+length exceeds the limit draw a ``too-large`` error before the
+connection closes (the stream can no longer be framed); bytes that are
+not JSON, JSON that is not an object, and unknown ``op`` values each
+draw a structured error on a connection that remains usable.
+
+The same port also speaks a minimal HTTP/1.1: a connection whose first
+bytes spell an HTTP method is handed to the HTTP handler (a framed
+connection can never collide — ``b"GET "`` read as a length prefix is
+over a gigabyte, far past any sane frame limit).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "ERROR_CODES",
+    "FrameParser",
+    "HTTP_METHODS",
+    "ProtocolError",
+    "decode_payload",
+    "encode_frame",
+    "encode_response",
+    "error_response",
+    "looks_like_http",
+    "ok_response",
+    "read_frame",
+]
+
+#: Frames above this many payload bytes are refused (declared length
+#: checked before any allocation).
+DEFAULT_MAX_FRAME = 1 << 20
+
+_PREFIX = struct.Struct(">I")
+
+#: Every error code a response may carry.
+ERROR_CODES = (
+    "bad-json",      # payload bytes are not valid JSON
+    "bad-request",   # JSON is not an object, or fields missing/mistyped
+    "cycle",         # a write would create a cycle
+    "not-found",     # a named node is not in the served snapshot
+    "read-only",     # a write against a frozen (snapshot-only) server
+    "server-error",  # unexpected internal failure (bug surface, not 500-spam)
+    "shutting-down", # server is draining; no new work accepted
+    "too-large",     # declared frame length exceeds the limit
+    "unknown-op",    # the op name is not in the dispatch table
+)
+
+#: HTTP method prefixes used to sniff HTTP connections on the shared port.
+HTTP_METHODS = (b"GET ", b"POST", b"HEAD", b"PUT ", b"DELE", b"OPTI",
+                b"PATC")
+
+
+class ProtocolError(ReproError):
+    """A malformed frame or payload, tagged with its response code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One deterministic wire frame for ``payload``."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return _PREFIX.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse one frame body into a request/response object.
+
+    Raises :class:`ProtocolError` (``bad-json`` / ``bad-request``) so the
+    caller can answer with a structured error instead of dying.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError("bad-json",
+                            f"frame body is not JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def ok_response(request_id: Any, result: Any, *,
+                epoch: Optional[int] = None) -> dict:
+    response = {"id": request_id, "ok": True, "result": result}
+    if epoch is not None:
+        response["epoch"] = epoch
+    return response
+
+
+def error_response(request_id: Any, code: str, message: str) -> dict:
+    assert code in ERROR_CODES, code
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def encode_response(response: dict) -> bytes:
+    return encode_frame(response)
+
+
+def looks_like_http(prefix: bytes) -> bool:
+    """Whether the first bytes of a connection spell an HTTP method."""
+    if len(prefix) >= 4:
+        return prefix[:4] in HTTP_METHODS
+    return bool(prefix) and any(method.startswith(prefix)
+                                for method in HTTP_METHODS)
+
+
+class FrameParser:
+    """Incremental frame splitter over a growing byte buffer.
+
+    Feed it chunks as they arrive; iterate complete frame bodies out.
+    The parser validates declared lengths *before* buffering a body, so
+    an adversarial 4 GiB prefix costs four bytes of memory, not four
+    gigabytes.
+    """
+
+    __slots__ = ("max_frame", "_buffer")
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Absorb ``chunk``; return every now-complete frame body.
+
+        Raises :class:`ProtocolError` (``too-large``) when a declared
+        length exceeds the limit — the stream cannot be re-synchronised
+        after that, so the caller should answer and close.
+        """
+        self._buffer.extend(chunk)
+        bodies: List[bytes] = []
+        buffer = self._buffer
+        offset = 0
+        while len(buffer) - offset >= _PREFIX.size:
+            (length,) = _PREFIX.unpack_from(buffer, offset)
+            if length > self.max_frame:
+                del buffer[:offset]
+                raise ProtocolError(
+                    "too-large",
+                    f"declared frame length {length} exceeds the "
+                    f"{self.max_frame}-byte limit")
+            end = offset + _PREFIX.size + length
+            if len(buffer) < end:
+                break
+            bodies.append(bytes(buffer[offset + _PREFIX.size:end]))
+            offset = end
+        if offset:
+            del buffer[:offset]
+        return bodies
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+async def read_frame(reader, *,
+                     max_frame: int = DEFAULT_MAX_FRAME) -> Optional[dict]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on clean EOF before a prefix byte; raises
+    :class:`ProtocolError` on truncation mid-frame or an oversized
+    declared length.  This is the client-side primitive —
+    the server uses :class:`FrameParser` for chunked reads.
+    """
+    import asyncio
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            "bad-request",
+            "connection closed mid length prefix") from None
+    (length,) = _PREFIX.unpack(prefix)
+    if length > max_frame:
+        raise ProtocolError(
+            "too-large",
+            f"declared frame length {length} exceeds the {max_frame}-byte "
+            f"limit")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError(
+            "bad-request", "connection closed mid frame body") from None
+    return decode_payload(body)

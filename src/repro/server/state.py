@@ -1,0 +1,298 @@
+"""Serving state: pinned snapshots, a single-writer task, epoch swaps.
+
+Reads never lock.  Every read path grabs ``state.snapshot`` once — a
+:class:`Snapshot` wrapping a *detached* :class:`~repro.core.frozen.FrozenTCIndex`
+(or an mmap-backed RTCF view), both immutable — and answers entirely
+from it.  Because a snapshot is never mutated after publication, any
+number of connection tasks can share it with zero coordination, and a
+request that started on epoch *e* keeps answering from epoch *e* even if
+a swap lands mid-flight: answers are internally consistent, never torn.
+
+Writes funnel through one queue drained by a single asyncio task.  The
+writer drains every queued mutation, applies them in submission order to
+the write-through engine (the hybrid's Section 4 algorithms keep the
+mutable truth exact in microseconds), folds the delta into a fresh
+frozen base (:meth:`HybridTCIndex.compact` — one freeze of
+already-updated state, no closure recomputation), and then **publishes**:
+a single attribute assignment swaps the new :class:`Snapshot` in for all
+future reads.  Only after the swap are the writes acknowledged, so a
+client that has seen a write ack at epoch *e* is guaranteed every later
+read is served at epoch >= *e* (read-your-writes), and no read is ever
+served more than one publish behind a mutation it raced.
+
+Epochs count publishes, not mutations: a burst of writes drained
+together becomes one epoch swap, which is what keeps refreeze cost
+amortised under write bursts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.core.frozen import FrozenTCIndex
+from repro.core.hybrid import HybridTCIndex
+from repro.core.index import IntervalTCIndex
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ServeState", "Snapshot", "WriteOp"]
+
+#: Mutation op names the writer task understands, mapped to the engine
+#: method they invoke.
+WRITE_METHODS = {
+    "add-node": "add_node",
+    "add-arc": "add_arc",
+    "remove-arc": "remove_arc",
+    "remove-node": "remove_node",
+}
+
+
+class Snapshot:
+    """One published epoch: an immutable engine plus its epoch number."""
+
+    __slots__ = ("epoch", "engine", "published_at")
+
+    def __init__(self, epoch: int, engine) -> None:
+        self.epoch = epoch
+        self.engine = engine
+        self.published_at = time.time()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Snapshot(epoch={self.epoch}, nodes={len(self.engine)})"
+
+
+class WriteOp:
+    """One queued mutation and the future its submitter awaits."""
+
+    __slots__ = ("op", "args", "future")
+
+    def __init__(self, op: str, args: Tuple[Any, ...],
+                 future: "asyncio.Future") -> None:
+        self.op = op
+        self.args = args
+        self.future = future
+
+
+class ServeState:
+    """The engine-facing half of the server: snapshots in, writes out.
+
+    ``engine`` may be any :class:`~repro.core.engine.TCEngine`:
+
+    * a :class:`HybridTCIndex` (the intended shape) — writes go through
+      its write-through index, publishes fold the delta via
+      :meth:`~HybridTCIndex.compact` and pin the fresh base;
+    * an :class:`IntervalTCIndex` — wrapped into a hybrid so the serve
+      path is identical;
+    * a :class:`FrozenTCIndex` (including mmap-backed RTCF views) — a
+      read-only service: the snapshot is the engine itself, forever
+      epoch 0, and every write draws a ``read-only`` error;
+    * a :class:`~repro.durability.store.DurableTCIndex` — writes are
+      journalled through the store facade; snapshots come from its inner
+      engine (compacted when hybrid, frozen otherwise).
+    """
+
+    def __init__(self, engine, *, metrics: Optional[MetricsRegistry] = None,
+                 tracer=None) -> None:
+        self._metrics = metrics if metrics is not None \
+            else MetricsRegistry(enabled=False)
+        self._tracer = tracer
+        self._write_target, self._hybrid, self._frozen = \
+            self._classify(engine)
+        self.engine = engine
+        # Created in start(): pre-3.10 asyncio primitives bind their
+        # event loop at construction, and ServeState may be built before
+        # asyncio.run() starts the loop that will serve it.
+        self._queue: Optional["asyncio.Queue[WriteOp]"] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self.snapshot = Snapshot(0, self._compile())
+        self._instruments()
+        self._set_epoch_gauge()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _classify(self, engine):
+        """Return (write_target, hybrid_for_snapshots, frozen_or_None)."""
+        if isinstance(engine, FrozenTCIndex):
+            return None, None, engine
+        if isinstance(engine, HybridTCIndex):
+            return engine, engine, None
+        if isinstance(engine, IntervalTCIndex):
+            hybrid = HybridTCIndex.from_index(
+                engine, max_delta=1 << 30, max_ratio=float(1 << 30))
+            return hybrid, hybrid, None
+        # durable store (or any facade exposing .engine)
+        inner = getattr(engine, "engine", None)
+        if inner is None:
+            raise ReproError(
+                f"cannot serve a {type(engine).__name__}: expected a "
+                "hybrid, interval, frozen, or durable engine")
+        if isinstance(inner, HybridTCIndex):
+            return engine, inner, None
+        if isinstance(inner, IntervalTCIndex):
+            return engine, None, None
+        raise ReproError(
+            f"cannot serve a {type(engine).__name__} wrapping "
+            f"{type(inner).__name__}")
+
+    def _compile(self):
+        """A detached immutable engine for the current exact state."""
+        if self._frozen is not None:
+            return self._frozen
+        if self._hybrid is not None:
+            # Fold the delta so reads stay flat-array fast; the fresh
+            # pinned base *is* the publishable snapshot.
+            return self._hybrid.snapshot()
+        index = self.engine.index  # durable store over a plain index
+        return FrozenTCIndex.from_index(index).detach()
+
+    def _instruments(self) -> None:
+        registry = self._metrics
+        self._swaps = registry.counter(
+            "tc_server_epoch_swaps_total",
+            help="snapshot publications (epoch advances)")
+        self._publish_seconds = registry.histogram(
+            "tc_server_publish_seconds",
+            help="wall time to refreeze and publish a snapshot")
+        self._write_batch = registry.histogram(
+            "tc_server_write_batch_size",
+            help="mutations folded into one epoch swap",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+        self._writes = registry.counter(
+            "tc_server_writes_total", help="acknowledged mutations")
+        self._write_errors = registry.counter(
+            "tc_server_write_errors_total", help="rejected mutations")
+        self._epoch_gauge = registry.gauge(
+            "tc_server_epoch", help="currently served epoch")
+
+    def _set_epoch_gauge(self) -> None:
+        self._epoch_gauge.set(self.snapshot.epoch)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def read_only(self) -> bool:
+        return self._write_target is None
+
+    @property
+    def epoch(self) -> int:
+        return self.snapshot.epoch
+
+    def stats(self) -> dict:
+        snapshot = self.snapshot
+        payload = {
+            "epoch": snapshot.epoch,
+            "read_only": self.read_only,
+            "nodes": len(snapshot.engine),
+            "pending_writes": self._queue.qsize()
+            if self._queue is not None else 0,
+        }
+        engine_stats = snapshot.engine.stats()
+        payload["snapshot"] = (engine_stats.as_dict()
+                               if hasattr(engine_stats, "as_dict")
+                               else engine_stats)
+        return payload
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the single-writer task (no-op for read-only servers)."""
+        if self._write_target is not None and self._writer_task is None:
+            self._queue = asyncio.Queue()
+            self._writer_task = asyncio.get_running_loop().create_task(
+                self._writer_loop())
+
+    async def stop(self) -> None:
+        """Drain and stop the writer; pending submissions are refused."""
+        self._closed = True
+        if self._writer_task is not None:
+            # A sentinel wakes the writer so it can observe _closed.
+            await self._queue.put(None)
+            await self._writer_task
+            self._writer_task = None
+
+    # ------------------------------------------------------------------
+    # the single-writer protocol
+    # ------------------------------------------------------------------
+    async def submit(self, op: str, args: Tuple[Any, ...]) -> int:
+        """Queue one mutation; resolves to the epoch where it is visible.
+
+        Raises the underlying engine error (unknown node, cycle, …) when
+        the mutation is rejected; raises :class:`ReproError` on a
+        read-only or shutting-down server.
+        """
+        from repro.server.protocol import ProtocolError
+        if self._write_target is None:
+            raise ProtocolError(
+                "read-only",
+                "this server serves a frozen snapshot and accepts no "
+                "writes")
+        if self._closed:
+            raise ProtocolError("shutting-down", "server is shutting down")
+        if op not in WRITE_METHODS:
+            raise ReproError(f"unknown write op {op!r}")
+        if self._queue is None:
+            raise ReproError("writer task not started; call start() first")
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(WriteOp(op, args, future))
+        return await future
+
+    async def _writer_loop(self) -> None:
+        queue = self._queue
+        while True:
+            first = await queue.get()
+            if first is None:
+                if self._closed:
+                    return
+                continue
+            batch: List[WriteOp] = [first]
+            while not queue.empty():
+                item = queue.get_nowait()
+                if item is None:
+                    if self._closed:
+                        self._apply_and_publish(batch)
+                        return
+                    continue
+                batch.append(item)
+            self._apply_and_publish(batch)
+            if self._closed and queue.empty():
+                return
+
+    def _apply_and_publish(self, batch: List[WriteOp]) -> None:
+        """Apply one drained batch, swap the epoch, then acknowledge.
+
+        Synchronous on purpose: no ``await`` between the first mutation
+        and the publish, so no read coroutine can observe a half-applied
+        batch through the *mutable* engine — they only ever read the
+        snapshot, and the snapshot swap is one attribute store.
+        """
+        target = self._write_target
+        applied: List[WriteOp] = []
+        for write in batch:
+            try:
+                getattr(target, WRITE_METHODS[write.op])(*write.args)
+            except Exception as error:  # per-op failure, batch continues
+                self._write_errors.inc()
+                if not write.future.cancelled():
+                    write.future.set_exception(error)
+            else:
+                applied.append(write)
+        if applied:
+            started = time.perf_counter_ns()
+            engine = self._compile()
+            self.snapshot = Snapshot(self.snapshot.epoch + 1, engine)
+            self._publish_seconds.observe_ns(
+                time.perf_counter_ns() - started)
+            self._swaps.inc()
+            self._writes.inc(len(applied))
+            self._write_batch.observe(len(applied))
+            self._set_epoch_gauge()
+        epoch = self.snapshot.epoch
+        for write in applied:
+            if not write.future.cancelled():
+                write.future.set_result(epoch)

@@ -258,6 +258,25 @@ def _build_rtcf(graph: DiGraph):
     return mapped
 
 
+def _build_server(graph: DiGraph):
+    """A hybrid engine compared *through a live in-process server*.
+
+    Spins up a background-thread :class:`ReachabilityServer` over a
+    fresh hybrid build and answers every oracle comparison with real
+    protocol round trips — framing, dispatch, the batch coalescer, and
+    JSON encode/decode are all inside the differential loop.  The
+    server thread is torn down when the engine is garbage collected
+    (checkpoint engines are short-lived), and is a daemon either way.
+    """
+    import weakref
+    from repro.core.hybrid import HybridTCIndex
+    from repro.server.inprocess import ServerBackedEngine, ServerThread
+    thread = ServerThread(lambda: HybridTCIndex.build(graph))
+    engine = ServerBackedEngine(thread)
+    weakref.finalize(engine, thread.close)
+    return engine
+
+
 #: From-scratch engine builders, keyed by the names the CLI accepts.
 ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "rebuild": _build_interval,
@@ -273,6 +292,7 @@ ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "condensed": _build_condensed,
     "hybrid-delta": _build_hybrid_delta,
     "durable": _build_durable,
+    "server": _build_server,
 }
 
 #: Shorthand accepted by ``--engines``: expands to every baseline engine.

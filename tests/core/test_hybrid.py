@@ -367,3 +367,49 @@ class TestRandomisedChurn:
                     hybrid.index.reachable(source, destination)
         assert_matches_index(hybrid)
         assert hybrid.compactions > 0
+
+
+class TestSnapshotEpoch:
+    """The serving hooks: pinned immutable snapshots and publish epochs."""
+
+    def test_snapshot_is_detached_and_immutable(self, paper_dag):
+        hybrid = HybridTCIndex.build(paper_dag, max_delta=1_000_000, max_ratio=1_000_000.0)
+        first = hybrid.snapshot()
+        assert first is hybrid.base
+        before = first.successors("a")
+        hybrid.add_node("z", parents=["a"])
+        # The pinned snapshot never sees later writes...
+        assert "z" not in first
+        assert first.successors("a") == before
+        # ...while a fresh one does, as a different object.
+        second = hybrid.snapshot()
+        assert second is not first
+        assert "z" in second
+        assert "z" in second.successors("a")
+
+    def test_epoch_counts_publishes_not_mutations(self, paper_dag):
+        hybrid = HybridTCIndex.build(paper_dag, max_delta=1_000_000, max_ratio=1_000_000.0)
+        start = hybrid.epoch
+        hybrid.add_node("x1", parents=["a"])
+        hybrid.add_node("x2", parents=["x1"])
+        hybrid.add_arc("x2", "h")
+        assert hybrid.epoch == start  # nothing published yet
+        hybrid.snapshot()
+        assert hybrid.epoch == start + 1  # one fold for three writes
+        # A clean snapshot (no pending delta) publishes nothing new.
+        again = hybrid.snapshot()
+        assert hybrid.epoch == start + 1
+        assert again is hybrid.base
+
+    def test_snapshot_answers_exactly(self, paper_dag):
+        hybrid = HybridTCIndex.build(paper_dag, max_delta=1_000_000, max_ratio=1_000_000.0)
+        hybrid.add_node("w", parents=["b"])
+        hybrid.remove_arc("a", "b")
+        snapshot = hybrid.snapshot()
+        index = hybrid.index
+        nodes = sorted(index.nodes(), key=repr)
+        for node in nodes:
+            assert snapshot.successors(node) == index.successors(node)
+        pairs = [(u, v) for u in nodes for v in nodes]
+        assert snapshot.reachable_many(pairs) == \
+            [index.reachable(u, v) for u, v in pairs]

@@ -1,0 +1,10 @@
+"""Fixtures for the server battery."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def paper_arcs(paper_dag):
+    return sorted(paper_dag.arcs(), key=repr)

@@ -1,0 +1,336 @@
+"""Wire-format units plus the malformed-frame battery.
+
+The invariant under attack: no byte sequence a client can send may kill
+the serving loop.  Recoverable garbage (bad JSON, wrong shapes, unknown
+ops) draws a structured error on a connection that stays usable;
+unframeable streams (oversized declared lengths) draw an error and a
+close — and in every case the *server* survives to answer the next
+connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import struct
+
+import pytest
+
+from repro.core.hybrid import HybridTCIndex
+from repro.server.protocol import (DEFAULT_MAX_FRAME, ERROR_CODES,
+                                   FrameParser, ProtocolError,
+                                   decode_payload, encode_frame,
+                                   looks_like_http)
+
+from .harness import http_exchange, next_response, run, serving
+
+
+class TestFrameParser:
+    def test_single_frame_roundtrip(self):
+        parser = FrameParser()
+        frame = encode_frame({"op": "ping", "id": 1})
+        bodies = parser.feed(frame)
+        assert len(bodies) == 1
+        assert decode_payload(bodies[0]) == {"op": "ping", "id": 1}
+        assert parser.pending_bytes == 0
+
+    def test_byte_at_a_time_reassembly(self):
+        parser = FrameParser()
+        frame = encode_frame({"op": "ping", "id": 42})
+        bodies = []
+        for i in range(len(frame)):
+            bodies.extend(parser.feed(frame[i:i + 1]))
+        assert len(bodies) == 1
+        assert decode_payload(bodies[0])["id"] == 42
+
+    def test_many_frames_in_one_chunk(self):
+        frames = b"".join(encode_frame({"id": i, "op": "ping"})
+                          for i in range(10))
+        bodies = FrameParser().feed(frames)
+        assert [decode_payload(b)["id"] for b in bodies] == list(range(10))
+
+    def test_partial_tail_is_buffered(self):
+        parser = FrameParser()
+        one = encode_frame({"id": 1, "op": "ping"})
+        two = encode_frame({"id": 2, "op": "ping"})
+        bodies = parser.feed(one + two[:3])
+        assert len(bodies) == 1
+        assert parser.pending_bytes == 3
+        bodies = parser.feed(two[3:])
+        assert decode_payload(bodies[0])["id"] == 2
+
+    def test_oversized_declared_length_refused_cheaply(self):
+        parser = FrameParser(max_frame=1024)
+        with pytest.raises(ProtocolError) as excinfo:
+            parser.feed(struct.pack(">I", 1 << 31))
+        assert excinfo.value.code == "too-large"
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_payload(b"[1,2,3]")
+        assert excinfo.value.code == "bad-request"
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_payload(b"{not json")
+        assert excinfo.value.code == "bad-json"
+
+    def test_http_sniff(self):
+        assert looks_like_http(b"GET ")
+        assert looks_like_http(b"POST")
+        assert looks_like_http(b"PU")  # prefix of "PUT "
+        assert not looks_like_http(b"\x00\x00\x00\x10")
+        assert not looks_like_http(b"")
+        # A framed length prefix can never collide with a method: every
+        # method spelling read as a big-endian length is over a gigabyte.
+        for method in (b"GET ", b"POST", b"HEAD", b"PUT "):
+            (as_length,) = struct.unpack(">I", method)
+            assert as_length > DEFAULT_MAX_FRAME
+
+
+def _small_engine():
+    return HybridTCIndex.from_arcs([("a", "b"), ("b", "c")])
+
+
+class TestMalformedFrames:
+    """Each poisoned input draws a structured error, never a dead loop."""
+
+    def test_invalid_json_then_connection_still_works(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                garbage = b"{definitely not json"
+                writer.write(struct.pack(">I", len(garbage)) + garbage)
+                await writer.drain()
+                response = await next_response(reader)
+                assert response["ok"] is False
+                assert response["error"]["code"] == "bad-json"
+                # Same connection keeps serving.
+                writer.write(encode_frame(
+                    {"id": 9, "op": "check", "u": "a", "v": "c"}))
+                await writer.drain()
+                response = await next_response(reader)
+                assert response == {"id": 9, "ok": True, "result": True,
+                                    "epoch": 0}
+                writer.close()
+        run(scenario())
+
+    def test_non_object_payload(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                body = json.dumps([1, 2, 3]).encode()
+                writer.write(struct.pack(">I", len(body)) + body)
+                await writer.drain()
+                response = await next_response(reader)
+                assert response["error"]["code"] == "bad-request"
+                writer.close()
+        run(scenario())
+
+    def test_unknown_op(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame({"id": 1, "op": "frobnicate"}))
+                await writer.drain()
+                response = await next_response(reader)
+                assert response["ok"] is False
+                assert response["error"]["code"] == "unknown-op"
+                assert response["id"] == 1
+                writer.close()
+        run(scenario())
+
+    def test_missing_fields(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame({"id": 2, "op": "check", "u": "a"}))
+                await writer.drain()
+                response = await next_response(reader)
+                assert response["error"]["code"] == "bad-request"
+                assert "v" in response["error"]["message"]
+                writer.close()
+        run(scenario())
+
+    def test_mistyped_fields(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(
+                    {"id": 3, "op": "check-many", "pairs": "not-a-list"}))
+                writer.write(encode_frame(
+                    {"id": 4, "op": "check-many", "pairs": [["a"]]}))
+                writer.write(encode_frame(
+                    {"id": 5, "op": "semijoin", "mode": "sideways",
+                     "sources": [], "destinations": []}))
+                await writer.drain()
+                for expected_id in (3, 4, 5):
+                    response = await next_response(reader)
+                    assert response["id"] == expected_id
+                    assert response["error"]["code"] == "bad-request"
+                writer.close()
+        run(scenario())
+
+    def test_oversized_declared_length_answers_then_closes(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(struct.pack(">I", 0xFFFFFFFF) + b"xxxx")
+                await writer.drain()
+                response = await next_response(reader)
+                assert response["error"]["code"] == "too-large"
+                # The stream cannot be re-framed; the server closes it.
+                assert await asyncio.wait_for(reader.read(), 5.0) == b""
+                # But the *server* is alive: a new connection works.
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                writer2.write(encode_frame({"id": 1, "op": "ping"}))
+                await writer2.drain()
+                assert (await next_response(reader2))["result"] == "pong"
+                writer2.close()
+        run(scenario())
+
+    def test_truncated_prefix_then_eof_is_quiet(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"\x00\x00")  # half a length prefix
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                # Server drops the partial quietly and keeps serving.
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                writer2.write(encode_frame({"id": 1, "op": "ping"}))
+                await writer2.drain()
+                assert (await next_response(reader2))["result"] == "pong"
+                writer2.close()
+        run(scenario())
+
+    def test_truncated_body_then_eof_is_quiet(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                frame = encode_frame({"id": 1, "op": "ping"})
+                writer.write(frame[:-4])  # declared body never finishes
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                writer2.write(encode_frame({"id": 2, "op": "ping"}))
+                await writer2.drain()
+                assert (await next_response(reader2))["result"] == "pong"
+                writer2.close()
+        run(scenario())
+
+    def test_random_garbage_never_kills_the_server(self):
+        """Seeded byte soup: every connection may die; the server may not."""
+        rng = random.Random(1989)
+
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                for _ in range(25):
+                    blob = bytes(rng.randrange(256)
+                                 for _ in range(rng.randrange(1, 64)))
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(blob)
+                    await writer.drain()
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        pass
+                    del reader
+                # Still standing.
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame({"id": 1, "op": "ping"}))
+                await writer.drain()
+                assert (await next_response(reader))["result"] == "pong"
+                writer.close()
+        run(scenario())
+
+    def test_error_codes_are_closed_set(self):
+        """Every code the dispatcher can emit is documented."""
+        assert set(ERROR_CODES) == {
+            "bad-json", "bad-request", "cycle", "not-found", "read-only",
+            "server-error", "shutting-down", "too-large", "unknown-op"}
+
+
+class TestHttpMode:
+    def test_healthz(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                raw = await http_exchange(
+                    host, port, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                head, _, body = raw.partition(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.1 200")
+                payload = json.loads(body)
+                assert payload["ok"] is True
+                assert payload["epoch"] == 0
+                assert payload["nodes"] == 3
+        run(scenario())
+
+    def test_metrics_prometheus_text(self):
+        async def scenario():
+            async with serving(_small_engine()) as (server, host, port):
+                # Generate some traffic so counters exist.
+                raw = await http_exchange(
+                    host, port,
+                    b"GET /check?u=a&v=c HTTP/1.1\r\nHost: t\r\n\r\n")
+                assert json.loads(raw.partition(b"\r\n\r\n")[2])["result"] \
+                    is True
+                raw = await http_exchange(
+                    host, port, b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                head, _, body = raw.partition(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.1 200")
+                text = body.decode()
+                assert "tc_server_requests_total" in text
+                assert "tc_server_epoch" in text
+        run(scenario())
+
+    def test_get_query_routes(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                raw = await http_exchange(
+                    host, port,
+                    b"GET /expand?u=a HTTP/1.1\r\nHost: t\r\n\r\n")
+                assert json.loads(raw.partition(b"\r\n\r\n")[2])["result"] \
+                    == ["a", "b", "c"]
+                raw = await http_exchange(
+                    host, port,
+                    b"GET /reaching?v=c HTTP/1.1\r\nHost: t\r\n\r\n")
+                assert json.loads(raw.partition(b"\r\n\r\n")[2])["result"] \
+                    == ["a", "b", "c"]
+        run(scenario())
+
+    def test_post_query_dispatches_any_op(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                body = json.dumps({"op": "check-many",
+                                   "pairs": [["a", "c"], ["c", "a"]]}
+                                  ).encode()
+                request = (b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                           b"Content-Length: " + str(len(body)).encode()
+                           + b"\r\n\r\n" + body)
+                raw = await http_exchange(host, port, request)
+                assert json.loads(raw.partition(b"\r\n\r\n")[2])["result"] \
+                    == [True, False]
+        run(scenario())
+
+    def test_unknown_route_is_404(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                raw = await http_exchange(
+                    host, port, b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")
+                assert raw.startswith(b"HTTP/1.1 404")
+        run(scenario())
+
+    def test_bad_query_params_are_400(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                raw = await http_exchange(
+                    host, port, b"GET /check?u=a HTTP/1.1\r\nHost: t\r\n\r\n")
+                assert raw.startswith(b"HTTP/1.1 400")
+                raw = await http_exchange(
+                    host, port,
+                    b"GET /check?u=a&v=zz HTTP/1.1\r\nHost: t\r\n\r\n")
+                assert raw.startswith(b"HTTP/1.1 400")
+                assert b"not-found" in raw
+        run(scenario())
