@@ -106,6 +106,28 @@ def _field(request: dict, name: str) -> Any:
                             f"missing field {name!r}") from None
 
 
+def _check_node(value: Any, name: str) -> Any:
+    """Reject node values that cannot name a node (JSON arrays/objects).
+
+    Validated at parse time so an unhashable value draws ``bad-request``
+    here instead of a ``TypeError`` inside an engine lookup — the
+    coalescer drain in particular answers whole batches of other
+    connections' checks and must never see one.
+    """
+    try:
+        hash(value)
+    except TypeError:
+        raise ProtocolError(
+            "bad-request",
+            f"{name!r} must be a JSON scalar node id, not an array or "
+            f"object") from None
+    return value
+
+
+def _node_field(request: dict, name: str) -> Any:
+    return _check_node(_field(request, name), name)
+
+
 def _pair_list(request: dict, name: str = "pairs") -> List[Tuple[Any, Any]]:
     raw = _field(request, name)
     if not isinstance(raw, list):
@@ -115,7 +137,7 @@ def _pair_list(request: dict, name: str = "pairs") -> List[Tuple[Any, Any]]:
         if not isinstance(item, (list, tuple)) or len(item) != 2:
             raise ProtocolError(
                 "bad-request", f"{name!r} entries must be [u, v] pairs")
-        pairs.append((item[0], item[1]))
+        pairs.append((_check_node(item[0], name), _check_node(item[1], name)))
     return pairs
 
 
@@ -123,6 +145,8 @@ def _node_list(request: dict, name: str) -> List[Any]:
     raw = _field(request, name)
     if not isinstance(raw, list):
         raise ProtocolError("bad-request", f"{name!r} must be a list")
+    for value in raw:
+        _check_node(value, name)
     return raw
 
 
@@ -324,14 +348,14 @@ class ReachabilityServer:
             seq = ordered.allocate()
             pairs = [pair for _, pair, _ in run]
             if not coalescer.enabled:
-                answers, epoch = coalescer.answer_now(pairs)
-                ordered.complete(
-                    seq, self._encode_check_run(run, answers, epoch))
+                answers, snapshot = coalescer.answer_now(pairs)
+                self._complete_check_run(ordered, seq, run, answers,
+                                         snapshot)
                 return
 
-            def deliver(answers, epoch, run=run, seq=seq):
-                ordered.complete(
-                    seq, self._encode_check_run(run, answers, epoch))
+            def deliver(answers, snapshot, run=run, seq=seq):
+                self._complete_check_run(ordered, seq, run, answers,
+                                         snapshot)
 
             coalescer.submit_group(pairs, deliver)
 
@@ -342,7 +366,8 @@ class ReachabilityServer:
                 request_id = request.get("id")
                 op = request.get("op")
                 if op == "check":
-                    pair = (_field(request, "u"), _field(request, "v"))
+                    pair = (_node_field(request, "u"),
+                            _node_field(request, "v"))
                     checks.append((request_id, pair,
                                    time.perf_counter_ns()))
                     continue
@@ -360,16 +385,53 @@ class ReachabilityServer:
             ordered.complete(seq, encode_response(response))
         flush_checks()
 
+    def _complete_check_run(self, ordered: _OrderedWriter, seq: int,
+                            run: List[Tuple[Any, Tuple[Any, Any], int]],
+                            answers: List[Optional[bool]],
+                            snapshot) -> None:
+        """Encode one check run and complete its sequence slot.
+
+        The sequence slot MUST complete no matter what: an incomplete
+        slot stalls :class:`_OrderedWriter` forever, hanging every later
+        response on the connection (and ``wait_flushed`` at EOF).  So an
+        encoding failure degrades to per-request ``server-error``
+        responses instead of propagating — into the coalescer drain,
+        where it would also poison other connections' groups.
+        """
+        try:
+            data = self._encode_check_run(run, answers, snapshot)
+        except Exception:  # noqa: BLE001 - the slot must complete
+            self._count_error("server-error")
+            out = []
+            for request_id, _pair, _started in run:
+                try:
+                    out.append(encode_response(error_response(
+                        request_id, "server-error",
+                        "failed to encode check response")))
+                except Exception:  # noqa: BLE001 - unserialisable id
+                    out.append(encode_response(error_response(
+                        None, "server-error",
+                        "failed to encode check response")))
+            data = b"".join(out)
+        ordered.complete(seq, data)
+
     def _encode_check_run(self, run: List[Tuple[Any, Tuple[Any, Any], int]],
                           answers: List[Optional[bool]],
-                          epoch: int) -> bytes:
-        """Encode one check run's responses; runs inside the drain."""
+                          snapshot) -> bytes:
+        """Encode one check run's responses; runs inside the drain.
+
+        ``snapshot`` is the snapshot the answers were computed from, so
+        a ``None`` answer's missing node is attributed against the same
+        epoch that judged it missing — membership against the *current*
+        snapshot could disagree when a racing write lands in between.
+        """
         out = []
+        engine = snapshot.engine
+        epoch = snapshot.epoch
         now = time.perf_counter_ns()
         for (request_id, pair, started), answer in zip(run, answers):
             if answer is None:
-                missing = pair[0] if pair[0] not in \
-                    self.state.snapshot.engine else pair[1]
+                missing = pair[0] if pair[0] not in engine else pair[1]
                 out.append(encode_response(self._respond_error(
                     request_id, NodeNotFoundError(missing))))
             else:
@@ -407,18 +469,27 @@ class ReachabilityServer:
 
         if op == "check-many":
             pairs = _pair_list(request)
-            answers, batch_epoch = await self.coalescer.check_group(pairs)
+            answers, batch_snapshot = await self.coalescer.check_group(pairs)
             if any(answer is None for answer in answers):
-                current = self.state.snapshot.engine
+                # Attribute against the snapshot the batch was answered
+                # from: the current snapshot may already contain a node
+                # a racing write added after the drain.
+                batch_engine = batch_snapshot.engine
                 missing = next(
-                    node for pair, answer in zip(pairs, answers)
-                    if answer is None for node in pair
-                    if node not in current)
+                    (node for pair, answer in zip(pairs, answers)
+                     if answer is None for node in pair
+                     if node not in batch_engine),
+                    None)
+                if missing is None:  # unreachable: same snapshot judged it
+                    missing = next(pair for pair, answer
+                                   in zip(pairs, answers)
+                                   if answer is None)[0]
                 raise NodeNotFoundError(missing)
-            return ok_response(request_id, answers, epoch=batch_epoch)
+            return ok_response(request_id, answers,
+                               epoch=batch_snapshot.epoch)
 
         if op == "expand":
-            node = _field(request, "u")
+            node = _node_field(request, "u")
             reflexive = bool(request.get("reflexive", True))
             if node not in engine:
                 raise NodeNotFoundError(node)
@@ -428,7 +499,7 @@ class ReachabilityServer:
                        key=repr),
                 epoch=epoch)
         if op == "list-reaching":
-            node = _field(request, "v")
+            node = _node_field(request, "v")
             reflexive = bool(request.get("reflexive", True))
             if node not in engine:
                 raise NodeNotFoundError(node)
@@ -474,19 +545,21 @@ class ReachabilityServer:
                 f"or backward")
 
         if op in ("add-arc", "remove-arc"):
-            args = (_field(request, "u"), _field(request, "v"))
+            args = (_node_field(request, "u"), _node_field(request, "v"))
             visible = await self.state.submit(op, args)
             return ok_response(request_id, True, epoch=visible)
         if op == "add-node":
-            node = _field(request, "node")
+            node = _node_field(request, "node")
             parents = request.get("parents", [])
             if not isinstance(parents, list):
                 raise ProtocolError("bad-request", "'parents' must be a list")
+            for parent in parents:
+                _check_node(parent, "parents")
             visible = await self.state.submit(op, (node, parents))
             return ok_response(request_id, True, epoch=visible)
         if op == "remove-node":
             visible = await self.state.submit(
-                op, (_field(request, "node"),))
+                op, (_node_field(request, "node"),))
             return ok_response(request_id, True, epoch=visible)
 
         if op == "stats":
@@ -538,8 +611,26 @@ class ReachabilityServer:
         for line in lines[1:]:
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            writer.write(_http_response(400, "text/plain",
+                                        b"bad Content-Length\n"))
+            await writer.drain()
+            return
+        if length < 0:
+            writer.write(_http_response(400, "text/plain",
+                                        b"bad Content-Length\n"))
+            await writer.drain()
+            return
+        if length > self.max_frame:
+            # Refuse before buffering: a multi-gigabyte declared body
+            # must cost us the header bytes already read, not RAM.
+            writer.write(_http_response(413, "text/plain",
+                                        b"request body too large\n"))
+            await writer.drain()
+            return
         body = bytearray(rest)
-        length = int(headers.get("content-length", "0") or "0")
         while len(body) < length:
             chunk = await reader.read(_READ_CHUNK)
             if not chunk:
@@ -611,6 +702,7 @@ class ReachabilityServer:
 
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                413: "Payload Too Large",
                 431: "Request Header Fields Too Large"}
 
 

@@ -43,6 +43,20 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["BatchCoalescer", "CheckGroup"]
 
+
+def _member(engine, node) -> bool:
+    """Membership that treats unhashable values as simply absent.
+
+    The wire layer rejects unhashable ``u``/``v`` at parse time, but
+    ``check_group`` is also a public in-process surface — and one bad
+    value must never abort a drain that other connections' groups are
+    riding in.
+    """
+    try:
+        return node in engine
+    except TypeError:
+        return False
+
 #: Default gather window, seconds.  Zero means "one scheduler pass":
 #: drain everything that arrived in the current event-loop ready cycle.
 DEFAULT_WINDOW = 0.0
@@ -119,11 +133,14 @@ class BatchCoalescer:
     # ------------------------------------------------------------------
     async def check_group(
             self, pairs: Sequence[Tuple[object, object]]
-    ) -> Tuple[List[Optional[bool]], int]:
+    ) -> Tuple[List[Optional[bool]], object]:
         """Answer a group of ``(source, destination)`` checks.
 
-        Returns ``(answers, epoch)``; ``answers[i]`` is ``None`` when a
-        node of ``pairs[i]`` is not in the serving snapshot.
+        Returns ``(answers, snapshot)``; ``answers[i]`` is ``None`` when
+        a node of ``pairs[i]`` is not in the serving snapshot.  The
+        snapshot is the exact one the batch was answered from, so the
+        caller can attribute a ``None`` to its missing node without
+        racing a concurrent epoch swap.
         """
         if not self.enabled or not pairs:
             return self.answer_now(pairs)
@@ -136,8 +153,8 @@ class BatchCoalescer:
 
     def submit_group(self, pairs: Sequence[Tuple[object, object]],
                      callback) -> None:
-        """Enqueue a group whose ``callback(answers, epoch)`` runs in the
-        drain — the wire hot path, with no future and no task wakeup.
+        """Enqueue a group whose ``callback(answers, snapshot)`` runs in
+        the drain — the wire hot path, with no future and no task wakeup.
 
         The callback must not raise and must not block; it runs inside
         the drain, so a slow callback delays every group in the batch.
@@ -162,17 +179,17 @@ class BatchCoalescer:
             # queue joins the batch, and nobody waits on a timer.
             self._drain_handle = loop.call_soon(self._drain)
 
-    def answer_now(self, pairs) -> Tuple[List[Optional[bool]], int]:
+    def answer_now(self, pairs) -> Tuple[List[Optional[bool]], object]:
         """The no-coalescing path: singles against the current snapshot."""
         snapshot = self._get_snapshot()
         engine = snapshot.engine
         answers: List[Optional[bool]] = []
         for source, destination in pairs:
-            if source in engine and destination in engine:
+            if _member(engine, source) and _member(engine, destination):
                 answers.append(bool(engine.reachable(source, destination)))
             else:
                 answers.append(None)
-        return answers, snapshot.epoch
+        return answers, snapshot
 
     # ------------------------------------------------------------------
     # draining
@@ -193,7 +210,6 @@ class BatchCoalescer:
             return
         snapshot = self._get_snapshot()
         engine = snapshot.engine
-        epoch = snapshot.epoch
 
         flat: List[Tuple[object, object]] = []
         slots: List[Tuple[int, int]] = []
@@ -201,7 +217,7 @@ class BatchCoalescer:
         for group_index, group in enumerate(groups):
             answers: List[Optional[bool]] = [None] * len(group.pairs)
             for position, (source, destination) in enumerate(group.pairs):
-                if source in engine and destination in engine:
+                if _member(engine, source) and _member(engine, destination):
                     slots.append((group_index, position))
                     flat.append((source, destination))
             answers_per_group.append(answers)
@@ -223,13 +239,13 @@ class BatchCoalescer:
         for group, answers in zip(groups, answers_per_group):
             if group.callback is not None:
                 try:
-                    group.callback(answers, epoch)
+                    group.callback(answers, snapshot)
                 except Exception:  # noqa: BLE001
                     # One connection's encoder must not poison the rest
                     # of the batch (its peer is likely gone anyway).
                     continue
             elif not group.future.cancelled():
-                group.future.set_result((answers, epoch))
+                group.future.set_result((answers, snapshot))
 
     def stats(self) -> dict:
         return {

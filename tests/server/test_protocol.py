@@ -170,6 +170,51 @@ class TestMalformedFrames:
                 writer.close()
         run(scenario())
 
+    def test_unhashable_node_values_draw_bad_request(self):
+        """JSON arrays/objects as node ids are rejected at parse time.
+
+        Regression: an unhashable ``u`` used to raise ``TypeError``
+        inside the coalescer drain, silently dropping every group in
+        the batch — including other connections' — and hanging their
+        response sequencers.
+        """
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                # One chunk: poisoned check, healthy check, poisoned
+                # check-many — the healthy one must still be answered.
+                writer.write(encode_frame(
+                    {"id": 1, "op": "check", "u": [1], "v": "a"}))
+                writer.write(encode_frame(
+                    {"id": 2, "op": "check", "u": "a", "v": "c"}))
+                writer.write(encode_frame(
+                    {"id": 3, "op": "check-many",
+                     "pairs": [["a", {"v": "c"}]]}))
+                await writer.drain()
+                response = await next_response(reader)
+                assert response["id"] == 1
+                assert response["error"]["code"] == "bad-request"
+                response = await next_response(reader)
+                assert response == {"id": 2, "ok": True, "result": True,
+                                    "epoch": 0}
+                response = await next_response(reader)
+                assert response["id"] == 3
+                assert response["error"]["code"] == "bad-request"
+                # Mutation and semijoin ops reject the same way.
+                for request in (
+                        {"id": 4, "op": "expand", "u": ["a"]},
+                        {"id": 5, "op": "add-arc", "u": {"n": 1}, "v": "a"},
+                        {"id": 6, "op": "semijoin", "mode": "any",
+                         "sources": [["a"]], "destinations": ["c"]}):
+                    writer.write(encode_frame(request))
+                await writer.drain()
+                for expected_id in (4, 5, 6):
+                    response = await next_response(reader)
+                    assert response["id"] == expected_id
+                    assert response["error"]["code"] == "bad-request"
+                writer.close()
+        run(scenario())
+
     def test_oversized_declared_length_answers_then_closes(self):
         async def scenario():
             async with serving(_small_engine()) as (_, host, port):
@@ -320,6 +365,28 @@ class TestHttpMode:
                 raw = await http_exchange(
                     host, port, b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")
                 assert raw.startswith(b"HTTP/1.1 404")
+        run(scenario())
+
+    def test_oversized_content_length_is_413(self):
+        """A huge declared body is refused up front, never buffered."""
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                raw = await http_exchange(
+                    host, port,
+                    b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 4294967296\r\n\r\n")
+                assert raw.startswith(b"HTTP/1.1 413")
+        run(scenario())
+
+    def test_bad_content_length_is_400(self):
+        async def scenario():
+            async with serving(_small_engine()) as (_, host, port):
+                for value in (b"banana", b"-5"):
+                    raw = await http_exchange(
+                        host, port,
+                        b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                        b"Content-Length: " + value + b"\r\n\r\n")
+                    assert raw.startswith(b"HTTP/1.1 400")
         run(scenario())
 
     def test_bad_query_params_are_400(self):
