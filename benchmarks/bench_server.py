@@ -55,12 +55,21 @@ _ADDRESS = re.compile(r"serving on ([0-9.]+):(\d+)")
 # ----------------------------------------------------------------------
 # server subprocess
 # ----------------------------------------------------------------------
-def start_server(edges: Path, *, coalesce: bool,
-                 max_batch: int = 512) -> Tuple[subprocess.Popen, str, int]:
-    """Launch ``repro serve`` on a free port; return (proc, host, port)."""
+def start_server(edges: Path, *, coalesce: bool, max_batch: int = 512,
+                 workers: int = 0, snapshot_dir: Optional[Path] = None,
+                 ) -> Tuple[subprocess.Popen, str, int]:
+    """Launch ``repro serve`` on a free port; return (proc, host, port).
+
+    With ``workers`` > 0 this is a preforked cluster (the banner prints
+    only after every worker is attached and accepting).
+    """
     command = [sys.executable, "-m", "repro.cli", "serve", str(edges),
                "--engine", "hybrid", "--port", "0",
                "--max-batch", str(max_batch)]
+    if workers:
+        command += ["--workers", str(workers)]
+        if snapshot_dir is not None:
+            command += ["--snapshot-dir", str(snapshot_dir)]
     if not coalesce:
         command.append("--no-coalesce")
     env = dict(os.environ)
@@ -171,12 +180,160 @@ def run_cell(host: str, port: int, pairs: List[Tuple[str, str]], *,
 
 
 # ----------------------------------------------------------------------
+# open-loop (fixed arrival rate) load
+# ----------------------------------------------------------------------
+async def _open_loop_connection(host: str, port: int,
+                                pairs: List[Tuple[str, str]], rate: float,
+                                start: float, measure_start: float,
+                                deadline: float, latencies: List[float],
+                                stats: dict) -> None:
+    """One open-loop sender: frames go out on a fixed schedule whether
+    or not earlier answers have arrived.  Latency is measured from the
+    *scheduled* send time, so queueing delay under overload is charged
+    to the server (no coordinated omission)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    in_flight: dict = {}  # id -> scheduled send time
+
+    async def receiver() -> None:
+        while True:
+            response = await read_frame(reader)
+            if response is None:
+                return
+            scheduled = in_flight.pop(response.get("id"), None)
+            if scheduled is not None and scheduled >= measure_start:
+                latencies.append(time.perf_counter() - scheduled)
+                stats["answered"] += 1
+
+    receive_task = asyncio.create_task(receiver())
+    interval = 1.0 / rate
+    next_send = start
+    request_id = 0
+    cursor = 0
+    try:
+        while next_send < deadline:
+            now = time.perf_counter()
+            if next_send > now:
+                await asyncio.sleep(next_send - now)
+            source, destination = pairs[cursor % len(pairs)]
+            cursor += 1
+            in_flight[request_id] = next_send
+            writer.write(encode_frame({"id": request_id, "op": "check",
+                                       "u": source, "v": destination}))
+            request_id += 1
+            if next_send >= measure_start:
+                stats["offered"] += 1
+            next_send += interval
+        await writer.drain()
+        # Collect stragglers: under overload the tail keeps arriving
+        # after the last send; give it a bounded settle window.
+        settle = time.perf_counter() + 10.0
+        while in_flight and time.perf_counter() < settle:
+            await asyncio.sleep(0.01)
+    finally:
+        receive_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+def run_open_loop_cell(host: str, port: int, pairs: List[Tuple[str, str]],
+                       *, rate: float, connections: int, warmup: float,
+                       duration: float) -> dict:
+    """Offer ``rate`` check/s across ``connections`` senders; report the
+    rate the server actually achieved and the latency distribution."""
+    latencies: List[float] = []
+    stats = {"offered": 0, "answered": 0}
+
+    async def scenario() -> None:
+        start = time.perf_counter()
+        measure_start = start + warmup
+        deadline = measure_start + duration
+        per_connection = rate / connections
+        await asyncio.gather(*(
+            _open_loop_connection(host, port,
+                                  pairs[offset:] + pairs[:offset],
+                                  per_connection,
+                                  start + offset * (1.0 / rate),
+                                  measure_start, deadline, latencies,
+                                  stats)
+            for offset in range(connections)))
+
+    asyncio.run(scenario())
+    latencies.sort()
+    return {
+        "offered_rate": round(stats["offered"] / duration, 1),
+        "achieved_rate": round(stats["answered"] / duration, 1),
+        "offered": stats["offered"],
+        "answered": stats["answered"],
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def run_open_loop(host: str, port: int, pairs: List[Tuple[str, str]], *,
+                  rates: Tuple[float, ...], connections: int,
+                  warmup: float, duration: float) -> dict:
+    cells = {}
+    for rate in rates:
+        cells[str(int(rate))] = run_open_loop_cell(
+            host, port, pairs, rate=rate, connections=connections,
+            warmup=warmup, duration=duration)
+    return {"connections": connections, "per_rate": cells}
+
+
+# ----------------------------------------------------------------------
+# worker scaling (preforked cluster, 1/2/4/8 read workers)
+# ----------------------------------------------------------------------
+def run_worker_scaling(edges: Path, pairs: List[Tuple[str, str]], *,
+                       levels: Tuple[int, ...], concurrency: int,
+                       warmup: float, duration: float,
+                       repeats: int = 1) -> dict:
+    """Closed-loop single-check throughput at each worker count.
+
+    Every level is a fresh ``repro serve --workers N`` cluster over the
+    same graph; the single-process server runs first as the reference.
+    ``speedup_vs_1`` is relative to the 1-worker cluster (apples to
+    apples: same forwarding and generation machinery, more readers).
+    """
+    cells: dict = {}
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as scratch:
+        variants = [("single_process", 0)] + [
+            (str(level), level) for level in levels]
+        for key, workers in variants:
+            snapshot_dir = Path(scratch) / f"snap-{key}"
+            proc, host, port = start_server(
+                edges, coalesce=True, workers=workers,
+                snapshot_dir=snapshot_dir if workers else None)
+            try:
+                cells[key] = run_cell(host, port, pairs,
+                                      concurrency=concurrency, page=1,
+                                      warmup=warmup, duration=duration,
+                                      repeats=repeats)
+            finally:
+                stop_server(proc)
+    one = cells.get(str(levels[0]), {}).get("req_per_sec") or None
+    for key, cell in cells.items():
+        if key == "single_process":
+            continue
+        cell["speedup_vs_1"] = round(
+            cell["req_per_sec"] / one, 3) if one else None
+    return {"workload": "single_check closed-loop",
+            "concurrency": concurrency, "per_workers": cells}
+
+
+# ----------------------------------------------------------------------
 # the matrix
 # ----------------------------------------------------------------------
 def run_benchmark(*, nodes: int, degree: float, seed: int,
                   concurrency_levels: Tuple[int, ...], warmup: float,
                   duration: float, repeats: int = 1,
-                  pair_pool: int = 4096) -> dict:
+                  pair_pool: int = 4096,
+                  open_loop_rates: Tuple[float, ...] = (500.0, 2000.0),
+                  open_loop_connections: int = 4,
+                  worker_levels: Tuple[int, ...] = (1, 2, 4, 8),
+                  scaling_concurrency: int = 16) -> dict:
     graph = random_dag(nodes, degree, seed)
     with tempfile.TemporaryDirectory(prefix="bench-server-") as scratch:
         edges = Path(scratch) / "graph.edges"
@@ -213,6 +370,13 @@ def run_benchmark(*, nodes: int, degree: float, seed: int,
                                     > cell[mode]["req_per_sec"]):
                                 cell[mode] = rep
                     results[name]["per_concurrency"][str(concurrency)] = cell
+            # Open loop runs against the coalescing server: fixed
+            # arrival rate, latency charged from the scheduled send.
+            _, on_host, on_port = servers["coalesce_on"]
+            open_loop = run_open_loop(
+                on_host, on_port, pairs, rates=open_loop_rates,
+                connections=open_loop_connections, warmup=warmup,
+                duration=duration)
         finally:
             for proc, _, _ in servers.values():
                 stop_server(proc)
@@ -222,6 +386,11 @@ def run_benchmark(*, nodes: int, degree: float, seed: int,
                 on = cell["coalesce_on"]["req_per_sec"]
                 off = cell["coalesce_off"]["req_per_sec"]
                 cell["throughput_ratio"] = round(on / off, 3) if off else None
+
+        worker_scaling = run_worker_scaling(
+            edges, pairs, levels=worker_levels,
+            concurrency=scaling_concurrency, warmup=warmup,
+            duration=duration, repeats=repeats) if worker_levels else None
 
     return {
         "meta": {
@@ -235,9 +404,12 @@ def run_benchmark(*, nodes: int, degree: float, seed: int,
             "repeats_best_of": repeats,
             "pair_pool": pair_pool,
             "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
             "transport": "framed JSON over TCP, closed-loop clients",
         },
         "workloads": results,
+        "open_loop": open_loop,
+        "worker_scaling": worker_scaling,
     }
 
 
@@ -255,6 +427,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="measured seconds per cell")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N reps per cell")
+    parser.add_argument("--open-loop-rates", type=float, nargs="+",
+                        default=[500.0, 2000.0],
+                        help="offered check/s for the open-loop cells")
+    parser.add_argument("--open-loop-connections", type=int, default=4)
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=[1, 2, 4, 8],
+                        help="cluster sizes for the worker-scaling cells")
+    parser.add_argument("--scaling-concurrency", type=int, default=16,
+                        help="closed-loop clients per worker-scaling cell")
     parser.add_argument("--smoke", action="store_true",
                         help="reduced scale for CI (overrides scale flags)")
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
@@ -266,12 +447,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.warmup = min(args.warmup, 0.1)
         args.duration = min(args.duration, 0.4)
         args.repeats = min(args.repeats, 1)
+        args.open_loop_rates = [300.0]
+        args.open_loop_connections = 2
+        args.workers = [1, 2]
+        args.scaling_concurrency = 8
 
     result = run_benchmark(nodes=args.nodes, degree=args.degree,
                            seed=args.seed,
                            concurrency_levels=tuple(args.concurrency),
                            warmup=args.warmup, duration=args.duration,
-                           repeats=args.repeats)
+                           repeats=args.repeats,
+                           open_loop_rates=tuple(args.open_loop_rates),
+                           open_loop_connections=args.open_loop_connections,
+                           worker_levels=tuple(args.workers),
+                           scaling_concurrency=args.scaling_concurrency)
     Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     print(f"\nresults written to {args.output}")
@@ -285,7 +474,9 @@ def test_server_bench_smoke(tmp_path):
     """The harness runs end to end and produces a sane document."""
     result = run_benchmark(nodes=400, degree=1.8, seed=7,
                            concurrency_levels=(1, 4), warmup=0.05,
-                           duration=0.25)
+                           duration=0.25, open_loop_rates=(200.0,),
+                           open_loop_connections=2, worker_levels=(1, 2),
+                           scaling_concurrency=4)
     (tmp_path / "BENCH_server.json").write_text(json.dumps(result))
     for name in ("single_check", "page16_pipeline"):
         for cell in result["workloads"][name]["per_concurrency"].values():
@@ -294,9 +485,19 @@ def test_server_bench_smoke(tmp_path):
             assert cell["coalesce_on"]["round_trip_p50_ms"] <= \
                 cell["coalesce_on"]["round_trip_p99_ms"]
             assert cell["throughput_ratio"] is not None
-    # The on-beats-off acceptance bar is enforced on the committed
-    # full-scale BENCH_server.json, not at smoke scale, where cells are
-    # too short for stable ratios.
+    open_cell = result["open_loop"]["per_rate"]["200"]
+    assert open_cell["answered"] > 0
+    assert open_cell["achieved_rate"] <= open_cell["offered_rate"] * 1.05
+    assert open_cell["latency_p50_ms"] <= open_cell["latency_p99_ms"]
+    scaling = result["worker_scaling"]["per_workers"]
+    assert set(scaling) == {"single_process", "1", "2"}
+    for cell in scaling.values():
+        assert cell["requests"] > 0
+    assert scaling["1"]["speedup_vs_1"] == 1.0
+    # The on-beats-off and worker-speedup acceptance bars are judged on
+    # the committed full-scale BENCH_server.json (with meta.cpu_count in
+    # hand), not at smoke scale, where cells are too short for stable
+    # ratios.
 
 
 if __name__ == "__main__":

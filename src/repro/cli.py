@@ -581,6 +581,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
         )
         host, port = await server.start(args.host, args.port)
+        server.install_signal_handlers()
         mode = "read-only" if server.state.read_only else "read-write"
         coalescing = "off" if args.no_coalesce else "on"
         print(f"serving on {host}:{port} ({mode}, coalescing {coalescing}, "
@@ -589,6 +590,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await server.serve_until_shutdown()
         finally:
             await server.stop()
+        print("shut down cleanly", flush=True)
+
+    def _run_cluster(engine) -> None:
+        from repro.server.cluster import ClusterServer
+        cluster = ClusterServer(
+            engine,
+            workers=args.workers,
+            snapshot_dir=args.snapshot_dir,
+            host=args.host,
+            port=args.port,
+            admin_port=args.metrics_port,
+            coalesce=not args.no_coalesce,
+            window=args.window_us / 1_000_000.0,
+            max_batch=args.max_batch,
+            poll_interval=max(args.poll_ms, 0.1) / 1_000.0,
+            keep_generations=args.keep_generations,
+        )
+        # Fork before any event loop exists in this process.
+        host, port = cluster.start()
+        mode = "read-only" if cluster.state.read_only else "read-write"
+        coalescing = "off" if args.no_coalesce else "on"
+
+        async def _serve() -> None:
+            admin_host, admin_port = await cluster.start_parent()
+            cluster.install_signal_handlers()
+            print(f"serving on {host}:{port} "
+                  f"(cluster of {args.workers} workers, {mode}, "
+                  f"coalescing {coalescing}, epoch {cluster.state.epoch})",
+                  flush=True)
+            print(f"cluster admin on {admin_host}:{admin_port} "
+                  f"(snapshots in {cluster.store.root})", flush=True)
+            await cluster.serve_until_shutdown()
+
+        asyncio.run(_serve())
         print("shut down cleanly", flush=True)
 
     with _engine_for(args) as engine:
@@ -604,7 +639,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"--read-only cannot snapshot a "
                     f"{type(engine).__name__}")
         try:
-            asyncio.run(_run(engine))
+            if args.workers > 0:
+                _run_cluster(engine)
+            else:
+                asyncio.run(_run(engine))
         except KeyboardInterrupt:
             print("interrupted; shut down", flush=True)
     return 0
@@ -880,6 +918,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "'trace' command)")
     serve.add_argument("--trace-last", type=int, default=64,
                        help="trace ring-buffer capacity (default 64)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="preforked read-worker count; 0 (default) "
+                            "serves single-process, N>=1 runs a cluster "
+                            "of N workers sharing the port plus one "
+                            "writer process publishing RTCF snapshot "
+                            "generations")
+    serve.add_argument("--snapshot-dir", default=None,
+                       help="directory for cluster snapshot generations "
+                            "(gen-<epoch>.rtcf + CURRENT); a private "
+                            "tempdir when omitted")
+    serve.add_argument("--metrics-port", type=int, default=0,
+                       help="cluster admin/metrics port (merged "
+                            "Prometheus view + /healthz); 0 picks a "
+                            "free one")
+    serve.add_argument("--poll-ms", type=float, default=20.0,
+                       help="worker CURRENT-pointer poll interval, "
+                            "milliseconds (default 20)")
+    serve.add_argument("--keep-generations", type=int, default=2,
+                       help="snapshot generations retained after "
+                            "garbage collection (default 2)")
     serve.set_defaults(handler=_cmd_serve)
 
     return parser

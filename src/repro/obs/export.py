@@ -16,7 +16,8 @@ from typing import List, Union
 
 from repro.obs.metrics import MetricsRegistry, _label_key, render_name
 
-__all__ = ["render_json", "render_prometheus", "render_table"]
+__all__ = ["render_json", "render_prometheus",
+           "render_prometheus_snapshots", "render_table"]
 
 
 def _finite(value) -> Union[float, int, None]:
@@ -144,4 +145,59 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                      f"{_prom_value(digest['sum'])}")
         lines.append(f"{render_name(name + '_count', label_key)} "
                      f"{digest['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _split_rendered(rendered: str) -> tuple:
+    """``name{k="v"}`` back into ``(name, inner-label-string)``."""
+    base, brace, rest = rendered.partition("{")
+    if not brace:
+        return rendered, ""
+    return base, rest[:-1]  # drop the closing brace
+
+
+def _series(name: str, inner: str, extra: str = "") -> str:
+    labels = ",".join(part for part in (inner, extra) if part)
+    return f"{name}{{{labels}}}" if labels else name
+
+
+def render_prometheus_snapshots(snapshots) -> str:
+    """Prometheus text merged from several ``snapshot()`` dicts.
+
+    The cluster parent cannot hold the workers' live registries — they
+    live in other processes — so it scrapes each worker's JSON snapshot
+    over its admin socket and merges here.  Workers stamp ``worker_id``
+    via registry default labels, which keeps every series distinct; this
+    renderer only has the snapshot dicts, so (unlike
+    :func:`render_prometheus`) it emits ``# TYPE`` but no ``# HELP``.
+    """
+    by_kind: dict = {}  # base name -> (kind, {series -> value-or-digest})
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for kind in ("counters", "gauges", "histograms"):
+            for rendered, value in snapshot.get(kind, {}).items():
+                base, inner = _split_rendered(rendered)
+                entry = by_kind.setdefault(base, (kind[:-1], {}))
+                entry[1][inner] = value
+    lines: List[str] = []
+    for base in sorted(by_kind):
+        kind, series = by_kind[base]
+        lines.append(f"# TYPE {base} {kind}")
+        for inner in sorted(series):
+            value = series[inner]
+            if kind in ("counter", "gauge"):
+                lines.append(f"{_series(base, inner)} {_prom_value(value)}")
+                continue
+            digest = value or {}
+            for bound, cumulative in digest.get("buckets", []):
+                extra = f'le="{_prom_value(float(bound))}"'
+                lines.append(f"{_series(base + '_bucket', inner, extra)} "
+                             f"{cumulative}")
+            count = digest.get("count", 0)
+            inf_series = _series(base + "_bucket", inner, 'le="+Inf"')
+            lines.append(f"{inf_series} {count}")
+            lines.append(f"{_series(base + '_sum', inner)} "
+                         f"{_prom_value(digest.get('sum', 0.0))}")
+            lines.append(f"{_series(base + '_count', inner)} {count}")
     return "\n".join(lines) + ("\n" if lines else "")

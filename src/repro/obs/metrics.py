@@ -329,8 +329,14 @@ class MetricsRegistry:
     read — the truly-zero-overhead default.
     """
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(self, *, enabled: bool = True,
+                 default_labels: Optional[Mapping[str, str]] = None) -> None:
         self.enabled = enabled
+        #: Labels stamped onto every instrument (explicit labels win on
+        #: conflict).  Cluster workers use this to tag ``worker_id`` so
+        #: the parent's merged Prometheus view keeps series distinct.
+        self.default_labels: Dict[str, str] = {
+            str(k): str(v) for k, v in (default_labels or {}).items()}
         self._lock = threading.Lock()
         self._instruments: Dict[Tuple[str, str, Tuple[Tuple[str, str], ...]],
                                 object] = {}
@@ -342,6 +348,10 @@ class MetricsRegistry:
              labels: Optional[Mapping[str, str]], **kwargs):
         if not self.enabled:
             return NULL_INSTRUMENT
+        if self.default_labels:
+            merged = dict(self.default_labels)
+            merged.update(labels or {})
+            labels = merged
         key = (kind, name, _label_key(labels))
         with self._lock:
             instrument = self._instruments.get(key)

@@ -37,10 +37,11 @@ from repro.obs.metrics import MetricsRegistry
 from repro.server import protocol
 from repro.server.coalesce import (DEFAULT_MAX_BATCH, DEFAULT_WINDOW,
                                    BatchCoalescer)
-from repro.server.protocol import (DEFAULT_MAX_FRAME, FrameParser,
-                                   ProtocolError, decode_payload,
-                                   encode_response, error_response,
-                                   looks_like_http, ok_response)
+from repro.server.protocol import (DEFAULT_MAX_FRAME, ERROR_CODES,
+                                   FrameParser, ProtocolError,
+                                   decode_payload, encode_response,
+                                   error_response, looks_like_http,
+                                   ok_response)
 from repro.server.state import ServeState
 
 __all__ = ["ReachabilityServer"]
@@ -153,6 +154,12 @@ def _node_list(request: dict, name: str) -> List[Any]:
 def _error_code(error: Exception) -> str:
     if isinstance(error, ProtocolError):
         return error.code
+    # Forwarded errors (a cluster worker relaying the writer's verdict)
+    # carry their wire code; preserve it so the client sees the same
+    # code it would have seen talking to the writer directly.
+    forwarded = getattr(error, "code", None)
+    if isinstance(forwarded, str) and forwarded in ERROR_CODES:
+        return forwarded
     if isinstance(error, NodeNotFoundError):
         return "not-found"
     if isinstance(error, CycleError):
@@ -170,21 +177,31 @@ class ReachabilityServer:
     writable service or an RTCF/frozen view for a read-only one.
     """
 
-    def __init__(self, engine, *, metrics: Optional[MetricsRegistry] = None,
+    def __init__(self, engine=None, *,
+                 state=None, metrics: Optional[MetricsRegistry] = None,
                  tracer=None, coalesce: bool = True,
                  window: float = DEFAULT_WINDOW,
                  max_batch: int = DEFAULT_MAX_BATCH,
                  max_frame: int = DEFAULT_MAX_FRAME,
-                 allow_shutdown: bool = True) -> None:
+                 allow_shutdown: bool = True,
+                 drain_grace: float = 5.0) -> None:
+        if (engine is None) == (state is None):
+            raise ReproError("pass exactly one of engine= or state=")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
-        self.state = ServeState(engine, metrics=self.metrics, tracer=tracer)
+        # ``state=`` injects any ServeState-shaped object — the cluster's
+        # WorkerState (mmap snapshot + forwarded writes) plugs in here.
+        self.state = state if state is not None else ServeState(
+            engine, metrics=self.metrics, tracer=tracer)
         self.coalescer = BatchCoalescer(
             lambda: self.state.snapshot, window=window, max_batch=max_batch,
             enabled=coalesce, metrics=self.metrics)
         self.max_frame = max_frame
         self.allow_shutdown = allow_shutdown
-        self._server: Optional[asyncio.AbstractServer] = None
+        self.drain_grace = drain_grace
+        self._servers: List[asyncio.AbstractServer] = []
+        #: open connection -> "idle" | "busy" | its _OrderedWriter.
+        self._conns: dict = {}
         # Created in start(): pre-3.10 asyncio.Event binds its loop at
         # construction, and the server may be built before asyncio.run().
         self._shutdown: Optional[asyncio.Event] = None
@@ -200,17 +217,56 @@ class ReachabilityServer:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    async def start(self, host: str = "127.0.0.1",
-                    port: int = 0) -> Tuple[str, int]:
-        """Bind, start serving, and return the bound ``(host, port)``."""
+    def _ensure_started(self) -> None:
         if self._shutdown is None:
             self._shutdown = asyncio.Event()
-        self.state.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, host, port)
-        sockname = self._server.sockets[0].getsockname()
+        if not self._servers:
+            self.state.start()
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0, *,
+                    sock=None) -> Tuple[str, int]:
+        """Bind (or adopt ``sock``), serve, return ``(host, port)``.
+
+        ``sock=`` takes a pre-bound, listening socket — the cluster's
+        reuseport shards and the inherited-fd fallback both enter here.
+        May be called more than once; every listener serves the same
+        state.
+        """
+        self._ensure_started()
+        if sock is not None:
+            server = await asyncio.start_server(
+                self._handle_connection, sock=sock)
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection, host, port)
+        self._servers.append(server)
+        sockname = server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         return self.host, self.port
+
+    async def start_unix(self, path: str) -> str:
+        """Serve the same state on a unix domain socket as well."""
+        self._ensure_started()
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path)
+        self._servers.append(server)
+        return path
+
+    def install_signal_handlers(self, loop=None) -> bool:
+        """SIGTERM/SIGINT -> graceful shutdown.  True when installed.
+
+        Fails soft (returns False) off the main thread or on loops
+        without signal support — in-process test harnesses run servers
+        on daemon threads where signal handlers are impossible.
+        """
+        import signal as _signal
+        loop = loop if loop is not None else asyncio.get_running_loop()
+        try:
+            for signum in (_signal.SIGTERM, _signal.SIGINT):
+                loop.add_signal_handler(signum, self.request_shutdown)
+        except (NotImplementedError, RuntimeError, ValueError, OSError):
+            return False
+        return True
 
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` op (or :meth:`request_shutdown`)."""
@@ -221,18 +277,49 @@ class ReachabilityServer:
         if self._shutdown is not None:
             self._shutdown.set()
 
+    @staticmethod
+    def _conn_idle(entry) -> bool:
+        if entry == "idle":
+            return True
+        if isinstance(entry, _OrderedWriter):
+            return entry.emit_seq == entry.next_seq
+        return False  # "busy": an HTTP exchange mid-flight
+
     async def stop(self) -> None:
-        """Stop accepting, drain the writer, close the listener."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        """Stop accepting, drain in-flight requests, then the writer.
+
+        Idle connections are closed immediately; connections with
+        responses still owed get up to ``drain_grace`` seconds to go
+        idle before being force-closed.  Only after every connection is
+        gone does the write queue drain and the state shut down.
+        """
+        servers, self._servers = self._servers, []
+        for server in servers:
+            server.close()
+        for server in servers:
+            await server.wait_closed()
+        if self._conns:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.drain_grace
+            while self._conns:
+                for writer, entry in list(self._conns.items()):
+                    if self._conn_idle(entry) and not writer.is_closing():
+                        writer.close()
+                if loop.time() >= deadline:
+                    for writer in list(self._conns):
+                        if not writer.is_closing():
+                            writer.close()
+                    break
+                await asyncio.sleep(0.005)
         await self.state.stop()
 
     async def run(self, host: str = "127.0.0.1", port: int = 0,
-                  ready=None) -> Tuple[str, int]:
+                  ready=None, *, install_signals: bool = False
+                  ) -> Tuple[str, int]:
         """start + serve_until_shutdown, reporting the bound address."""
         bound = await self.start(host, port)
+        if install_signals:
+            self.install_signal_handlers()
         if ready is not None:
             ready(bound)
         await self.serve_until_shutdown()
@@ -282,17 +369,20 @@ class ReachabilityServer:
                                  writer: asyncio.StreamWriter) -> None:
         self._connections_total.inc()
         self._connections_open.inc()
+        self._conns[writer] = "idle"
         try:
             first = await reader.read(_READ_CHUNK)
             if not first:
                 return
             if looks_like_http(first[:4]):
+                self._conns[writer] = "busy"
                 await self._handle_http(first, reader, writer)
                 return
             await self._framed_loop(first, reader, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._conns.pop(writer, None)
             self._connections_open.inc(-1)
             try:
                 writer.close()
@@ -304,6 +394,9 @@ class ReachabilityServer:
                            writer: asyncio.StreamWriter) -> None:
         parser = FrameParser(self.max_frame)
         ordered = _OrderedWriter(writer)
+        # Drain bookkeeping: idle means every allocated response has
+        # been emitted, so shutdown may close this connection at once.
+        self._conns[writer] = ordered
         chunk = first
         while chunk:
             try:
@@ -661,9 +754,16 @@ class ReachabilityServer:
                 render_prometheus(self.metrics).encode("utf-8")
         if path == "/healthz":
             self._observe("http.healthz", started)
-            return as_json({"ok": True, "epoch": self.state.epoch,
-                            "nodes": len(self.state.snapshot.engine),
-                            "read_only": self.state.read_only})
+            health = {"ok": True, "epoch": self.state.epoch,
+                      "nodes": len(self.state.snapshot.engine),
+                      "read_only": self.state.read_only}
+            generation = getattr(self.state, "generation", None)
+            if generation is not None:
+                health["generation"] = generation
+            worker_id = getattr(self.state, "worker_id", None)
+            if worker_id is not None:
+                health["worker_id"] = worker_id
+            return as_json(health)
         if path == "/query" and method == "POST":
             try:
                 request = decode_payload(body)

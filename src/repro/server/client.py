@@ -76,6 +76,18 @@ class ReachabilityClient:
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer, max_frame=max_frame)
 
+    @classmethod
+    async def connect_unix(cls, path: str, *,
+                           max_frame: int = DEFAULT_MAX_FRAME
+                           ) -> "ReachabilityClient":
+        """Connect over a unix domain socket (cluster control plane)."""
+        reader, writer = await asyncio.open_unix_connection(path)
+        return cls(reader, writer, max_frame=max_frame)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ from repro.errors import ReproError
 from repro.server.app import ReachabilityServer
 from repro.server.client import ReachabilityClient
 
-__all__ = ["ServerBackedEngine", "ServerThread"]
+__all__ = ["ClusterThread", "ServerBackedEngine", "ServerThread"]
 
 _CALL_TIMEOUT = 30.0
 
@@ -123,6 +123,119 @@ class ServerThread:
             self._thread.join(_CALL_TIMEOUT)
 
     def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ClusterThread:
+    """A live preforked cluster plus one client, for synchronous code.
+
+    Same ``call``/``connect``/``run_coro``/``close`` surface as
+    :class:`ServerThread`, so :class:`ServerBackedEngine` adapts a whole
+    multi-process cluster into the engine interface — every comparison
+    answer round-trips through a real socket into a forked worker
+    reading an mmap'd generation file.
+
+    The fork happens *in the constructor's thread* (before the private
+    loop thread starts), because forking a process with a live event
+    loop duplicates the loop's internals into the child.
+    """
+
+    def __init__(self, engine_factory, *, workers: int = 2,
+                 coalesce: bool = True, window: Optional[float] = None,
+                 poll_interval: float = 0.01) -> None:
+        from repro.server.cluster import ClusterServer
+        kwargs = {"workers": workers, "coalesce": coalesce,
+                  "poll_interval": poll_interval}
+        if window is not None:
+            kwargs["window"] = window
+        self._cluster = ClusterServer(engine_factory(), port=0, **kwargs)
+        self.host, self.port = self._cluster.start()
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._client: Optional[ReachabilityClient] = None
+        self._closed = False
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="reachability-cluster")
+        self._thread.start()
+        self._ready.wait(_CALL_TIMEOUT)
+        if self._startup_error is not None:
+            self.close()
+            raise self._startup_error
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._startup())
+        except BaseException as error:  # surface to the constructor
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+            self._loop.close()
+
+    async def _startup(self) -> None:
+        await self._cluster.start_parent()
+        self._client = await ReachabilityClient.connect(self.host,
+                                                        self.port)
+
+    # -- sync bridge (same surface as ServerThread) --------------------
+    def call(self, op: str, **fields: Any) -> Any:
+        client = self._client
+        if client is None:
+            raise ReproError("cluster thread is closed")
+        future = asyncio.run_coroutine_threadsafe(
+            client.call(op, **fields), self._loop)
+        return future.result(_CALL_TIMEOUT)
+
+    def connect(self) -> ReachabilityClient:
+        """A fresh data-plane client (lands on a kernel-chosen worker)."""
+        return asyncio.run_coroutine_threadsafe(
+            ReachabilityClient.connect(self.host, self.port),
+            self._loop).result(_CALL_TIMEOUT)
+
+    def connect_worker(self, worker_id: int) -> ReachabilityClient:
+        """A client pinned to one specific worker's admin socket."""
+        return asyncio.run_coroutine_threadsafe(
+            ReachabilityClient.connect_unix(
+                self._cluster.worker_admin_path(worker_id)),
+            self._loop).result(_CALL_TIMEOUT)
+
+    def run_coro(self, coro) -> Any:
+        return asyncio.run_coroutine_threadsafe(
+            coro, self._loop).result(_CALL_TIMEOUT)
+
+    @property
+    def cluster(self):
+        return self._cluster
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        client, self._client = self._client, None
+
+        async def teardown() -> None:
+            if client is not None:
+                await client.close()
+            await self._cluster.stop_parent()
+
+        try:
+            if self._thread.is_alive():
+                asyncio.run_coroutine_threadsafe(
+                    teardown(), self._loop).result(_CALL_TIMEOUT)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(_CALL_TIMEOUT)
+
+    def __enter__(self) -> "ClusterThread":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -292,7 +292,26 @@ class ServeState:
             self._writes.inc(len(applied))
             self._write_batch.observe(len(applied))
             self._set_epoch_gauge()
+            try:
+                self._on_publish()
+            except Exception as error:
+                # The snapshot swapped but the post-publish step (e.g. a
+                # cluster generation write) failed: acking now would
+                # promise other processes a generation they cannot see.
+                # Fail the batch and let the error propagate — a writer
+                # that cannot publish must not pretend it can.
+                for write in applied:
+                    if not write.future.cancelled():
+                        write.future.set_exception(error)
+                raise
         epoch = self.snapshot.epoch
         for write in applied:
             if not write.future.cancelled():
                 write.future.set_result(epoch)
+
+    def _on_publish(self) -> None:
+        """Hook: runs after each snapshot swap, *before* acks.
+
+        The cluster's :class:`~repro.server.cluster.PublishingState`
+        overrides this to write the new generation file and move the
+        ``CURRENT`` pointer — publish-before-ack across processes."""

@@ -277,6 +277,26 @@ def _build_server(graph: DiGraph):
     return engine
 
 
+def _build_cluster(graph: DiGraph):
+    """A hybrid engine compared *through a preforked worker cluster*.
+
+    The heavyweight sibling of ``server``: every answer round-trips a
+    real socket into one of two forked worker processes serving an
+    mmap'd RTCF generation, with writes forwarded to the writer process
+    and acked only once the covering generation is visible.  Forks per
+    checkpoint, so keep it out of the default matrix; opt in with
+    ``--engines cluster``.
+    """
+    import weakref
+    from repro.core.hybrid import HybridTCIndex
+    from repro.server.inprocess import ClusterThread, ServerBackedEngine
+    thread = ClusterThread(lambda: HybridTCIndex.build(graph), workers=2,
+                           poll_interval=0.01)
+    engine = ServerBackedEngine(thread)
+    weakref.finalize(engine, thread.close)
+    return engine
+
+
 #: From-scratch engine builders, keyed by the names the CLI accepts.
 ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "rebuild": _build_interval,
@@ -293,6 +313,7 @@ ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "hybrid-delta": _build_hybrid_delta,
     "durable": _build_durable,
     "server": _build_server,
+    "cluster": _build_cluster,
 }
 
 #: Shorthand accepted by ``--engines``: expands to every baseline engine.
