@@ -57,11 +57,14 @@ _ADDRESS = re.compile(r"serving on ([0-9.]+):(\d+)")
 # ----------------------------------------------------------------------
 def start_server(edges: Path, *, coalesce: bool, max_batch: int = 512,
                  workers: int = 0, snapshot_dir: Optional[Path] = None,
+                 max_inflight: int = 0,
                  ) -> Tuple[subprocess.Popen, str, int]:
     """Launch ``repro serve`` on a free port; return (proc, host, port).
 
     With ``workers`` > 0 this is a preforked cluster (the banner prints
-    only after every worker is attached and accepting).
+    only after every worker is attached and accepting).  With
+    ``max_inflight`` > 0 the server sheds excess load with
+    ``overloaded`` responses instead of queueing without bound.
     """
     command = [sys.executable, "-m", "repro.cli", "serve", str(edges),
                "--engine", "hybrid", "--port", "0",
@@ -70,6 +73,8 @@ def start_server(edges: Path, *, coalesce: bool, max_batch: int = 512,
         command += ["--workers", str(workers)]
         if snapshot_dir is not None:
             command += ["--snapshot-dir", str(snapshot_dir)]
+    if max_inflight:
+        command += ["--max-inflight", str(max_inflight)]
     if not coalesce:
         command.append("--no-coalesce")
     env = dict(os.environ)
@@ -186,13 +191,18 @@ async def _open_loop_connection(host: str, port: int,
                                 pairs: List[Tuple[str, str]], rate: float,
                                 start: float, measure_start: float,
                                 deadline: float, latencies: List[float],
+                                late_latencies: List[float],
                                 stats: dict) -> None:
     """One open-loop sender: frames go out on a fixed schedule whether
     or not earlier answers have arrived.  Latency is measured from the
     *scheduled* send time, so queueing delay under overload is charged
-    to the server (no coordinated omission)."""
+    to the server (no coordinated omission).  Requests scheduled in the
+    second half of the window also land in ``late_latencies``: a queue
+    that grows without bound shows up as a second half far slower than
+    the first."""
     reader, writer = await asyncio.open_connection(host, port)
     in_flight: dict = {}  # id -> scheduled send time
+    midpoint = (measure_start + deadline) / 2.0
 
     async def receiver() -> None:
         while True:
@@ -200,9 +210,22 @@ async def _open_loop_connection(host: str, port: int,
             if response is None:
                 return
             scheduled = in_flight.pop(response.get("id"), None)
-            if scheduled is not None and scheduled >= measure_start:
-                latencies.append(time.perf_counter() - scheduled)
+            if scheduled is None or scheduled < measure_start:
+                continue
+            error = response.get("error")
+            if error is None:
+                elapsed = time.perf_counter() - scheduled
+                latencies.append(elapsed)
+                if scheduled >= midpoint:
+                    late_latencies.append(elapsed)
                 stats["answered"] += 1
+            elif error.get("code") == "overloaded":
+                stats["overloaded"] += 1
+                hint = error.get("retry_after_ms")
+                if hint is not None:
+                    stats["retry_after_ms"] = hint
+            else:
+                stats["errors"] += 1
 
     receive_task = asyncio.create_task(receiver())
     interval = 1.0 / rate
@@ -244,7 +267,9 @@ def run_open_loop_cell(host: str, port: int, pairs: List[Tuple[str, str]],
     """Offer ``rate`` check/s across ``connections`` senders; report the
     rate the server actually achieved and the latency distribution."""
     latencies: List[float] = []
-    stats = {"offered": 0, "answered": 0}
+    late_latencies: List[float] = []
+    stats = {"offered": 0, "answered": 0, "overloaded": 0, "errors": 0,
+             "retry_after_ms": None}
 
     async def scenario() -> None:
         start = time.perf_counter()
@@ -257,18 +282,24 @@ def run_open_loop_cell(host: str, port: int, pairs: List[Tuple[str, str]],
                                   per_connection,
                                   start + offset * (1.0 / rate),
                                   measure_start, deadline, latencies,
-                                  stats)
+                                  late_latencies, stats)
             for offset in range(connections)))
 
     asyncio.run(scenario())
     latencies.sort()
+    late_latencies.sort()
     return {
         "offered_rate": round(stats["offered"] / duration, 1),
         "achieved_rate": round(stats["answered"] / duration, 1),
         "offered": stats["offered"],
         "answered": stats["answered"],
+        "overloaded": stats["overloaded"],
+        "errors": stats["errors"],
+        "retry_after_ms": stats["retry_after_ms"],
         "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
         "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "second_half_p99_ms": round(
+            _percentile(late_latencies, 0.99) * 1e3, 3),
     }
 
 
@@ -281,6 +312,55 @@ def run_open_loop(host: str, port: int, pairs: List[Tuple[str, str]], *,
             host, port, pairs, rate=rate, connections=connections,
             warmup=warmup, duration=duration)
     return {"connections": connections, "per_rate": cells}
+
+
+# ----------------------------------------------------------------------
+# overload: offered rate >> capacity, load shedding on vs off
+# ----------------------------------------------------------------------
+def run_overload(edges: Path, pairs: List[Tuple[str, str]], *,
+                 probe_concurrency: int, connections: int, factor: float,
+                 max_inflight: int, warmup: float, duration: float) -> dict:
+    """Drive the server far past capacity with and without shedding.
+
+    A closed-loop probe measures sustainable throughput first; the
+    open-loop phase then *offers* ``factor`` times that rate.  The
+    closed-loop probe is round-trip-bound and so understates what the
+    coalesced open-loop path absorbs (roughly 3x on the reference box);
+    ``factor`` must clear that gap before the cell shows overload at
+    all — hence the default of 6.  With ``--max-inflight`` set, the
+    excess comes back immediately as ``overloaded`` + ``retry_after_ms``
+    and the admitted tail stays bounded (second-half p99 tracks the
+    first half); without it, every request queues, and the latency of
+    the second half of the window pulls away from the first — the queue
+    is growing without bound."""
+    proc, host, port = start_server(edges, coalesce=True)
+    try:
+        probe = run_cell(host, port, pairs, concurrency=probe_concurrency,
+                         page=1, warmup=warmup, duration=duration)
+        offered = max(200.0, probe["req_per_sec"] * factor)
+        shed_off = run_open_loop_cell(host, port, pairs, rate=offered,
+                                      connections=connections,
+                                      warmup=warmup, duration=duration)
+    finally:
+        stop_server(proc)
+    proc, host, port = start_server(edges, coalesce=True,
+                                    max_inflight=max_inflight)
+    try:
+        shed_on = run_open_loop_cell(host, port, pairs, rate=offered,
+                                     connections=connections,
+                                     warmup=warmup, duration=duration)
+    finally:
+        stop_server(proc)
+    return {
+        "workload": "single_check open-loop at %gx capacity" % factor,
+        "overload_factor": factor,
+        "max_inflight": max_inflight,
+        "connections": connections,
+        "capacity_probe": probe,
+        "offered_rate_target": round(offered, 1),
+        "shed_off": shed_off,
+        "shed_on": shed_on,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -333,7 +413,11 @@ def run_benchmark(*, nodes: int, degree: float, seed: int,
                   open_loop_rates: Tuple[float, ...] = (500.0, 2000.0),
                   open_loop_connections: int = 4,
                   worker_levels: Tuple[int, ...] = (1, 2, 4, 8),
-                  scaling_concurrency: int = 16) -> dict:
+                  scaling_concurrency: int = 16,
+                  overload_factor: float = 6.0,
+                  overload_connections: int = 8,
+                  overload_max_inflight: int = 256,
+                  overload_probe_concurrency: int = 16) -> dict:
     graph = random_dag(nodes, degree, seed)
     with tempfile.TemporaryDirectory(prefix="bench-server-") as scratch:
         edges = Path(scratch) / "graph.edges"
@@ -392,6 +476,12 @@ def run_benchmark(*, nodes: int, degree: float, seed: int,
             concurrency=scaling_concurrency, warmup=warmup,
             duration=duration, repeats=repeats) if worker_levels else None
 
+        overload = run_overload(
+            edges, pairs, probe_concurrency=overload_probe_concurrency,
+            connections=overload_connections, factor=overload_factor,
+            max_inflight=overload_max_inflight, warmup=warmup,
+            duration=duration)
+
     return {
         "meta": {
             "nodes": nodes,
@@ -410,6 +500,7 @@ def run_benchmark(*, nodes: int, degree: float, seed: int,
         "workloads": results,
         "open_loop": open_loop,
         "worker_scaling": worker_scaling,
+        "overload": overload,
     }
 
 
@@ -436,6 +527,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="cluster sizes for the worker-scaling cells")
     parser.add_argument("--scaling-concurrency", type=int, default=16,
                         help="closed-loop clients per worker-scaling cell")
+    parser.add_argument("--overload-factor", type=float, default=6.0,
+                        help="offered rate as a multiple of probed capacity")
+    parser.add_argument("--overload-connections", type=int, default=8)
+    parser.add_argument("--overload-max-inflight", type=int, default=256,
+                        help="admission cap for the shed-on overload run")
+    parser.add_argument("--overload-probe-concurrency", type=int,
+                        default=16)
     parser.add_argument("--smoke", action="store_true",
                         help="reduced scale for CI (overrides scale flags)")
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
@@ -451,6 +549,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.open_loop_connections = 2
         args.workers = [1, 2]
         args.scaling_concurrency = 8
+        args.overload_connections = 4
+        args.overload_max_inflight = 8
+        args.overload_probe_concurrency = 8
 
     result = run_benchmark(nodes=args.nodes, degree=args.degree,
                            seed=args.seed,
@@ -460,7 +561,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                            open_loop_rates=tuple(args.open_loop_rates),
                            open_loop_connections=args.open_loop_connections,
                            worker_levels=tuple(args.workers),
-                           scaling_concurrency=args.scaling_concurrency)
+                           scaling_concurrency=args.scaling_concurrency,
+                           overload_factor=args.overload_factor,
+                           overload_connections=args.overload_connections,
+                           overload_max_inflight=args.overload_max_inflight,
+                           overload_probe_concurrency=(
+                               args.overload_probe_concurrency))
     Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     print(f"\nresults written to {args.output}")
@@ -476,7 +582,10 @@ def test_server_bench_smoke(tmp_path):
                            concurrency_levels=(1, 4), warmup=0.05,
                            duration=0.25, open_loop_rates=(200.0,),
                            open_loop_connections=2, worker_levels=(1, 2),
-                           scaling_concurrency=4)
+                           scaling_concurrency=4,
+                           overload_connections=2,
+                           overload_max_inflight=4,
+                           overload_probe_concurrency=4)
     (tmp_path / "BENCH_server.json").write_text(json.dumps(result))
     for name in ("single_check", "page16_pipeline"):
         for cell in result["workloads"][name]["per_concurrency"].values():
@@ -494,6 +603,16 @@ def test_server_bench_smoke(tmp_path):
     for cell in scaling.values():
         assert cell["requests"] > 0
     assert scaling["1"]["speedup_vs_1"] == 1.0
+    overload = result["overload"]
+    assert overload["capacity_probe"]["requests"] > 0
+    for key in ("shed_off", "shed_on"):
+        assert overload[key]["offered"] > 0
+        assert overload[key]["answered"] > 0
+    # At 4x capacity behind a tiny admission cap, shedding must fire,
+    # and every shed carries the retry hint.
+    assert overload["shed_on"]["overloaded"] > 0
+    assert overload["shed_on"]["retry_after_ms"] is not None
+    assert overload["shed_off"]["overloaded"] == 0
     # The on-beats-off and worker-speedup acceptance bars are judged on
     # the committed full-scale BENCH_server.json (with meta.cpu_count in
     # hand), not at smoke scale, where cells are too short for stable

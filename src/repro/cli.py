@@ -579,6 +579,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
             window=args.window_us / 1_000_000.0,
             max_batch=args.max_batch,
+            max_inflight=args.max_inflight,
+            max_pending_writes=args.max_pending_writes,
+            shed_retry_after_ms=args.shed_retry_ms,
+            write_high_water=args.write_high_water,
+            write_grace=args.write_grace,
         )
         host, port = await server.start(args.host, args.port)
         server.install_signal_handlers()
@@ -606,6 +611,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             poll_interval=max(args.poll_ms, 0.1) / 1_000.0,
             keep_generations=args.keep_generations,
+            max_inflight=args.max_inflight,
+            max_pending_writes=args.max_pending_writes,
+            shed_retry_after_ms=args.shed_retry_ms,
+            write_high_water=args.write_high_water,
+            write_grace=args.write_grace,
+            ack_timeout=args.ack_timeout,
+            ready_timeout=args.ready_timeout,
+            join_timeout=args.join_timeout,
         )
         # Fork before any event loop exists in this process.
         host, port = cluster.start()
@@ -938,6 +951,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--keep-generations", type=int, default=2,
                        help="snapshot generations retained after "
                             "garbage collection (default 2)")
+    serve.add_argument("--max-inflight", type=int, default=0,
+                       help="admission cap on concurrently admitted "
+                            "requests; excess is shed with an "
+                            "'overloaded' error carrying retry_after_ms "
+                            "(0 = unlimited, the default)")
+    serve.add_argument("--max-pending-writes", type=int, default=0,
+                       help="cap on queued-but-unapplied writes; a full "
+                            "queue sheds new writes with 'overloaded' "
+                            "(0 = unlimited, the default)")
+    serve.add_argument("--shed-retry-ms", type=int, default=50,
+                       help="retry_after_ms hint carried by shed "
+                            "responses (default 50)")
+    serve.add_argument("--write-high-water", type=int, default=0,
+                       help="per-connection send-buffer high-water "
+                            "mark, bytes; connections whose buffer "
+                            "will not drain within --write-grace are "
+                            "aborted (0 = disabled, the default)")
+    serve.add_argument("--write-grace", type=float, default=10.0,
+                       help="seconds a full send buffer may take to "
+                            "drain before the connection is aborted "
+                            "(default 10)")
+    serve.add_argument("--ack-timeout", type=float, default=30.0,
+                       help="cluster: seconds a worker waits for an "
+                            "acked generation to become visible in its "
+                            "mmap (default 30)")
+    serve.add_argument("--ready-timeout", type=float, default=30.0,
+                       help="cluster: seconds to wait for a forked "
+                            "worker to start accepting (default 30)")
+    serve.add_argument("--join-timeout", type=float, default=10.0,
+                       help="cluster: seconds to wait for terminated "
+                            "workers to exit before SIGKILL "
+                            "(default 10)")
     serve.set_defaults(handler=_cmd_serve)
 
     return parser

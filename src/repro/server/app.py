@@ -36,9 +36,10 @@ from repro.obs.export import render_json, render_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.server import protocol
 from repro.server.coalesce import (DEFAULT_MAX_BATCH, DEFAULT_WINDOW,
-                                   BatchCoalescer)
+                                   EXPIRED, BatchCoalescer)
 from repro.server.protocol import (DEFAULT_MAX_FRAME, ERROR_CODES,
-                                   FrameParser, ProtocolError,
+                                   CannedError, FrameParser,
+                                   OverloadedError, ProtocolError,
                                    decode_payload, encode_response,
                                    error_response, looks_like_http,
                                    ok_response)
@@ -184,7 +185,12 @@ class ReachabilityServer:
                  max_batch: int = DEFAULT_MAX_BATCH,
                  max_frame: int = DEFAULT_MAX_FRAME,
                  allow_shutdown: bool = True,
-                 drain_grace: float = 5.0) -> None:
+                 drain_grace: float = 5.0,
+                 max_inflight: int = 0,
+                 max_pending_writes: int = 0,
+                 shed_retry_after_ms: int = 50,
+                 write_high_water: int = 0,
+                 write_grace: float = 10.0) -> None:
         if (engine is None) == (state is None):
             raise ReproError("pass exactly one of engine= or state=")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -192,13 +198,28 @@ class ReachabilityServer:
         # ``state=`` injects any ServeState-shaped object — the cluster's
         # WorkerState (mmap snapshot + forwarded writes) plugs in here.
         self.state = state if state is not None else ServeState(
-            engine, metrics=self.metrics, tracer=tracer)
+            engine, metrics=self.metrics, tracer=tracer,
+            max_pending_writes=max_pending_writes)
         self.coalescer = BatchCoalescer(
             lambda: self.state.snapshot, window=window, max_batch=max_batch,
             enabled=coalesce, metrics=self.metrics)
         self.max_frame = max_frame
         self.allow_shutdown = allow_shutdown
         self.drain_grace = drain_grace
+        #: Admission cap on concurrently admitted requests; 0 disables.
+        #: Requests beyond the budget are shed with ``overloaded`` before
+        #: any engine work — the queue never grows without bound, so
+        #: admitted requests keep a bounded latency under overload.
+        self.max_inflight = int(max_inflight)
+        #: Backoff hint carried by ``overloaded`` errors.
+        self.shed_retry_after_ms = int(shed_retry_after_ms)
+        #: Per-connection send-buffer high-water mark, bytes; 0 disables.
+        #: Above it, writes to that connection must drain within
+        #: ``write_grace`` seconds or the connection is aborted — one
+        #: slow reader must not pin server memory or stall the loop.
+        self.write_high_water = int(write_high_water)
+        self.write_grace = float(write_grace)
+        self._inflight = 0
         self._servers: List[asyncio.AbstractServer] = []
         #: open connection -> "idle" | "busy" | its _OrderedWriter.
         self._conns: dict = {}
@@ -209,6 +230,21 @@ class ReachabilityServer:
             "tc_server_connections_open", help="currently open connections")
         self._connections_total = self.metrics.counter(
             "tc_server_connections_total", help="accepted connections")
+        self._inflight_gauge = self.metrics.gauge(
+            "tc_server_inflight_requests",
+            help="admitted requests not yet answered")
+        self._shed = self.metrics.counter(
+            "tc_server_overload_shed_total",
+            help="requests shed at admission (in-flight budget exhausted)")
+        self._shed_canned = CannedError(
+            "overloaded",
+            f"in-flight budget exhausted (cap {self.max_inflight}); "
+            "request not applied - retry after the hint",
+            retry_after_ms=self.shed_retry_after_ms)
+        self._slow_aborts = self.metrics.counter(
+            "tc_server_slow_client_aborts_total",
+            help="connections aborted because their send buffer would "
+                 "not drain within the write grace period")
         self._requests = {}
         self._errors = {}
         self._latency = {}
@@ -360,7 +396,65 @@ class ReachabilityServer:
     def _respond_error(self, request_id: Any, error: Exception) -> dict:
         code = _error_code(error)
         self._count_error(code)
-        return error_response(request_id, code, str(error))
+        retry_after = getattr(error, "retry_after_ms", None)
+        return error_response(request_id, code, str(error),
+                              retry_after_ms=retry_after)
+
+    # ------------------------------------------------------------------
+    # deadlines and admission
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_deadline(request: dict) -> Optional[float]:
+        """``deadline_ms`` (a relative budget from server receipt) to an
+        absolute ``time.monotonic()`` instant, or ``None`` when absent.
+
+        Relative on the wire so no client/server clock agreement is
+        needed; the budget starts counting when the server parses the
+        request, which is the earliest instant it could act on it.
+        """
+        raw = request.get("deadline_ms")
+        if raw is None:
+            return None
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)) \
+                or raw <= 0:
+            raise ProtocolError(
+                "bad-request",
+                "'deadline_ms' must be a positive number of milliseconds")
+        return time.monotonic() + raw / 1000.0
+
+    def _admit(self) -> None:
+        """Take one slot of the in-flight budget or shed the request."""
+        if 0 < self.max_inflight <= self._inflight:
+            self._shed.inc()
+            raise OverloadedError(
+                f"in-flight budget exhausted ({self._inflight} admitted, "
+                f"cap {self.max_inflight}); retry after the hint",
+                retry_after_ms=self.shed_retry_after_ms)
+        self._inflight += 1
+        self._inflight_gauge.set(self._inflight)
+
+    def _release(self, count: int = 1) -> None:
+        self._inflight -= count
+        self._inflight_gauge.set(self._inflight)
+
+    async def _guarded_drain(self, writer: asyncio.StreamWriter) -> bool:
+        """Drain ``writer``; abort connections that will not.
+
+        Returns False when the connection was aborted.  Only engages a
+        timeout when a high-water mark is configured — otherwise this is
+        the plain backpressure drain."""
+        if self.write_high_water <= 0:
+            await writer.drain()
+            return True
+        try:
+            await asyncio.wait_for(writer.drain(), self.write_grace)
+        except asyncio.TimeoutError:
+            self._slow_aborts.inc()
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # framed connections
@@ -397,6 +491,12 @@ class ReachabilityServer:
         # Drain bookkeeping: idle means every allocated response has
         # been emitted, so shutdown may close this connection at once.
         self._conns[writer] = ordered
+        if self.write_high_water > 0 and writer.transport is not None:
+            # Lower the transport's pause threshold so a reader that
+            # stops consuming trips ``drain()`` (and the grace timer)
+            # after kilobytes, not the default 64 KiB per direction.
+            writer.transport.set_write_buffer_limits(
+                high=self.write_high_water)
         chunk = first
         while chunk:
             try:
@@ -407,13 +507,14 @@ class ReachabilityServer:
                 ordered.complete(ordered.allocate(), encode_response(
                     error_response(None, error.code, str(error))))
                 await ordered.wait_flushed()
-                await writer.drain()
+                await self._guarded_drain(writer)
                 return
             if bodies:
                 await self._serve_bodies(bodies, ordered)
                 # Backpressure only: check responses are written by the
                 # coalescer drain, possibly after this point.
-                await writer.drain()
+                if not await self._guarded_drain(writer):
+                    return
             if self._shutdown.is_set():
                 await ordered.wait_flushed()
                 return
@@ -430,8 +531,19 @@ class ReachabilityServer:
         whose responses the drain writes through ``ordered``; other ops
         are dispatched inline and sequenced the same way.
         """
-        checks: List[Tuple[Any, Tuple[Any, Any], int]] = []
+        checks: List[Tuple[Any, Tuple[Any, Any], int,
+                           Optional[float]]] = []
+        shed: List[bytes] = []
         coalescer = self.coalescer
+
+        def flush_sheds() -> None:
+            # Consecutive shed responses share one sequence slot and one
+            # write: under sustained overload most of a chunk is shed,
+            # and per-response writes would make refusing the work as
+            # expensive as doing it.
+            if shed:
+                ordered.complete(ordered.allocate(), b"".join(shed))
+                shed.clear()
 
         def flush_checks() -> None:
             if not checks:
@@ -439,7 +551,15 @@ class ReachabilityServer:
             run = checks[:]
             checks.clear()
             seq = ordered.allocate()
-            pairs = [pair for _, pair, _ in run]
+            pairs = [pair for _, pair, _, _ in run]
+            # A group may only be skipped wholesale when *every* check
+            # in it is expired, so its drop-dead instant is the latest
+            # member deadline — and no skip at all if any member has no
+            # deadline.  Per-request expiry is re-checked at encode.
+            deadlines = [item[3] for item in run]
+            group_deadline = (max(deadlines)
+                              if all(d is not None for d in deadlines)
+                              else None)
             if not coalescer.enabled:
                 answers, snapshot = coalescer.answer_now(pairs)
                 self._complete_check_run(ordered, seq, run, answers,
@@ -450,38 +570,65 @@ class ReachabilityServer:
                 self._complete_check_run(ordered, seq, run, answers,
                                          snapshot)
 
-            coalescer.submit_group(pairs, deliver)
+            coalescer.submit_group(pairs, deliver,
+                                   deadline=group_deadline)
 
         for body in bodies:
             request_id = None
+            admitted = False
             try:
                 request = decode_payload(body)
                 request_id = request.get("id")
                 op = request.get("op")
+                if 0 < self.max_inflight <= self._inflight:
+                    # Over budget: refuse before validating anything
+                    # further.  No exception, no per-request dict or
+                    # ``json.dumps`` — the canned frame keeps the shed
+                    # path far cheaper than the serve path, which is
+                    # what makes shedding protective rather than just
+                    # a slower way to answer.
+                    self._shed.inc()
+                    self._count_error("overloaded")
+                    flush_checks()
+                    shed.append(self._shed_canned.frame(request_id))
+                    continue
+                deadline = self._parse_deadline(request)
+                self._admit()
+                admitted = True
                 if op == "check":
                     pair = (_node_field(request, "u"),
                             _node_field(request, "v"))
+                    flush_sheds()
                     checks.append((request_id, pair,
-                                   time.perf_counter_ns()))
+                                   time.perf_counter_ns(), deadline))
                     continue
             except Exception as error:  # noqa: BLE001 - structured reply
+                if admitted:
+                    self._release()
                 flush_checks()
+                flush_sheds()
                 ordered.complete(ordered.allocate(), encode_response(
                     self._respond_error(request_id, error)))
                 continue
             flush_checks()
+            flush_sheds()
             seq = ordered.allocate()
             try:
-                response = await self._dispatch(op, request, request_id)
+                response = await self._dispatch(op, request, request_id,
+                                                deadline=deadline)
             except Exception as error:  # noqa: BLE001 - structured reply
                 response = self._respond_error(request_id, error)
+            finally:
+                self._release()
             ordered.complete(seq, encode_response(response))
         flush_checks()
+        flush_sheds()
 
-    def _complete_check_run(self, ordered: _OrderedWriter, seq: int,
-                            run: List[Tuple[Any, Tuple[Any, Any], int]],
-                            answers: List[Optional[bool]],
-                            snapshot) -> None:
+    def _complete_check_run(
+            self, ordered: _OrderedWriter, seq: int,
+            run: List[Tuple[Any, Tuple[Any, Any], int, Optional[float]]],
+            answers: List[Optional[bool]],
+            snapshot) -> None:
         """Encode one check run and complete its sequence slot.
 
         The sequence slot MUST complete no matter what: an incomplete
@@ -496,7 +643,7 @@ class ReachabilityServer:
         except Exception:  # noqa: BLE001 - the slot must complete
             self._count_error("server-error")
             out = []
-            for request_id, _pair, _started in run:
+            for request_id, _pair, _started, _deadline in run:
                 try:
                     out.append(encode_response(error_response(
                         request_id, "server-error",
@@ -506,24 +653,41 @@ class ReachabilityServer:
                         None, "server-error",
                         "failed to encode check response")))
             data = b"".join(out)
+        finally:
+            self._release(len(run))
         ordered.complete(seq, data)
 
-    def _encode_check_run(self, run: List[Tuple[Any, Tuple[Any, Any], int]],
-                          answers: List[Optional[bool]],
-                          snapshot) -> bytes:
+    def _encode_check_run(
+            self, run: List[Tuple[Any, Tuple[Any, Any], int,
+                                  Optional[float]]],
+            answers: List[Optional[bool]],
+            snapshot) -> bytes:
         """Encode one check run's responses; runs inside the drain.
 
         ``snapshot`` is the snapshot the answers were computed from, so
         a ``None`` answer's missing node is attributed against the same
         epoch that judged it missing — membership against the *current*
         snapshot could disagree when a racing write lands in between.
+        Each request's deadline is re-checked here — after the drain —
+        so an answer the drain computed but could not deliver in budget
+        still reports ``deadline-exceeded`` rather than arriving late
+        disguised as fresh.
         """
         out = []
         engine = snapshot.engine
         epoch = snapshot.epoch
         now = time.perf_counter_ns()
-        for (request_id, pair, started), answer in zip(run, answers):
-            if answer is None:
+        mono = time.monotonic()
+        for (request_id, pair, started, deadline), answer \
+                in zip(run, answers):
+            if answer is EXPIRED or (deadline is not None
+                                     and mono >= deadline):
+                out.append(encode_response(self._respond_error(
+                    request_id, ProtocolError(
+                        "deadline-exceeded",
+                        "deadline_ms budget expired before the check "
+                        "was answered"))))
+            elif answer is None:
                 missing = pair[0] if pair[0] not in engine else pair[1]
                 out.append(encode_response(self._respond_error(
                     request_id, NodeNotFoundError(missing))))
@@ -537,20 +701,30 @@ class ReachabilityServer:
     # op dispatch
     # ------------------------------------------------------------------
     async def _dispatch(self, op: Any, request: dict,
-                        request_id: Any) -> dict:
+                        request_id: Any, *,
+                        deadline: Optional[float] = None) -> dict:
         started = time.perf_counter_ns()
         tracer = self.tracer
         if tracer is not None:
             with tracer.span(f"server.{op}", epoch=self.state.epoch):
-                response = await self._dispatch_inner(op, request,
-                                                      request_id)
+                response = await self._dispatch_inner(
+                    op, request, request_id, deadline)
         else:
-            response = await self._dispatch_inner(op, request, request_id)
+            response = await self._dispatch_inner(op, request, request_id,
+                                                  deadline)
         self._observe(str(op), started)
         return response
 
     async def _dispatch_inner(self, op: Any, request: dict,
-                              request_id: Any) -> dict:
+                              request_id: Any,
+                              deadline: Optional[float] = None) -> dict:
+        if deadline is not None and time.monotonic() >= deadline:
+            # Expired before any work: drop here rather than burn engine
+            # time on an answer the client has already given up on.
+            raise ProtocolError(
+                "deadline-exceeded",
+                "deadline_ms budget expired before the request was "
+                "served")
         snapshot = self.state.snapshot
         engine = snapshot.engine
         epoch = snapshot.epoch
@@ -562,7 +736,13 @@ class ReachabilityServer:
 
         if op == "check-many":
             pairs = _pair_list(request)
-            answers, batch_snapshot = await self.coalescer.check_group(pairs)
+            answers, batch_snapshot = await self.coalescer.check_group(
+                pairs, deadline=deadline)
+            if answers and answers[0] is EXPIRED:
+                raise ProtocolError(
+                    "deadline-exceeded",
+                    "deadline_ms budget expired before the batch was "
+                    "answered")
             if any(answer is None for answer in answers):
                 # Attribute against the snapshot the batch was answered
                 # from: the current snapshot may already contain a node
@@ -639,7 +819,7 @@ class ReachabilityServer:
 
         if op in ("add-arc", "remove-arc"):
             args = (_node_field(request, "u"), _node_field(request, "v"))
-            visible = await self.state.submit(op, args)
+            visible = await self.state.submit(op, args, deadline=deadline)
             return ok_response(request_id, True, epoch=visible)
         if op == "add-node":
             node = _node_field(request, "node")
@@ -648,11 +828,12 @@ class ReachabilityServer:
                 raise ProtocolError("bad-request", "'parents' must be a list")
             for parent in parents:
                 _check_node(parent, "parents")
-            visible = await self.state.submit(op, (node, parents))
+            visible = await self.state.submit(op, (node, parents),
+                                              deadline=deadline)
             return ok_response(request_id, True, epoch=visible)
         if op == "remove-node":
             visible = await self.state.submit(
-                op, (_node_field(request, "node"),))
+                op, (_node_field(request, "node"),), deadline=deadline)
             return ok_response(request_id, True, epoch=visible)
 
         if op == "stats":
@@ -756,7 +937,14 @@ class ReachabilityServer:
             self._observe("http.healthz", started)
             health = {"ok": True, "epoch": self.state.epoch,
                       "nodes": len(self.state.snapshot.engine),
-                      "read_only": self.state.read_only}
+                      "read_only": self.state.read_only,
+                      "overload": {
+                          "inflight": self._inflight,
+                          "max_inflight": self.max_inflight,
+                          "shed_total": self._shed.value,
+                          "slow_client_aborts_total":
+                              self._slow_aborts.value,
+                      }}
             generation = getattr(self.state, "generation", None)
             if generation is not None:
                 health["generation"] = generation
@@ -767,8 +955,9 @@ class ReachabilityServer:
         if path == "/query" and method == "POST":
             try:
                 request = decode_payload(body)
-                response = await self._dispatch(request.get("op"), request,
-                                                request.get("id"))
+                response = await self._dispatch(
+                    request.get("op"), request, request.get("id"),
+                    deadline=self._parse_deadline(request))
             except Exception as error:  # noqa: BLE001 - structured reply
                 response = self._respond_error(None, error)
             return as_json(response,

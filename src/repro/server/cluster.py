@@ -59,11 +59,17 @@ from repro.server.state import ServeState, Snapshot
 
 __all__ = ["ClusterServer", "PublishingState", "WorkerState"]
 
-#: How long a worker may wait for an acked generation to become
-#: visible in its own mmap before declaring the cluster wedged.
-_ACK_VISIBILITY_TIMEOUT = 30.0
-_READY_TIMEOUT = 30.0
-_JOIN_TIMEOUT = 10.0
+#: Default for how long a worker may wait for an acked generation to
+#: become visible in its own mmap before declaring the cluster wedged.
+#: Tunable per instance (``WorkerState(ack_timeout=...)`` /
+#: ``ClusterServer(ack_timeout=...)`` / ``repro serve --ack-timeout``).
+DEFAULT_ACK_TIMEOUT = 30.0
+#: Default wait for a forked worker to start accepting
+#: (``ClusterServer(ready_timeout=...)`` / ``--ready-timeout``).
+DEFAULT_READY_TIMEOUT = 30.0
+#: Default wait for terminated workers to exit before SIGKILL
+#: (``ClusterServer(join_timeout=...)`` / ``--join-timeout``).
+DEFAULT_JOIN_TIMEOUT = 10.0
 
 #: sun_path is 108 bytes on Linux (104 on BSDs); leave headroom for
 #: the ``worker-NN.sock`` suffix.
@@ -136,7 +142,8 @@ class WorkerState:
                  writer_path: Optional[str] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  poll_interval: float = 0.02,
-                 max_frame: int = DEFAULT_MAX_FRAME) -> None:
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 ack_timeout: float = DEFAULT_ACK_TIMEOUT) -> None:
         self._store = store
         self.worker_id = worker_id
         self._writer_path = writer_path
@@ -144,6 +151,7 @@ class WorkerState:
             else MetricsRegistry(enabled=False)
         self._poll_interval = poll_interval
         self._max_frame = max_frame
+        self.ack_timeout = float(ack_timeout)
         self._client: Optional[ReachabilityClient] = None
         self._client_lock: Optional[asyncio.Lock] = None
         self._poll_task: Optional[asyncio.Task] = None
@@ -241,8 +249,7 @@ class WorkerState:
         The writer publishes the generation before acking, so normally
         the very first refresh lands it; the loop only absorbs fs-level
         races."""
-        deadline = asyncio.get_running_loop().time() + \
-            _ACK_VISIBILITY_TIMEOUT
+        deadline = asyncio.get_running_loop().time() + self.ack_timeout
         while self.snapshot.epoch < epoch:
             try:
                 self.refresh()
@@ -267,7 +274,8 @@ class WorkerState:
                     self._writer_path, max_frame=self._max_frame)
             return self._client
 
-    async def submit(self, op: str, args: Tuple[Any, ...]) -> int:
+    async def submit(self, op: str, args: Tuple[Any, ...], *,
+                     deadline: Optional[float] = None) -> int:
         if self._writer_path is None:
             raise ProtocolError(
                 "read-only",
@@ -276,6 +284,17 @@ class WorkerState:
         if self._closed:
             raise ProtocolError("shutting-down", "server is shutting down")
         fields = _forward_fields(op, args)
+        if deadline is not None:
+            # Forward the *remaining* budget so the writer enforces the
+            # same drop-dead instant; an already-expired budget is
+            # refused here, before the write leaves this process.
+            remaining_ms = (deadline - time.monotonic()) * 1000.0
+            if remaining_ms <= 0:
+                raise ProtocolError(
+                    "deadline-exceeded",
+                    "deadline_ms budget expired before the write was "
+                    "forwarded; it was not applied")
+            fields["deadline_ms"] = remaining_ms
         try:
             client = await self._writer_client()
             response = await client.request(op, **fields)
@@ -318,7 +337,9 @@ class _WorkerConfig:
 
     __slots__ = ("worker_id", "root", "keep", "writer_path", "admin_path",
                  "host", "port", "listen_sock", "coalesce", "window",
-                 "max_batch", "max_frame", "poll_interval")
+                 "max_batch", "max_frame", "poll_interval", "ack_timeout",
+                 "max_inflight", "shed_retry_after_ms", "write_high_water",
+                 "write_grace")
 
     def __init__(self, **kwargs) -> None:
         for name in self.__slots__:
@@ -348,11 +369,16 @@ async def _worker_async(config: _WorkerConfig, ready) -> None:
                         writer_path=config.writer_path,
                         metrics=registry,
                         poll_interval=config.poll_interval,
-                        max_frame=config.max_frame)
+                        max_frame=config.max_frame,
+                        ack_timeout=config.ack_timeout)
     server = ReachabilityServer(
         state=state, metrics=registry, coalesce=config.coalesce,
         window=config.window, max_batch=config.max_batch,
-        max_frame=config.max_frame, allow_shutdown=False)
+        max_frame=config.max_frame, allow_shutdown=False,
+        max_inflight=config.max_inflight,
+        shed_retry_after_ms=config.shed_retry_after_ms,
+        write_high_water=config.write_high_water,
+        write_grace=config.write_grace)
     if config.listen_sock is not None:
         await server.start(sock=config.listen_sock)
     else:
@@ -426,7 +452,13 @@ class ClusterServer:
                  max_frame: int = DEFAULT_MAX_FRAME,
                  poll_interval: float = 0.02, keep_generations: int = 2,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 max_inflight: int = 0, max_pending_writes: int = 0,
+                 shed_retry_after_ms: int = 50,
+                 write_high_water: int = 0, write_grace: float = 10.0,
+                 ack_timeout: float = DEFAULT_ACK_TIMEOUT,
+                 ready_timeout: float = DEFAULT_READY_TIMEOUT,
+                 join_timeout: float = DEFAULT_JOIN_TIMEOUT) -> None:
         if workers < 1:
             raise ReproError(f"need at least one worker, got {workers}")
         self.workers = workers
@@ -439,6 +471,14 @@ class ClusterServer:
         self.max_batch = max_batch
         self.max_frame = max_frame
         self.poll_interval = poll_interval
+        self.max_inflight = int(max_inflight)
+        self.max_pending_writes = int(max_pending_writes)
+        self.shed_retry_after_ms = int(shed_retry_after_ms)
+        self.write_high_water = int(write_high_water)
+        self.write_grace = float(write_grace)
+        self.ack_timeout = float(ack_timeout)
+        self.ready_timeout = float(ready_timeout)
+        self.join_timeout = float(join_timeout)
         self.metrics = metrics if metrics is not None else MetricsRegistry(
             default_labels={"worker_id": "writer"})
         self._owned_dir: Optional[tempfile.TemporaryDirectory] = None
@@ -448,7 +488,8 @@ class ClusterServer:
             snapshot_dir = self._owned_dir.name
         self.store = GenerationStore(snapshot_dir, keep=keep_generations)
         self.state = PublishingState(engine, self.store,
-                                     metrics=self.metrics, tracer=tracer)
+                                     metrics=self.metrics, tracer=tracer,
+                                     max_pending_writes=max_pending_writes)
         self._socket_dir = self._pick_socket_dir()
         self.writer_path = str(Path(self._socket_dir) / "writer.sock")
         self._listen_sock: Optional[socket.socket] = None
@@ -515,7 +556,11 @@ class ClusterServer:
             listen_sock=None if self._reuseport else self._listen_sock,
             coalesce=self.coalesce, window=self.window,
             max_batch=self.max_batch, max_frame=self.max_frame,
-            poll_interval=self.poll_interval)
+            poll_interval=self.poll_interval, ack_timeout=self.ack_timeout,
+            max_inflight=self.max_inflight,
+            shed_retry_after_ms=self.shed_retry_after_ms,
+            write_high_water=self.write_high_water,
+            write_grace=self.write_grace)
 
     def _spawn_worker(self, worker_id: int) -> None:
         """Fork one worker and wait until it is accepting. Runs in the
@@ -526,11 +571,11 @@ class ClusterServer:
             target=_worker_main, args=(record.config, ready),
             daemon=True, name=f"repro-worker-{worker_id}")
         process.start()
-        if not ready.wait(_READY_TIMEOUT):
+        if not ready.wait(self.ready_timeout):
             process.terminate()
             raise ReproError(
                 f"worker {worker_id} failed to become ready within "
-                f"{_READY_TIMEOUT:.0f}s")
+                f"{self.ready_timeout:.0f}s")
         record.process = process
 
     # ------------------------------------------------------------------
@@ -540,7 +585,11 @@ class ClusterServer:
         """Start the writer/admin server; returns the admin address."""
         self.server = _ParentServer(
             self, state=self.state, metrics=self.metrics,
-            coalesce=False, max_frame=self.max_frame)
+            coalesce=False, max_frame=self.max_frame,
+            max_inflight=self.max_inflight,
+            shed_retry_after_ms=self.shed_retry_after_ms,
+            write_high_water=self.write_high_water,
+            write_grace=self.write_grace)
         await self.server.start_unix(self.writer_path)
         admin_host, admin_port = await self.server.start(
             self.host, self.admin_port)
@@ -641,7 +690,7 @@ class ClusterServer:
         for record in self._workers.values():
             if record.process is not None and record.process.is_alive():
                 record.process.terminate()  # SIGTERM -> graceful drain
-        deadline = loop.time() + _JOIN_TIMEOUT
+        deadline = loop.time() + self.join_timeout
         for record in self._workers.values():
             process = record.process
             if process is None:

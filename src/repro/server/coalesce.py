@@ -37,11 +37,26 @@ while :meth:`~BatchCoalescer.check_group` resolves an awaitable (the
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["BatchCoalescer", "CheckGroup"]
+__all__ = ["BatchCoalescer", "CheckGroup", "EXPIRED"]
+
+
+class _Expired:
+    """Sentinel answer for a check whose deadline passed before the
+    drain reached it.  Distinct from ``None`` (node not in snapshot):
+    the caller turns it into a ``deadline-exceeded`` error."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "EXPIRED"
+
+
+EXPIRED = _Expired()
 
 
 def _member(engine, node) -> bool:
@@ -77,16 +92,22 @@ class CheckGroup:
 
     Exactly one of ``future`` / ``callback`` is set: a future suspends
     an awaiting coroutine, a callback runs synchronously in the drain.
+    ``deadline`` is a ``time.monotonic()`` instant past which *every*
+    check in the group is worthless — the drain then skips the lookups
+    entirely and answers :data:`EXPIRED` (the load-shedding half of
+    deadline enforcement: expired queued work must not consume the
+    engine time that live requests need).
     """
 
-    __slots__ = ("pairs", "future", "callback")
+    __slots__ = ("pairs", "future", "callback", "deadline")
 
     def __init__(self, pairs: Sequence[Tuple[object, object]],
                  future: Optional["asyncio.Future"] = None,
-                 callback=None) -> None:
+                 callback=None, deadline: Optional[float] = None) -> None:
         self.pairs = pairs
         self.future = future
         self.callback = callback
+        self.deadline = deadline
 
 
 class BatchCoalescer:
@@ -127,39 +148,47 @@ class BatchCoalescer:
         self._windowed = registry.counter(
             "tc_server_windowed_drains_total",
             help="drains that waited the full gather window")
+        self._expired = registry.counter(
+            "tc_server_expired_checks_total",
+            help="queued checks dropped unanswered because their "
+                 "deadline passed before the drain")
 
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
     async def check_group(
-            self, pairs: Sequence[Tuple[object, object]]
+            self, pairs: Sequence[Tuple[object, object]], *,
+            deadline: Optional[float] = None
     ) -> Tuple[List[Optional[bool]], object]:
         """Answer a group of ``(source, destination)`` checks.
 
         Returns ``(answers, snapshot)``; ``answers[i]`` is ``None`` when
-        a node of ``pairs[i]`` is not in the serving snapshot.  The
-        snapshot is the exact one the batch was answered from, so the
-        caller can attribute a ``None`` to its missing node without
+        a node of ``pairs[i]`` is not in the serving snapshot, or
+        :data:`EXPIRED` when ``deadline`` passed before the drain ran.
+        The snapshot is the exact one the batch was answered from, so
+        the caller can attribute a ``None`` to its missing node without
         racing a concurrent epoch swap.
         """
         if not self.enabled or not pairs:
             return self.answer_now(pairs)
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        self._pending.append(CheckGroup(pairs, future=future))
+        self._pending.append(CheckGroup(pairs, future=future,
+                                        deadline=deadline))
         self._pending_pairs += len(pairs)
         self._schedule_drain(loop)
         return await future
 
     def submit_group(self, pairs: Sequence[Tuple[object, object]],
-                     callback) -> None:
+                     callback, *, deadline: Optional[float] = None) -> None:
         """Enqueue a group whose ``callback(answers, snapshot)`` runs in
         the drain — the wire hot path, with no future and no task wakeup.
 
         The callback must not raise and must not block; it runs inside
         the drain, so a slow callback delays every group in the batch.
         """
-        self._pending.append(CheckGroup(pairs, callback=callback))
+        self._pending.append(CheckGroup(pairs, callback=callback,
+                                        deadline=deadline))
         self._pending_pairs += len(pairs)
         self._schedule_drain(asyncio.get_running_loop())
 
@@ -210,11 +239,19 @@ class BatchCoalescer:
             return
         snapshot = self._get_snapshot()
         engine = snapshot.engine
+        now = time.monotonic()
 
         flat: List[Tuple[object, object]] = []
         slots: List[Tuple[int, int]] = []
         answers_per_group: List[List[Optional[bool]]] = []
         for group_index, group in enumerate(groups):
+            if group.deadline is not None and now >= group.deadline:
+                # The whole group is already worthless: answering it
+                # would spend engine time live requests need.  This is
+                # the shedding half of deadline enforcement.
+                answers_per_group.append([EXPIRED] * len(group.pairs))
+                self._expired.inc(len(group.pairs))
+                continue
             answers: List[Optional[bool]] = [None] * len(group.pairs)
             for position, (source, destination) in enumerate(group.pairs):
                 if _member(engine, source) and _member(engine, destination):

@@ -24,7 +24,9 @@ from repro.server.client import ReachabilityClient
 
 __all__ = ["ClusterThread", "ServerBackedEngine", "ServerThread"]
 
-_CALL_TIMEOUT = 30.0
+#: Default bound on any cross-thread call into the server loop;
+#: override per instance with ``call_timeout=``.
+DEFAULT_CALL_TIMEOUT = 30.0
 
 
 class ServerThread:
@@ -37,7 +39,11 @@ class ServerThread:
     """
 
     def __init__(self, engine_factory, *, coalesce: bool = True,
-                 window: Optional[float] = None) -> None:
+                 window: Optional[float] = None,
+                 call_timeout: float = DEFAULT_CALL_TIMEOUT,
+                 server_kwargs: Optional[dict] = None,
+                 client_kwargs: Optional[dict] = None,
+                 proxy_factory=None) -> None:
         self._loop = asyncio.new_event_loop()
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
@@ -46,10 +52,19 @@ class ServerThread:
         self._engine_factory = engine_factory
         self._coalesce = coalesce
         self._window = window
+        self.call_timeout = float(call_timeout)
+        self._server_kwargs = dict(server_kwargs or {})
+        self._client_kwargs = dict(client_kwargs or {})
+        #: Called inside the loop thread with the server's (host, port);
+        #: must return an object exposing ``host``/``port`` to dial
+        #: instead and an async ``close()`` — the chaos proxy plugs in
+        #: here, so every client byte crosses it.
+        self._proxy_factory = proxy_factory
+        self.proxy = None
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="reachability-server")
         self._thread.start()
-        self._ready.wait(_CALL_TIMEOUT)
+        self._ready.wait(self.call_timeout)
         if self._startup_error is not None:
             raise self._startup_error
         if self._server is None:
@@ -74,9 +89,14 @@ class ServerThread:
         kwargs = {"coalesce": self._coalesce}
         if self._window is not None:
             kwargs["window"] = self._window
+        kwargs.update(self._server_kwargs)
         server = ReachabilityServer(self._engine_factory(), **kwargs)
         host, port = await server.start("127.0.0.1", 0)
-        self._client = await ReachabilityClient.connect(host, port)
+        if self._proxy_factory is not None:
+            self.proxy = await self._proxy_factory(host, port)
+            host, port = self.proxy.host, self.proxy.port
+        self._client = await ReachabilityClient.connect(
+            host, port, **self._client_kwargs)
         self._server = server
         self.host, self.port = host, port
 
@@ -90,18 +110,23 @@ class ServerThread:
             raise ReproError("server thread is closed")
         future = asyncio.run_coroutine_threadsafe(
             client.call(op, **fields), self._loop)
-        return future.result(_CALL_TIMEOUT)
+        return future.result(self.call_timeout)
 
-    def connect(self) -> ReachabilityClient:
-        """A fresh client on the server's loop (for multi-conn tests)."""
+    def connect(self, **kwargs: Any) -> ReachabilityClient:
+        """A fresh client on the server's loop (for multi-conn tests).
+
+        Dials through the proxy when one is installed; ``kwargs``
+        override the thread's default client settings."""
+        merged = dict(self._client_kwargs)
+        merged.update(kwargs)
         return asyncio.run_coroutine_threadsafe(
-            ReachabilityClient.connect(self.host, self.port),
-            self._loop).result(_CALL_TIMEOUT)
+            ReachabilityClient.connect(self.host, self.port, **merged),
+            self._loop).result(self.call_timeout)
 
     def run_coro(self, coro) -> Any:
         """Run an arbitrary coroutine on the server's loop."""
         return asyncio.run_coroutine_threadsafe(
-            coro, self._loop).result(_CALL_TIMEOUT)
+            coro, self._loop).result(self.call_timeout)
 
     def close(self) -> None:
         if self._client is None and self._server is None:
@@ -109,18 +134,22 @@ class ServerThread:
         client, self._client = self._client, None
         server, self._server = self._server, None
 
+        proxy, self.proxy = self.proxy, None
+
         async def teardown() -> None:
             if client is not None:
                 await client.close()
+            if proxy is not None:
+                await proxy.close()
             if server is not None:
                 await server.stop()
 
         try:
             asyncio.run_coroutine_threadsafe(
-                teardown(), self._loop).result(_CALL_TIMEOUT)
+                teardown(), self._loop).result(self.call_timeout)
         finally:
             self._loop.call_soon_threadsafe(self._loop.stop)
-            self._thread.join(_CALL_TIMEOUT)
+            self._thread.join(self.call_timeout)
 
     def __enter__(self) -> "ServerThread":
         return self
@@ -145,12 +174,16 @@ class ClusterThread:
 
     def __init__(self, engine_factory, *, workers: int = 2,
                  coalesce: bool = True, window: Optional[float] = None,
-                 poll_interval: float = 0.01) -> None:
+                 poll_interval: float = 0.01,
+                 call_timeout: float = DEFAULT_CALL_TIMEOUT,
+                 **cluster_kwargs: Any) -> None:
         from repro.server.cluster import ClusterServer
         kwargs = {"workers": workers, "coalesce": coalesce,
                   "poll_interval": poll_interval}
         if window is not None:
             kwargs["window"] = window
+        kwargs.update(cluster_kwargs)
+        self.call_timeout = float(call_timeout)
         self._cluster = ClusterServer(engine_factory(), port=0, **kwargs)
         self.host, self.port = self._cluster.start()
         self._loop = asyncio.new_event_loop()
@@ -161,7 +194,7 @@ class ClusterThread:
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="reachability-cluster")
         self._thread.start()
-        self._ready.wait(_CALL_TIMEOUT)
+        self._ready.wait(self.call_timeout)
         if self._startup_error is not None:
             self.close()
             raise self._startup_error
@@ -193,24 +226,24 @@ class ClusterThread:
             raise ReproError("cluster thread is closed")
         future = asyncio.run_coroutine_threadsafe(
             client.call(op, **fields), self._loop)
-        return future.result(_CALL_TIMEOUT)
+        return future.result(self.call_timeout)
 
     def connect(self) -> ReachabilityClient:
         """A fresh data-plane client (lands on a kernel-chosen worker)."""
         return asyncio.run_coroutine_threadsafe(
             ReachabilityClient.connect(self.host, self.port),
-            self._loop).result(_CALL_TIMEOUT)
+            self._loop).result(self.call_timeout)
 
     def connect_worker(self, worker_id: int) -> ReachabilityClient:
         """A client pinned to one specific worker's admin socket."""
         return asyncio.run_coroutine_threadsafe(
             ReachabilityClient.connect_unix(
                 self._cluster.worker_admin_path(worker_id)),
-            self._loop).result(_CALL_TIMEOUT)
+            self._loop).result(self.call_timeout)
 
     def run_coro(self, coro) -> Any:
         return asyncio.run_coroutine_threadsafe(
-            coro, self._loop).result(_CALL_TIMEOUT)
+            coro, self._loop).result(self.call_timeout)
 
     @property
     def cluster(self):
@@ -230,10 +263,10 @@ class ClusterThread:
         try:
             if self._thread.is_alive():
                 asyncio.run_coroutine_threadsafe(
-                    teardown(), self._loop).result(_CALL_TIMEOUT)
+                    teardown(), self._loop).result(self.call_timeout)
         finally:
             self._loop.call_soon_threadsafe(self._loop.stop)
-            self._thread.join(_CALL_TIMEOUT)
+            self._thread.join(self.call_timeout)
 
     def __enter__(self) -> "ClusterThread":
         return self

@@ -39,10 +39,13 @@ from typing import Any, Iterator, List, Optional, Tuple
 from repro.errors import ReproError
 
 __all__ = [
+    "CannedError",
     "DEFAULT_MAX_FRAME",
     "ERROR_CODES",
     "FrameParser",
     "HTTP_METHODS",
+    "NOT_APPLIED_CODES",
+    "OverloadedError",
     "ProtocolError",
     "decode_payload",
     "encode_frame",
@@ -64,13 +67,23 @@ ERROR_CODES = (
     "bad-json",      # payload bytes are not valid JSON
     "bad-request",   # JSON is not an object, or fields missing/mistyped
     "cycle",         # a write would create a cycle
+    "deadline-exceeded",  # the request's deadline_ms budget expired
     "not-found",     # a named node is not in the served snapshot
+    "overloaded",    # load shed; error carries a retry_after_ms hint
     "read-only",     # a write against a frozen (snapshot-only) server
     "server-error",  # unexpected internal failure (bug surface, not 500-spam)
     "shutting-down", # server is draining; no new work accepted
     "too-large",     # declared frame length exceeds the limit
     "unknown-op",    # the op name is not in the dispatch table
 )
+
+#: Error codes that mean the server did NOT apply the request — a write
+#: answered with one of these is safe to retry (it never reached the
+#: engine): shed before admission, dropped before work, or refused
+#: outright.  Anything else that interrupts a write *after* it was sent
+#: is ambiguous.
+NOT_APPLIED_CODES = frozenset(
+    {"overloaded", "deadline-exceeded", "shutting-down", "read-only"})
 
 #: HTTP method prefixes used to sniff HTTP connections on the shared port.
 HTTP_METHODS = (b"GET ", b"POST", b"HEAD", b"PUT ", b"DELE", b"OPTI",
@@ -84,6 +97,15 @@ class ProtocolError(ReproError):
         assert code in ERROR_CODES, code
         super().__init__(message)
         self.code = code
+
+
+class OverloadedError(ProtocolError):
+    """Load was shed.  Carries the server's backoff hint so clients do
+    not stampede back the instant the error arrives."""
+
+    def __init__(self, message: str, *, retry_after_ms: int = 50) -> None:
+        super().__init__("overloaded", message)
+        self.retry_after_ms = int(retry_after_ms)
 
 
 def encode_frame(payload: dict) -> bytes:
@@ -119,14 +141,47 @@ def ok_response(request_id: Any, result: Any, *,
     return response
 
 
-def error_response(request_id: Any, code: str, message: str) -> dict:
+def error_response(request_id: Any, code: str, message: str, *,
+                   retry_after_ms: Optional[int] = None) -> dict:
     assert code in ERROR_CODES, code
-    return {"id": request_id, "ok": False,
-            "error": {"code": code, "message": message}}
+    error: dict = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = int(retry_after_ms)
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def encode_response(response: dict) -> bytes:
     return encode_frame(response)
+
+
+class CannedError:
+    """An error response serialised once, with only the id spliced in.
+
+    Load shedding is only protection if a shed response costs less than
+    the request it refuses: under overload the server may emit tens of
+    thousands of identical errors per second, and building a dict and
+    running ``json.dumps`` for each one makes the shed path as expensive
+    as serving.  ``frame(request_id)`` is byte-identical to
+    ``encode_response(error_response(request_id, ...))`` (same sorted-key
+    serialisation), but the constant part is encoded at construction.
+    """
+
+    def __init__(self, code: str, message: str, *,
+                 retry_after_ms: Optional[int] = None) -> None:
+        error = error_response(None, code, message,
+                               retry_after_ms=retry_after_ms)["error"]
+        body = json.dumps(error, sort_keys=True, separators=(",", ":"))
+        # Key order in the envelope is fixed by sort_keys:
+        # "error" < "id" < "ok".
+        self._head = ('{"error":' + body + ',"id":').encode("utf-8")
+        self._tail = b',"ok":false}'
+
+    def frame(self, request_id: Any) -> bytes:
+        body = (self._head
+                + json.dumps(request_id, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+                + self._tail)
+        return _PREFIX.pack(len(body)) + body
 
 
 def looks_like_http(prefix: bytes) -> bool:

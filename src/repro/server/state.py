@@ -64,15 +64,23 @@ class Snapshot:
 
 
 class WriteOp:
-    """One queued mutation and the future its submitter awaits."""
+    """One queued mutation and the future its submitter awaits.
 
-    __slots__ = ("op", "args", "future")
+    ``deadline`` is a ``time.monotonic()`` instant: a write still queued
+    when it passes is dropped *before* application — the submitter gets
+    ``deadline-exceeded``, which therefore always means "not applied"
+    and is safe to retry.
+    """
+
+    __slots__ = ("op", "args", "future", "deadline")
 
     def __init__(self, op: str, args: Tuple[Any, ...],
-                 future: "asyncio.Future") -> None:
+                 future: "asyncio.Future",
+                 deadline: Optional[float] = None) -> None:
         self.op = op
         self.args = args
         self.future = future
+        self.deadline = deadline
 
 
 class ServeState:
@@ -94,10 +102,15 @@ class ServeState:
     """
 
     def __init__(self, engine, *, metrics: Optional[MetricsRegistry] = None,
-                 tracer=None) -> None:
+                 tracer=None, max_pending_writes: int = 0) -> None:
         self._metrics = metrics if metrics is not None \
             else MetricsRegistry(enabled=False)
         self._tracer = tracer
+        #: Admission cap on queued-but-unapplied writes; 0 disables.  A
+        #: submit against a full queue is shed with ``overloaded`` —
+        #: bounded memory under write storms, and the refusal happens
+        #: *before* enqueue, so a shed write was never applied.
+        self.max_pending_writes = int(max_pending_writes)
         self._write_target, self._hybrid, self._frozen = \
             self._classify(engine)
         self.engine = engine
@@ -167,6 +180,14 @@ class ServeState:
             "tc_server_write_errors_total", help="rejected mutations")
         self._epoch_gauge = registry.gauge(
             "tc_server_epoch", help="currently served epoch")
+        self._writes_shed = registry.counter(
+            "tc_server_writes_shed_total",
+            help="writes refused at admission because the write queue "
+                 "was at max_pending_writes")
+        self._writes_expired = registry.counter(
+            "tc_server_writes_expired_total",
+            help="queued writes dropped unapplied because their "
+                 "deadline passed before the writer reached them")
 
     def _set_epoch_gauge(self) -> None:
         self._epoch_gauge.set(self.snapshot.epoch)
@@ -190,6 +211,7 @@ class ServeState:
             "nodes": len(snapshot.engine),
             "pending_writes": self._queue.qsize()
             if self._queue is not None else 0,
+            "max_pending_writes": self.max_pending_writes,
         }
         engine_stats = snapshot.engine.stats()
         payload["snapshot"] = (engine_stats.as_dict()
@@ -219,14 +241,19 @@ class ServeState:
     # ------------------------------------------------------------------
     # the single-writer protocol
     # ------------------------------------------------------------------
-    async def submit(self, op: str, args: Tuple[Any, ...]) -> int:
+    async def submit(self, op: str, args: Tuple[Any, ...], *,
+                     deadline: Optional[float] = None) -> int:
         """Queue one mutation; resolves to the epoch where it is visible.
 
         Raises the underlying engine error (unknown node, cycle, …) when
-        the mutation is rejected; raises :class:`ReproError` on a
-        read-only or shutting-down server.
+        the mutation is rejected; raises :class:`ProtocolError` on a
+        read-only, shutting-down, or write-queue-full server, and
+        ``deadline-exceeded`` when ``deadline`` (a ``time.monotonic()``
+        instant) passes before the writer applies the op.  Every one of
+        those refusals happens *before* application — the write was not
+        applied and is safe to retry.
         """
-        from repro.server.protocol import ProtocolError
+        from repro.server.protocol import OverloadedError, ProtocolError
         if self._write_target is None:
             raise ProtocolError(
                 "read-only",
@@ -238,8 +265,19 @@ class ServeState:
             raise ReproError(f"unknown write op {op!r}")
         if self._queue is None:
             raise ReproError("writer task not started; call start() first")
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ProtocolError(
+                "deadline-exceeded",
+                "deadline expired before the write was queued; "
+                "it was not applied")
+        if 0 < self.max_pending_writes <= self._queue.qsize():
+            self._writes_shed.inc()
+            raise OverloadedError(
+                f"write queue is full ({self._queue.qsize()} pending, "
+                f"cap {self.max_pending_writes}); the write was not "
+                f"applied")
         future = asyncio.get_running_loop().create_future()
-        await self._queue.put(WriteOp(op, args, future))
+        await self._queue.put(WriteOp(op, args, future, deadline))
         return await future
 
     async def _writer_loop(self) -> None:
@@ -271,9 +309,22 @@ class ServeState:
         batch through the *mutable* engine — they only ever read the
         snapshot, and the snapshot swap is one attribute store.
         """
+        from repro.server.protocol import ProtocolError
         target = self._write_target
         applied: List[WriteOp] = []
+        now = time.monotonic()
         for write in batch:
+            if write.deadline is not None and now >= write.deadline:
+                # Still unapplied and already worthless: refusing here
+                # keeps the deadline-exceeded = not-applied guarantee
+                # while sparing the refreeze a mutation nobody wants.
+                self._writes_expired.inc()
+                if not write.future.cancelled():
+                    write.future.set_exception(ProtocolError(
+                        "deadline-exceeded",
+                        "deadline expired while the write was queued; "
+                        "it was not applied"))
+                continue
             try:
                 getattr(target, WRITE_METHODS[write.op])(*write.args)
             except Exception as error:  # per-op failure, batch continues

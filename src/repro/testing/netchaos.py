@@ -1,0 +1,258 @@
+"""A seeded TCP chaos proxy: the network analogue of ``FaultyFS``.
+
+:class:`ChaosProxy` sits between a client and a
+:class:`~repro.server.app.ReachabilityServer`, relaying bytes while
+injecting the failure modes real networks produce:
+
+* **latency** — every relayed chunk waits a seeded uniform delay;
+* **bandwidth caps** — chunks are metered to a configured bytes/sec;
+* **partial writes** — chunks are split at arbitrary offsets, so frame
+  boundaries land mid-read on the far side;
+* **stalled reads** — the relay occasionally freezes for a while, long
+  enough to trip per-call timeouts without killing the connection;
+* **mid-frame resets** — a random *prefix* of a chunk is delivered and
+  then the connection is aborted (RST), leaving the peer holding a
+  truncated frame;
+* **connection drops** — new connections are severed immediately.
+
+Every decision draws from a :class:`random.Random` seeded by
+``(config.seed, connection_number)``, so a failing run replays exactly
+— the same property the differential fuzzer relies on everywhere else.
+The proxy never rewrites bytes: payloads that survive are delivered
+intact and in order per direction, which is what lets the fuzzer's
+``server-chaos`` engine demand oracle-exact answers from every call
+that completes.
+
+Usage::
+
+    proxy = await ChaosProxy.create(server_host, server_port,
+                                    ChaosConfig(seed=7, reset_prob=0.05))
+    client = await ReachabilityClient.connect(
+        proxy.host, proxy.port, call_timeout=2.0,
+        retry=RetryPolicy(attempts=8))
+    ...
+    await proxy.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Optional, Tuple
+
+__all__ = ["ChaosConfig", "ChaosProxy"]
+
+_CHUNK = 1 << 16
+
+
+class ChaosConfig:
+    """Knobs for one proxy.  All probabilities are per *chunk* (one
+    upstream read) except ``drop_prob``, which is per connection."""
+
+    __slots__ = ("seed", "latency_ms", "bandwidth_bps",
+                 "partial_write_prob", "partial_write_max",
+                 "stall_prob", "stall_ms", "reset_prob", "drop_prob")
+
+    def __init__(self, *, seed: int = 0,
+                 latency_ms: Tuple[float, float] = (0.0, 0.0),
+                 bandwidth_bps: int = 0,
+                 partial_write_prob: float = 0.0,
+                 partial_write_max: int = 64,
+                 stall_prob: float = 0.0,
+                 stall_ms: Tuple[float, float] = (5.0, 25.0),
+                 reset_prob: float = 0.0,
+                 drop_prob: float = 0.0) -> None:
+        self.seed = seed
+        self.latency_ms = latency_ms
+        self.bandwidth_bps = bandwidth_bps
+        self.partial_write_prob = partial_write_prob
+        self.partial_write_max = partial_write_max
+        self.stall_prob = stall_prob
+        self.stall_ms = stall_ms
+        self.reset_prob = reset_prob
+        self.drop_prob = drop_prob
+
+    def rng_for(self, connection: int) -> random.Random:
+        """The deterministic RNG governing one connection's fate."""
+        return random.Random(f"netchaos:{self.seed}:{connection}")
+
+
+class _Link:
+    """One proxied connection: a client leg, a server leg, two pumps."""
+
+    __slots__ = ("client_writer", "server_writer", "tasks")
+
+    def __init__(self, client_writer, server_writer) -> None:
+        self.client_writer = client_writer
+        self.server_writer = server_writer
+        self.tasks = []
+
+    def abort(self) -> None:
+        """RST both legs — no FIN, no lingering close handshake."""
+        for writer in (self.client_writer, self.server_writer):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+
+class ChaosProxy:
+    """Seeded fault-injecting TCP relay in front of one server."""
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 config: Optional[ChaosConfig] = None) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.config = config if config is not None else ChaosConfig()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._links: set = set()
+        self._conn_counter = 0
+        self._closed = False
+        self.stats = {"connections": 0, "dropped": 0, "resets": 0,
+                      "stalls": 0, "splits": 0, "bytes_up": 0,
+                      "bytes_down": 0}
+
+    @classmethod
+    async def create(cls, upstream_host: str, upstream_port: int,
+                     config: Optional[ChaosConfig] = None, *,
+                     host: str = "127.0.0.1",
+                     port: int = 0) -> "ChaosProxy":
+        proxy = cls(upstream_host, upstream_port, config)
+        await proxy.start(host, port)
+        return proxy
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        """Stop accepting, sever every live connection, join the pumps."""
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.sever_all()
+        for link in list(self._links):
+            for task in link.tasks:
+                task.cancel()
+        for link in list(self._links):
+            for task in link.tasks:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+        self._links.clear()
+
+    def sever_all(self) -> None:
+        """Abort every live proxied connection (a partition, now)."""
+        for link in list(self._links):
+            link.abort()
+
+    # ------------------------------------------------------------------
+    # relaying
+    # ------------------------------------------------------------------
+    async def _handle(self, client_reader: asyncio.StreamReader,
+                      client_writer: asyncio.StreamWriter) -> None:
+        conn = self._conn_counter
+        self._conn_counter += 1
+        self.stats["connections"] += 1
+        rng = self.config.rng_for(conn)
+        if self._closed or rng.random() < self.config.drop_prob:
+            self.stats["dropped"] += 1
+            transport = client_writer.transport
+            if transport is not None:
+                transport.abort()
+            return
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port)
+        except OSError:
+            transport = client_writer.transport
+            if transport is not None:
+                transport.abort()
+            return
+        link = _Link(client_writer, server_writer)
+        self._links.add(link)
+        loop = asyncio.get_running_loop()
+        # Each direction gets an independent but seeded RNG stream, so
+        # the two pumps cannot race each other into nondeterminism.
+        link.tasks = [
+            loop.create_task(self._pump(
+                client_reader, server_writer, link,
+                self.config.rng_for(conn * 2 + 1), "bytes_up")),
+            loop.create_task(self._pump(
+                server_reader, client_writer, link,
+                self.config.rng_for(conn * 2 + 2), "bytes_down")),
+        ]
+        try:
+            await asyncio.gather(*link.tasks, return_exceptions=True)
+        finally:
+            self._links.discard(link)
+            for writer in (client_writer, server_writer):
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001 - already aborted
+                    pass
+
+    async def _pump(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter, link: _Link,
+                    rng: random.Random, byte_key: str) -> None:
+        config = self.config
+        try:
+            while True:
+                chunk = await reader.read(_CHUNK)
+                if not chunk:
+                    break
+                low, high = config.latency_ms
+                if high > 0:
+                    await asyncio.sleep(rng.uniform(low, high) / 1000.0)
+                if config.stall_prob and rng.random() < config.stall_prob:
+                    self.stats["stalls"] += 1
+                    s_low, s_high = config.stall_ms
+                    await asyncio.sleep(rng.uniform(s_low, s_high)
+                                        / 1000.0)
+                if config.bandwidth_bps > 0:
+                    await asyncio.sleep(len(chunk) / config.bandwidth_bps)
+                if config.reset_prob and rng.random() < config.reset_prob:
+                    # Deliver a truncated prefix, then RST: the far side
+                    # is left mid-frame with no clean EOF to excuse it.
+                    prefix = rng.randrange(len(chunk))
+                    if prefix and not writer.is_closing():
+                        writer.write(chunk[:prefix])
+                        self.stats[byte_key] += prefix
+                        try:
+                            await writer.drain()
+                        except OSError:
+                            pass
+                    self.stats["resets"] += 1
+                    link.abort()
+                    return
+                if writer.is_closing():
+                    return
+                if config.partial_write_prob and \
+                        rng.random() < config.partial_write_prob:
+                    self.stats["splits"] += 1
+                    offset = 0
+                    while offset < len(chunk):
+                        step = rng.randint(1, config.partial_write_max)
+                        writer.write(chunk[offset:offset + step])
+                        await writer.drain()
+                        offset += step
+                else:
+                    writer.write(chunk)
+                    await writer.drain()
+                self.stats[byte_key] += len(chunk)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            if not writer.is_closing():
+                try:
+                    writer.write_eof()
+                except (OSError, RuntimeError):
+                    pass

@@ -277,6 +277,46 @@ def _build_server(graph: DiGraph):
     return engine
 
 
+def _build_server_chaos(graph: DiGraph):
+    """The ``server`` engine with a seeded chaos proxy on the wire.
+
+    Every comparison round trip crosses a :class:`ChaosProxy` injecting
+    latency, split frames, stalls, mid-frame resets, and dropped
+    connections; the client rides per-call timeouts plus seeded
+    retry-with-reconnect.  The comparison only ever issues *reads*
+    (successors/predecessors/reachable), so chaos retries can never
+    double-apply anything — and every answer that survives the wire
+    must still match the oracle exactly, which is the point: faults may
+    cost time, never correctness.
+    """
+    import weakref
+    from repro.core.hybrid import HybridTCIndex
+    from repro.server.client import RetryPolicy
+    from repro.server.inprocess import ServerBackedEngine, ServerThread
+    from repro.testing.netchaos import ChaosConfig, ChaosProxy
+    config = ChaosConfig(seed=1729, latency_ms=(0.0, 1.5),
+                         partial_write_prob=0.25, partial_write_max=48,
+                         stall_prob=0.02, stall_ms=(5.0, 20.0),
+                         reset_prob=0.02, drop_prob=0.05)
+
+    def proxy_factory(host, port):
+        return ChaosProxy.create(host, port, config)
+
+    import random as _random
+    thread = ServerThread(
+        lambda: HybridTCIndex.build(graph),
+        proxy_factory=proxy_factory,
+        client_kwargs={
+            "call_timeout": 5.0,
+            "retry": RetryPolicy(attempts=12, base_delay=0.01,
+                                 max_delay=0.2,
+                                 rng=_random.Random(1729)),
+        })
+    engine = ServerBackedEngine(thread)
+    weakref.finalize(engine, thread.close)
+    return engine
+
+
 def _build_cluster(graph: DiGraph):
     """A hybrid engine compared *through a preforked worker cluster*.
 
@@ -313,6 +353,7 @@ ENGINE_FACTORIES: Dict[str, Callable[[DiGraph], object]] = {
     "hybrid-delta": _build_hybrid_delta,
     "durable": _build_durable,
     "server": _build_server,
+    "server-chaos": _build_server_chaos,
     "cluster": _build_cluster,
 }
 

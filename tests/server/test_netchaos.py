@@ -1,0 +1,241 @@
+"""The chaos proxy itself: determinism, each fault mode, and survival.
+
+A plain echo server sits upstream for the byte-level tests (payload
+integrity through splits, resets surfacing, partitions); the final test
+puts a real :class:`ReachabilityServer` behind the proxy and demands
+oracle-exact answers from a retrying client despite drops and resets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.core.hybrid import HybridTCIndex
+from repro.graph.generators import random_dag
+from repro.server.client import ReachabilityClient, RetryPolicy
+from repro.testing.netchaos import ChaosConfig, ChaosProxy
+
+from .harness import run, serving
+
+
+@asynccontextmanager
+async def echo_upstream():
+    async def echo(reader, writer):
+        try:
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    return
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already aborted
+                pass
+
+    server = await asyncio.start_server(echo, "127.0.0.1", 0)
+    sockname = server.sockets[0].getsockname()
+    try:
+        yield sockname[0], sockname[1]
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+async def _read_exactly(reader, count):
+    data = bytearray()
+    while len(data) < count:
+        chunk = await asyncio.wait_for(reader.read(count - len(data)), 5.0)
+        if not chunk:
+            break
+        data.extend(chunk)
+    return bytes(data)
+
+
+class TestDeterminism:
+    def test_same_seed_same_connection_same_fate(self):
+        config = ChaosConfig(seed=99)
+        first = [config.rng_for(3).random() for _ in range(16)]
+        assert first == [ChaosConfig(seed=99).rng_for(3).random()
+                         for _ in range(16)]
+
+    def test_streams_differ_across_connections_and_seeds(self):
+        config = ChaosConfig(seed=99)
+        draws = lambda rng: [rng.random() for _ in range(8)]  # noqa: E731
+        assert draws(config.rng_for(3)) != draws(config.rng_for(4))
+        assert draws(config.rng_for(3)) != \
+            draws(ChaosConfig(seed=100).rng_for(3))
+
+
+class TestFaultModes:
+    def test_clean_proxy_relays_verbatim(self):
+        async def scenario():
+            async with echo_upstream() as (host, port):
+                proxy = await ChaosProxy.create(host, port)
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        proxy.host, proxy.port)
+                    payload = bytes(range(256)) * 8
+                    writer.write(payload)
+                    await writer.drain()
+                    assert await _read_exactly(reader, len(payload)) == \
+                        payload
+                    writer.close()
+                finally:
+                    await proxy.close()
+                assert proxy.stats["connections"] == 1
+                assert proxy.stats["resets"] == 0
+        run(scenario())
+
+    def test_partial_writes_reassemble_intact(self):
+        """Splitting every chunk into tiny pieces reorders nothing and
+        corrupts nothing — it only moves frame boundaries."""
+        async def scenario():
+            async with echo_upstream() as (host, port):
+                proxy = await ChaosProxy.create(
+                    host, port, ChaosConfig(seed=5, partial_write_prob=1.0,
+                                            partial_write_max=5))
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        proxy.host, proxy.port)
+                    payload = bytes(range(256)) * 16
+                    writer.write(payload)
+                    await writer.drain()
+                    assert await _read_exactly(reader, len(payload)) == \
+                        payload
+                    writer.close()
+                finally:
+                    await proxy.close()
+                assert proxy.stats["splits"] > 0
+        run(scenario())
+
+    def test_reset_surfaces_to_the_client(self):
+        async def scenario():
+            async with echo_upstream() as (host, port):
+                proxy = await ChaosProxy.create(
+                    host, port, ChaosConfig(seed=5, reset_prob=1.0))
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        proxy.host, proxy.port)
+                    payload = b"doomed" * 100
+                    writer.write(payload)
+                    await writer.drain()
+                    # The abort may surface as a reset exception or as a
+                    # truncated stream; either way the echo never
+                    # completes.
+                    received = bytearray()
+                    try:
+                        while True:
+                            data = await asyncio.wait_for(
+                                reader.read(4096), 5.0)
+                            if not data:
+                                break
+                            received.extend(data)
+                    except (ConnectionResetError, OSError):
+                        pass
+                    assert len(received) < len(payload)
+                finally:
+                    await proxy.close()
+                assert proxy.stats["resets"] >= 1
+        run(scenario())
+
+    def test_drop_prob_one_severs_every_connection(self):
+        async def scenario():
+            async with echo_upstream() as (host, port):
+                proxy = await ChaosProxy.create(
+                    host, port, ChaosConfig(seed=5, drop_prob=1.0))
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        proxy.host, proxy.port)
+                    try:
+                        data = await asyncio.wait_for(reader.read(64), 5.0)
+                        assert data == b""
+                    except (ConnectionResetError, OSError):
+                        pass
+                    writer.close()
+                finally:
+                    await proxy.close()
+                assert proxy.stats["dropped"] == 1
+        run(scenario())
+
+    def test_sever_all_is_a_partition_not_a_shutdown(self):
+        async def scenario():
+            async with echo_upstream() as (host, port):
+                proxy = await ChaosProxy.create(host, port)
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        proxy.host, proxy.port)
+                    writer.write(b"ping")
+                    await writer.drain()
+                    assert await _read_exactly(reader, 4) == b"ping"
+                    proxy.sever_all()
+                    try:
+                        assert await asyncio.wait_for(
+                            reader.read(64), 5.0) == b""
+                    except (ConnectionResetError, OSError):
+                        pass
+                    # New connections still go through: a partition
+                    # healed, not a proxy that died.
+                    reader2, writer2 = await asyncio.open_connection(
+                        proxy.host, proxy.port)
+                    writer2.write(b"back")
+                    await writer2.drain()
+                    assert await _read_exactly(reader2, 4) == b"back"
+                    writer2.close()
+                finally:
+                    await proxy.close()
+        run(scenario())
+
+    def test_close_stops_accepting(self):
+        async def scenario():
+            async with echo_upstream() as (host, port):
+                proxy = await ChaosProxy.create(host, port)
+                address = (proxy.host, proxy.port)
+                await proxy.close()
+                with pytest.raises((ConnectionRefusedError, OSError)):
+                    await asyncio.open_connection(*address)
+        run(scenario())
+
+
+class TestServiceUnderChaos:
+    def test_retrying_client_stays_exact_through_chaos(self):
+        """Latency, splits, stalls, resets, and drops — every call that
+        completes must still be oracle-exact, and with retries every
+        call completes."""
+        graph = random_dag(40, 1.6, 11)
+        engine = HybridTCIndex.build(graph)
+        nodes = sorted(graph.nodes(), key=repr)
+        rng = random.Random(11)
+        pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(50)]
+        expected = [engine.reachable(u, v) for u, v in pairs]
+
+        async def scenario():
+            async with serving(engine) as (_, host, port):
+                proxy = await ChaosProxy.create(
+                    host, port,
+                    ChaosConfig(seed=1729, latency_ms=(0.0, 1.0),
+                                partial_write_prob=0.3,
+                                partial_write_max=32,
+                                stall_prob=0.02, stall_ms=(2.0, 10.0),
+                                reset_prob=0.02, drop_prob=0.05))
+                client = await ReachabilityClient.connect(
+                    proxy.host, proxy.port, call_timeout=5.0,
+                    retry=RetryPolicy(attempts=12, base_delay=0.01,
+                                      max_delay=0.2,
+                                      rng=random.Random(1729)))
+                try:
+                    answers = [await client.check(u, v)
+                               for u, v in pairs]
+                    assert answers == expected
+                finally:
+                    await client.close()
+                    await proxy.close()
+                assert proxy.stats["connections"] >= 1
+        run(scenario())

@@ -1,0 +1,274 @@
+"""Overload protection: deadlines, admission control, slow clients.
+
+Shedding decisions happen at deterministic points (admission at parse,
+write-queue check before enqueue, deadline checks before dispatch and
+again at encode), so these tests drive them without load generators:
+a burst of frames in one chunk, a write queue the writer has not yet
+drained, a deadline budget of a fraction of a microsecond.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.hybrid import HybridTCIndex
+from repro.obs.metrics import MetricsRegistry
+from repro.server.app import ReachabilityServer
+from repro.server.client import ReachabilityClient, ServerError
+from repro.server.protocol import (OverloadedError, encode_frame,
+                                   read_frame)
+from repro.server.state import ServeState
+
+from .harness import http_exchange, run, serving
+
+
+def _engine():
+    engine = HybridTCIndex.from_arcs([("a", "b"), ("b", "c")])
+    engine.add_node("x")
+    return engine
+
+
+class TestAdmissionControl:
+    def test_burst_beyond_budget_is_shed_with_retry_hint(self):
+        """Six checks arrive in one chunk against a budget of one: the
+        first is admitted, the rest draw ``overloaded`` immediately —
+        before any engine work — each carrying the configured hint."""
+        async def scenario():
+            async with serving(_engine(), max_inflight=1,
+                               shed_retry_after_ms=33) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                frames = [encode_frame({"id": index, "op": "check",
+                                        "u": "a", "v": "c"})
+                          for index in range(6)]
+                writer.write(b"".join(frames))
+                await writer.drain()
+                responses = [await read_frame(reader) for _ in range(6)]
+                writer.close()
+
+                by_id = {response["id"]: response
+                         for response in responses}
+                assert by_id[0]["ok"] and by_id[0]["result"] is True
+                for index in range(1, 6):
+                    error = by_id[index]["error"]
+                    assert error["code"] == "overloaded"
+                    assert error["retry_after_ms"] == 33
+        run(scenario())
+
+    def test_budget_frees_after_completion(self):
+        """Shedding is about concurrency, not rate: once the burst is
+        answered the budget is whole again."""
+        async def scenario():
+            async with serving(_engine(),
+                               max_inflight=1) as (_, host, port):
+                client = await ReachabilityClient.connect(host, port)
+                try:
+                    for _ in range(5):  # sequential: never over budget
+                        assert await client.check("a", "c") is True
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_healthz_reports_the_overload_section(self):
+        async def scenario():
+            async with serving(_engine(), max_inflight=3,
+                               shed_retry_after_ms=20) as (_, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                frames = [encode_frame({"id": index, "op": "check",
+                                        "u": "a", "v": "b"})
+                          for index in range(6)]
+                writer.write(b"".join(frames))
+                await writer.drain()
+                for _ in range(6):
+                    await read_frame(reader)
+                writer.close()
+
+                raw = await http_exchange(
+                    host, port, b"GET /healthz HTTP/1.1\r\n\r\n")
+                body = raw.split(b"\r\n\r\n", 1)[1]
+                overload = json.loads(body)["overload"]
+                assert overload["max_inflight"] == 3
+                assert overload["inflight"] == 0
+                assert overload["shed_total"] == 3
+                assert overload["slow_client_aborts_total"] == 0
+        run(scenario())
+
+    def test_disabled_budget_admits_everything(self):
+        async def scenario():
+            async with serving(_engine()) as (server, host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                frames = [encode_frame({"id": index, "op": "check",
+                                        "u": "a", "v": "c"})
+                          for index in range(64)]
+                writer.write(b"".join(frames))
+                await writer.drain()
+                for index in range(64):
+                    response = await read_frame(reader)
+                    assert response["ok"]
+                writer.close()
+                assert server._shed.value == 0
+        run(scenario())
+
+
+class TestWriteQueueCap:
+    def test_full_queue_sheds_before_enqueue(self):
+        async def scenario():
+            state = ServeState(HybridTCIndex.from_arcs([("a", "b")]),
+                               metrics=MetricsRegistry(),
+                               max_pending_writes=1)
+            state.start()
+            first = asyncio.get_running_loop().create_task(
+                state.submit("add-node", ("c", ["b"])))
+            await asyncio.sleep(0)  # first submit enqueues; writer not run
+            assert state._queue.qsize() == 1
+            with pytest.raises(OverloadedError) as caught:
+                await state.submit("add-node", ("d", ["b"]))
+            assert "not applied" in str(caught.value)
+            assert state._writes_shed.value == 1
+            # The queued write is untouched by the shed and still lands.
+            assert await first == 1
+            assert "c" in state.snapshot.engine
+            assert "d" not in state.snapshot.engine
+            await state.stop()
+        run(scenario())
+
+    def test_stats_surface_the_cap(self):
+        async def scenario():
+            async with serving(_engine(), max_pending_writes=7) \
+                    as (_, host, port):
+                client = await ReachabilityClient.connect(host, port)
+                try:
+                    stats = await client.stats()
+                    assert stats["max_pending_writes"] == 7
+                finally:
+                    await client.close()
+        run(scenario())
+
+
+class TestDeadlines:
+    def test_expired_check_deadline_draws_deadline_exceeded(self):
+        async def scenario():
+            async with serving(_engine()) as (_, host, port):
+                client = await ReachabilityClient.connect(host, port)
+                try:
+                    # A budget of 1 nanosecond is gone before the
+                    # coalescer drain can possibly run.
+                    response = await client.request(
+                        "check", u="a", v="c", deadline_ms=1e-6)
+                    assert response["error"]["code"] == "deadline-exceeded"
+                    with pytest.raises(ServerError) as caught:
+                        await client.check_many([("a", "b"), ("a", "c")],
+                                                deadline_ms=1e-6)
+                    assert caught.value.code == "deadline-exceeded"
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_generous_deadline_answers_normally(self):
+        async def scenario():
+            async with serving(_engine()) as (_, host, port):
+                client = await ReachabilityClient.connect(host, port)
+                try:
+                    assert await client.check(
+                        "a", "c", deadline_ms=60000) is True
+                    assert await client.check_many(
+                        [("a", "b"), ("b", "a")],
+                        deadline_ms=60000) == [True, False]
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_expired_write_deadline_means_not_applied(self):
+        async def scenario():
+            async with serving(_engine()) as (_, host, port):
+                client = await ReachabilityClient.connect(host, port)
+                try:
+                    response = await client.request(
+                        "add-arc", u="c", v="x", deadline_ms=1e-6)
+                    assert response["error"]["code"] == "deadline-exceeded"
+                    assert await client.check("c", "x") is False
+                    # Same write, sane budget: applied.
+                    response = await client.request(
+                        "add-arc", u="c", v="x", deadline_ms=60000)
+                    assert response["ok"]
+                    assert await client.check("c", "x") is True
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_malformed_deadline_is_bad_request(self):
+        async def scenario():
+            async with serving(_engine()) as (_, host, port):
+                client = await ReachabilityClient.connect(host, port)
+                try:
+                    for bad in (0, -5, "soon", True, [100]):
+                        response = await client.request(
+                            "ping", deadline_ms=bad)
+                        assert response["error"]["code"] == "bad-request"
+                    # Malformed deadlines never take an admission slot.
+                    raw = await http_exchange(
+                        host, port, b"GET /healthz HTTP/1.1\r\n\r\n")
+                    body = raw.split(b"\r\n\r\n", 1)[1]
+                    assert json.loads(body)["overload"]["inflight"] == 0
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_http_query_honours_deadlines(self):
+        async def scenario():
+            async with serving(_engine()) as (_, host, port):
+                payload = json.dumps({"op": "check-many",
+                                      "pairs": [["a", "c"]],
+                                      "deadline_ms": 1e-6}).encode()
+                request = (b"POST /query HTTP/1.1\r\n"
+                           b"Content-Length: %d\r\n\r\n" % len(payload)
+                           ) + payload
+                raw = await http_exchange(host, port, request)
+                assert raw.startswith(b"HTTP/1.1 400")
+                body = json.loads(raw.split(b"\r\n\r\n", 1)[1])
+                assert body["error"]["code"] == "deadline-exceeded"
+        run(scenario())
+
+
+class _HungWriter:
+    """A writer whose drain never completes — a reader that stopped."""
+
+    class _Transport:
+        def __init__(self):
+            self.aborted = False
+
+        def abort(self):
+            self.aborted = True
+
+    def __init__(self):
+        self.transport = self._Transport()
+
+    async def drain(self):
+        await asyncio.sleep(3600)
+
+
+class TestSlowClients:
+    def test_guarded_drain_aborts_past_grace(self):
+        async def scenario():
+            server = ReachabilityServer(_engine(), write_high_water=1024,
+                                        write_grace=0.05)
+            writer = _HungWriter()
+            assert await server._guarded_drain(writer) is False
+            assert writer.transport.aborted
+            assert server._slow_aborts.value == 1
+        run(scenario())
+
+    def test_guarded_drain_is_plain_when_disabled(self):
+        async def scenario():
+            server = ReachabilityServer(_engine())  # write_high_water=0
+            class _Fine:
+                transport = None
+
+                async def drain(self):
+                    return None
+
+            assert await server._guarded_drain(_Fine()) is True
+            assert server._slow_aborts.value == 0
+        run(scenario())

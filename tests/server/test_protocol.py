@@ -19,11 +19,34 @@ import pytest
 
 from repro.core.hybrid import HybridTCIndex
 from repro.server.protocol import (DEFAULT_MAX_FRAME, ERROR_CODES,
-                                   FrameParser, ProtocolError,
+                                   CannedError, FrameParser, ProtocolError,
                                    decode_payload, encode_frame,
+                                   encode_response, error_response,
                                    looks_like_http)
 
 from .harness import http_exchange, next_response, run, serving
+
+
+class TestCannedError:
+    """The pre-serialised shed frame must be indistinguishable on the
+    wire from the dict-built one — splicing only the id in must not
+    change a byte."""
+
+    def test_byte_identical_to_encode_response(self):
+        canned = CannedError("overloaded", "budget gone",
+                             retry_after_ms=25)
+        for request_id in (0, 17, -3, None, "req-9", "unié",
+                           1.5, ["a", 2], {"k": [1, None]}):
+            expected = encode_response(error_response(
+                request_id, "overloaded", "budget gone",
+                retry_after_ms=25))
+            assert canned.frame(request_id) == expected
+
+    def test_without_retry_hint(self):
+        canned = CannedError("shutting-down", "going away")
+        expected = encode_response(error_response(
+            None, "shutting-down", "going away"))
+        assert canned.frame(None) == expected
 
 
 class TestFrameParser:
@@ -294,8 +317,9 @@ class TestMalformedFrames:
     def test_error_codes_are_closed_set(self):
         """Every code the dispatcher can emit is documented."""
         assert set(ERROR_CODES) == {
-            "bad-json", "bad-request", "cycle", "not-found", "read-only",
-            "server-error", "shutting-down", "too-large", "unknown-op"}
+            "bad-json", "bad-request", "cycle", "deadline-exceeded",
+            "not-found", "overloaded", "read-only", "server-error",
+            "shutting-down", "too-large", "unknown-op"}
 
 
 class TestHttpMode:

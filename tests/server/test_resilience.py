@@ -1,0 +1,351 @@
+"""Client-side resilience: timeouts, reconnect, backoff, write safety.
+
+The client's failure semantics are exercised against tiny scripted
+servers (accept-and-ignore, abort-after-read, overload-then-ok) so every
+failure is injected deterministically — no sleeps racing real load —
+plus a real server behind a :class:`ChaosProxy` for the reconnect path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.core.hybrid import HybridTCIndex
+from repro.errors import ReproError
+from repro.server.client import (AmbiguousWriteError, CallTimeoutError,
+                                 ReachabilityClient, RetryPolicy,
+                                 ServerError)
+from repro.server.protocol import (ProtocolError, encode_frame,
+                                   error_response, ok_response, read_frame)
+from repro.testing.netchaos import ChaosProxy
+
+from .harness import run, serving
+
+
+@asynccontextmanager
+async def fake_server(handler):
+    """A scripted peer on an ephemeral loopback port."""
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    sockname = server.sockets[0].getsockname()
+    try:
+        yield sockname[0], sockname[1]
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+async def _answer_frames(reader, writer):
+    """Reply ``pong``/epoch-1 acks to every frame until EOF."""
+    while True:
+        frame = await read_frame(reader)
+        if frame is None:
+            return
+        writer.write(encode_frame(ok_response(
+            frame["id"], "pong", epoch=1)))
+        await writer.drain()
+
+
+class TestCallTimeout:
+    def test_per_call_timeout_fires(self):
+        async def silent(reader, writer):
+            await reader.read()  # accept, read, never answer
+
+        async def scenario():
+            async with fake_server(silent) as (host, port):
+                client = await ReachabilityClient.connect(
+                    host, port, call_timeout=0.05)
+                try:
+                    with pytest.raises(CallTimeoutError) as caught:
+                        await client.ping()
+                    assert caught.value.op == "ping"
+                    assert caught.value.timeout == 0.05
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_request_timeout_overrides_client_default(self):
+        async def silent(reader, writer):
+            await reader.read()
+
+        async def scenario():
+            async with fake_server(silent) as (host, port):
+                client = await ReachabilityClient.connect(
+                    host, port, call_timeout=30.0)
+                try:
+                    started = time.monotonic()
+                    with pytest.raises(CallTimeoutError):
+                        await client.request("ping", timeout=0.05)
+                    assert time.monotonic() - started < 5.0
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_timed_out_slot_is_abandoned(self):
+        """A late answer to a timed-out id must not corrupt later calls."""
+        async def slow_then_fast(reader, writer):
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            # Answer the *second* request first, then the stale one.
+            writer.write(encode_frame(ok_response(
+                second["id"], "second", epoch=1)))
+            writer.write(encode_frame(ok_response(
+                first["id"], "first", epoch=1)))
+            await writer.drain()
+            await _answer_frames(reader, writer)
+
+        async def scenario():
+            async with fake_server(slow_then_fast) as (host, port):
+                client = await ReachabilityClient.connect(host, port)
+                try:
+                    with pytest.raises(CallTimeoutError):
+                        await client.request("ping", timeout=0.05)
+                    assert await client.call("ping") == "second"
+                finally:
+                    await client.close()
+        run(scenario())
+
+
+class TestReconnect:
+    def test_read_retries_across_a_mid_flight_reset(self):
+        """Connection 0 dies after the request is sent; the retry layer
+        reconnects and the (idempotent) read succeeds on connection 1."""
+        conns = {"count": 0}
+
+        async def flaky(reader, writer):
+            index = conns["count"]
+            conns["count"] += 1
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            if index == 0:
+                writer.transport.abort()
+                return
+            writer.write(encode_frame(ok_response(
+                frame["id"], "pong", epoch=1)))
+            await writer.drain()
+            await _answer_frames(reader, writer)
+
+        async def scenario():
+            async with fake_server(flaky) as (host, port):
+                client = await ReachabilityClient.connect(
+                    host, port, call_timeout=5.0,
+                    retry=RetryPolicy(attempts=3, base_delay=0.001,
+                                      rng=random.Random(0)))
+                try:
+                    assert await client.ping() == "pong"
+                    assert conns["count"] == 2
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_reconnects_through_a_severed_proxy(self):
+        engine = HybridTCIndex.from_arcs([("a", "b")])
+
+        async def scenario():
+            async with serving(engine) as (_, host, port):
+                proxy = await ChaosProxy.create(host, port)
+                client = await ReachabilityClient.connect(
+                    proxy.host, proxy.port, call_timeout=5.0,
+                    retry=RetryPolicy(attempts=5, base_delay=0.001,
+                                      rng=random.Random(1)))
+                try:
+                    assert await client.check("a", "b") is True
+                    proxy.sever_all()
+                    # The next call finds the connection dead, redials
+                    # through the proxy, and answers correctly.
+                    assert await client.check("a", "b") is True
+                    assert proxy.stats["connections"] >= 2
+                finally:
+                    await client.close()
+                    await proxy.close()
+        run(scenario())
+
+    def test_explicit_close_is_final(self):
+        async def scenario():
+            async with fake_server(_answer_frames) as (host, port):
+                client = await ReachabilityClient.connect(
+                    host, port,
+                    retry=RetryPolicy(attempts=3, base_delay=0.001))
+                assert await client.ping() == "pong"
+                await client.close()
+                with pytest.raises(ReproError):
+                    await client.ping()
+        run(scenario())
+
+    def test_close_tolerates_a_dead_peer(self):
+        async def abort_after_read(reader, writer):
+            await read_frame(reader)
+            writer.transport.abort()
+
+        async def scenario():
+            async with fake_server(abort_after_read) as (host, port):
+                client = await ReachabilityClient.connect(host, port)
+                try:
+                    await client.ping()
+                except (ReproError, OSError):
+                    pass
+                started = time.monotonic()
+                await client.close()  # must neither raise nor hang
+                assert time.monotonic() - started < client.close_timeout
+                await client.close()  # idempotent
+        run(scenario())
+
+
+class TestBackoff:
+    def test_schedule_is_deterministic_under_a_seeded_rng(self):
+        first = RetryPolicy(attempts=6, base_delay=0.05, max_delay=1.0,
+                            rng=random.Random(42))
+        second = RetryPolicy(attempts=6, base_delay=0.05, max_delay=1.0,
+                             rng=random.Random(42))
+        schedule = [first.delay(k) for k in range(6)]
+        assert schedule == [second.delay(k) for k in range(6)]
+
+    def test_delay_is_capped_exponential_with_downward_jitter(self):
+        policy = RetryPolicy(attempts=8, base_delay=0.1, max_delay=0.4,
+                             multiplier=2.0, jitter=0.5,
+                             rng=random.Random(7))
+        for attempt in range(8):
+            raw = min(0.4, 0.1 * 2.0 ** attempt)
+            delay = policy.delay(attempt)
+            assert 0.5 * raw <= delay <= raw
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.05, max_delay=2.0,
+                             multiplier=2.0, jitter=0.0)
+        assert [policy.delay(k) for k in range(5)] == \
+            [0.05, 0.1, 0.2, 0.4, 0.8]
+
+    def test_invalid_policies_are_rejected(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.5)
+
+    def test_overloaded_retry_honours_the_server_hint(self):
+        """An ``overloaded`` response's retry_after_ms floors the delay."""
+        calls = {"count": 0}
+
+        async def overload_once(reader, writer):
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                calls["count"] += 1
+                if calls["count"] == 1:
+                    writer.write(encode_frame(error_response(
+                        frame["id"], "overloaded", "busy",
+                        retry_after_ms=80)))
+                else:
+                    writer.write(encode_frame(ok_response(
+                        frame["id"], "pong", epoch=1)))
+                await writer.drain()
+
+        async def scenario():
+            async with fake_server(overload_once) as (host, port):
+                client = await ReachabilityClient.connect(
+                    host, port,
+                    retry=RetryPolicy(attempts=3, base_delay=0.001,
+                                      jitter=0.0))
+                try:
+                    started = time.monotonic()
+                    assert await client.ping() == "pong"
+                    assert time.monotonic() - started >= 0.07
+                    assert calls["count"] == 2
+                finally:
+                    await client.close()
+        run(scenario())
+
+
+class TestWriteRetrySafety:
+    def test_not_applied_codes_classify_as_safe(self):
+        for code in ("overloaded", "deadline-exceeded", "shutting-down",
+                     "read-only"):
+            assert ReachabilityClient.write_retry_safe(
+                ServerError(code, "refused"))
+            assert ReachabilityClient.write_retry_safe(
+                ProtocolError(code, "refused"))
+
+    def test_everything_else_classifies_as_unsafe(self):
+        unsafe = [
+            ServerError("cycle", "would create a cycle"),
+            ServerError("bad-request", "nonsense"),
+            AmbiguousWriteError("add-arc", ConnectionResetError()),
+            ConnectionResetError("peer vanished"),
+            CallTimeoutError("add-arc", 1.0),
+        ]
+        for error in unsafe:
+            assert not ReachabilityClient.write_retry_safe(error)
+
+    def test_write_sent_then_reset_raises_ambiguous(self):
+        """A write that hit the wire and lost its connection must NOT be
+        auto-retried: the server may have applied it."""
+        async def abort_after_read(reader, writer):
+            await read_frame(reader)
+            writer.transport.abort()
+
+        async def scenario():
+            async with fake_server(abort_after_read) as (host, port):
+                client = await ReachabilityClient.connect(
+                    host, port, call_timeout=5.0,
+                    retry=RetryPolicy(attempts=5, base_delay=0.001))
+                try:
+                    with pytest.raises(AmbiguousWriteError) as caught:
+                        await client.add_arc("a", "b")
+                    assert caught.value.op == "add-arc"
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_structured_overload_refusal_of_a_write_is_retried(self):
+        """``overloaded`` means not-applied, so the retry layer may (and
+        does) resubmit the write itself."""
+        calls = {"count": 0}
+
+        async def shed_once(reader, writer):
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                calls["count"] += 1
+                if calls["count"] == 1:
+                    writer.write(encode_frame(error_response(
+                        frame["id"], "overloaded", "write queue full",
+                        retry_after_ms=5)))
+                else:
+                    writer.write(encode_frame(ok_response(
+                        frame["id"], True, epoch=9)))
+                await writer.drain()
+
+        async def scenario():
+            async with fake_server(shed_once) as (host, port):
+                client = await ReachabilityClient.connect(
+                    host, port,
+                    retry=RetryPolicy(attempts=3, base_delay=0.001,
+                                      jitter=0.0))
+                try:
+                    assert await client.add_arc("a", "b") == 9
+                    assert calls["count"] == 2
+                finally:
+                    await client.close()
+        run(scenario())
+
+    def test_write_timeout_is_ambiguous_not_retried(self):
+        async def silent(reader, writer):
+            await reader.read()
+
+        async def scenario():
+            async with fake_server(silent) as (host, port):
+                client = await ReachabilityClient.connect(
+                    host, port, call_timeout=0.05,
+                    retry=RetryPolicy(attempts=4, base_delay=0.001))
+                try:
+                    with pytest.raises(AmbiguousWriteError):
+                        await client.add_arc("a", "b")
+                finally:
+                    await client.close()
+        run(scenario())
