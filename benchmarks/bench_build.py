@@ -46,7 +46,7 @@ from repro.core.index import IntervalTCIndex
 from repro.core.labeling import assign_postorder
 from repro.core.propagation import run_propagation
 from repro.core.rtcf import load_rtcf, rtcf_bytes
-from repro.core.serialize import load_frozen_index, save_frozen_index
+from repro.core.serialize import _load_frozen_index, save_frozen_index
 from repro.core.tree_cover import build_tree_cover
 from repro.graph.generators import random_dag
 
@@ -148,7 +148,7 @@ def run_scale(*, nodes: int, degree: float, seed: int, pairs: int,
         lambda: save_frozen_index(frozen, rtcf_path, format="rtcf"))
 
     json_load_seconds = _best_of(
-        repeats, lambda: load_frozen_index(json_path))
+        repeats, lambda: _load_frozen_index(json_path))
     rtcf_load_seconds = _best_of(repeats, lambda: load_rtcf(rtcf_path))
 
     # First-query latency from a cold open: everything between "the file
@@ -157,14 +157,14 @@ def run_scale(*, nodes: int, degree: float, seed: int, pairs: int,
     probe = (rng.choice(node_list), rng.choice(node_list))
     json_first_query = _best_of(
         repeats,
-        lambda: load_frozen_index(json_path).reachable(*probe))
+        lambda: _load_frozen_index(json_path).reachable(*probe))
     rtcf_first_query = _best_of(
         repeats, lambda: load_rtcf(rtcf_path).reachable(*probe))
 
     # Parity: both cold-loaded views answer a random batch identically.
     sample = [(rng.choice(node_list), rng.choice(node_list))
               for _ in range(pairs)]
-    json_view = load_frozen_index(json_path)
+    json_view = _load_frozen_index(json_path)
     rtcf_view = load_rtcf(rtcf_path, verify=True)
     json_answers = json_view.reachable_many(sample)
     if rtcf_view.reachable_many(sample) != json_answers:

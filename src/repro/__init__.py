@@ -24,8 +24,11 @@ saved index, durable store directory) and can wire observability::
 """
 
 from repro.core import (
+    ChainCoverIndex,
     CondensedIndex,
     FrozenTCIndex,
+    GraphStats,
+    HopLabelIndex,
     HybridTCIndex,
     Interval,
     IntervalSet,
@@ -33,8 +36,10 @@ from repro.core import (
     TreeCover,
     VIRTUAL_ROOT,
     build_tree_cover,
+    graph_stats,
+    recommend_engine,
 )
-from repro.core.engine import TCEngine
+from repro.core.engine import EngineCapabilities, TCEngine
 from repro.errors import (
     ArcNotFoundError,
     CycleError,
@@ -53,11 +58,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArcNotFoundError",
+    "ChainCoverIndex",
     "CondensedIndex",
     "CycleError",
     "DiGraph",
+    "EngineCapabilities",
     "FrozenTCIndex",
     "GraphError",
+    "GraphStats",
+    "HopLabelIndex",
     "HybridTCIndex",
     "IndexStateError",
     "Interval",
@@ -72,6 +81,8 @@ __all__ = [
     "TreeCover",
     "VIRTUAL_ROOT",
     "build_tree_cover",
+    "graph_stats",
     "open_index",
+    "recommend_engine",
     "__version__",
 ]

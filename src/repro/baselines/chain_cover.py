@@ -1,232 +1,25 @@
 """Chain-decomposition closure compression (Jagadish [18], Section 5).
 
-The comparator of Theorem 2.  Nodes are partitioned into *chains*; each
-node stores, per chain, the earliest chain position it can reach — every
-later node on that chain is then reachable by transitivity.  Soundness
-requires consecutive chain members to be connected (here: by an arc of the
-graph, so chains are vertex-disjoint paths).
-
-Two decompositions are provided:
-
-* ``"greedy"`` — walk the topological order, appending each node to some
-  chain whose current tail has an arc to it (first fit), else start a new
-  chain;
-* ``"optimal"`` — a minimum path cover over the *closure* (Dilworth's
-  minimum chain cover), computed with Hopcroft-Karp bipartite matching.
-  Chains are then paths in the closure; consecutive members are connected
-  by a path, which is equally sound.
-
-Theorem 2 states that the interval scheme on the optimal tree cover never
-needs more intervals than the best chain compression needs chain entries
-(without "chain reduction"); ``benchmarks/bench_chain_cover.py`` and the
-property tests check that inequality empirically.
+Promoted to a first-class engine in :mod:`repro.core.chain_cover`; this
+module keeps the historical baseline names importable.
+:class:`ChainTCIndex` *is* :class:`~repro.core.chain_cover.ChainCoverIndex`
+— the promotion grew the query surface (the full
+:class:`~repro.core.engine.TCEngine` protocol) without changing the
+labels, so every baseline comparison and Theorem 2 measurement reads
+exactly as before.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List, Optional, Tuple
+from repro.core.chain_cover import (
+    METHODS,
+    ChainCoverIndex,
+    greedy_chain_decomposition,
+    optimal_chain_decomposition,
+)
 
-from repro.baselines.full_closure import FullTCIndex
-from repro.errors import GraphError, NodeNotFoundError
-from repro.graph.digraph import DiGraph, Node
-from repro.graph.traversal import reverse_topological_order, topological_order
+__all__ = ["METHODS", "ChainTCIndex", "greedy_chain_decomposition",
+           "optimal_chain_decomposition"]
 
-METHODS = ("greedy", "optimal")
-
-
-def greedy_chain_decomposition(graph: DiGraph) -> List[List[Node]]:
-    """First-fit path decomposition along the topological order."""
-    chains: List[List[Node]] = []
-    tail_chain: Dict[Node, int] = {}
-    for node in topological_order(graph):
-        placed = False
-        for predecessor in graph.predecessors(node):
-            chain_id = tail_chain.get(predecessor)
-            if chain_id is not None:
-                chains[chain_id].append(node)
-                del tail_chain[predecessor]
-                tail_chain[node] = chain_id
-                placed = True
-                break
-        if not placed:
-            tail_chain[node] = len(chains)
-            chains.append([node])
-    return chains
-
-
-def _hopcroft_karp(left: List[Node], adjacency: Dict[Node, List[Node]]) -> Dict[Node, Node]:
-    """Maximum bipartite matching; returns the left -> right matching map."""
-    INFINITY = float("inf")
-    match_left: Dict[Node, Optional[Node]] = {u: None for u in left}
-    match_right: Dict[Node, Optional[Node]] = {}
-    distance: Dict[Node, float] = {}
-
-    def bfs() -> bool:
-        queue = deque()
-        for u in left:
-            if match_left[u] is None:
-                distance[u] = 0
-                queue.append(u)
-            else:
-                distance[u] = INFINITY
-        found_free = False
-        while queue:
-            u = queue.popleft()
-            for v in adjacency.get(u, ()):
-                mate = match_right.get(v)
-                if mate is None:
-                    found_free = True
-                elif distance[mate] == INFINITY:
-                    distance[mate] = distance[u] + 1
-                    queue.append(mate)
-        return found_free
-
-    def dfs(root: Node) -> bool:
-        # Iterative layered DFS (recursion would overflow on long
-        # augmenting paths).  Each frame is [left node, successor iterator,
-        # right node through which the frame was entered].
-        stack: List[list] = [[root, iter(adjacency.get(root, ())), None]]
-        while stack:
-            frame = stack[-1]
-            u, successors = frame[0], frame[1]
-            advanced = False
-            for v in successors:
-                mate = match_right.get(v)
-                if mate is None:
-                    # Free right node: augment along the whole stack path.
-                    match_left[u] = v
-                    match_right[v] = u
-                    for depth in range(len(stack) - 1, 0, -1):
-                        entered_via = stack[depth][2]
-                        parent = stack[depth - 1][0]
-                        match_left[parent] = entered_via
-                        match_right[entered_via] = parent
-                    return True
-                if distance.get(mate, INFINITY) == distance[u] + 1:
-                    stack.append([mate, iter(adjacency.get(mate, ())), v])
-                    advanced = True
-                    break
-            if not advanced:
-                distance[u] = INFINITY
-                stack.pop()
-        return False
-
-    while bfs():
-        for u in left:
-            if match_left[u] is None:
-                dfs(u)
-    return {u: v for u, v in match_left.items() if v is not None}
-
-
-def optimal_chain_decomposition(graph: DiGraph,
-                                closure: Optional[FullTCIndex] = None) -> List[List[Node]]:
-    """Dilworth minimum chain cover via matching on the transitive closure.
-
-    The number of chains equals ``n - |maximum matching|``, the minimum
-    possible (Dilworth); consecutive chain members are related by
-    reachability, not necessarily adjacency.
-    """
-    if closure is None:
-        closure = FullTCIndex.build(graph)
-    order = topological_order(graph)
-    adjacency = {node: sorted(closure.successors(node, reflexive=False),
-                              key=str) for node in order}
-    matching = _hopcroft_karp(order, adjacency)
-    matched_right = set(matching.values())
-    chains = []
-    for node in order:
-        if node in matched_right:
-            continue
-        chain = [node]
-        while chain[-1] in matching:
-            chain.append(matching[chain[-1]])
-        chains.append(chain)
-    return chains
-
-
-class ChainTCIndex:
-    """Reachability index over a chain decomposition.
-
-    ``reach[u]`` maps a chain id to the smallest position on that chain
-    reachable from ``u`` (reflexively: ``u`` reaches its own position).
-    """
-
-    def __init__(self, chains: List[List[Node]],
-                 position_of: Dict[Node, Tuple[int, int]],
-                 reach: Dict[Node, Dict[int, int]], method: str) -> None:
-        self.chains = chains
-        self._position_of = position_of
-        self._reach = reach
-        self.method = method
-
-    @classmethod
-    def build(cls, graph: DiGraph, method: str = "greedy") -> "ChainTCIndex":
-        """Decompose ``graph`` into chains and propagate earliest positions."""
-        if method not in METHODS:
-            raise GraphError(f"unknown chain method {method!r}; expected one of {METHODS}")
-        if method == "greedy":
-            chains = greedy_chain_decomposition(graph)
-        else:
-            chains = optimal_chain_decomposition(graph)
-        position_of: Dict[Node, Tuple[int, int]] = {}
-        for chain_id, chain in enumerate(chains):
-            for sequence, node in enumerate(chain):
-                position_of[node] = (chain_id, sequence)
-
-        reach: Dict[Node, Dict[int, int]] = {}
-        for node in reverse_topological_order(graph):
-            own_chain, own_sequence = position_of[node]
-            entries: Dict[int, int] = {own_chain: own_sequence}
-            for successor in graph.successors(node):
-                for chain_id, sequence in reach[successor].items():
-                    current = entries.get(chain_id)
-                    if current is None or sequence < current:
-                        entries[chain_id] = sequence
-            reach[node] = entries
-        return cls(chains, position_of, reach, method)
-
-    def reachable(self, source: Node, destination: Node) -> bool:
-        """Reflexive reachability: earliest reached position <= target position."""
-        if source not in self._reach:
-            raise NodeNotFoundError(source)
-        try:
-            chain_id, sequence = self._position_of[destination]
-        except KeyError:
-            raise NodeNotFoundError(destination) from None
-        earliest = self._reach[source].get(chain_id)
-        return earliest is not None and earliest <= sequence
-
-    def successors(self, source: Node, *, reflexive: bool = True) -> set:
-        """Decode the successor list from the chain suffixes."""
-        if source not in self._reach:
-            raise NodeNotFoundError(source)
-        result = set()
-        for chain_id, sequence in self._reach[source].items():
-            result.update(self.chains[chain_id][sequence:])
-        if not reflexive:
-            result.discard(source)
-        return result
-
-    @property
-    def num_chains(self) -> int:
-        """Number of chains in the decomposition."""
-        return len(self.chains)
-
-    @property
-    def num_entries(self) -> int:
-        """Total (chain, position) entries — the Theorem 2 quantity.
-
-        Each node's entry for its *own* position is charged too, mirroring
-        the interval scheme's per-node tree interval.
-        """
-        return sum(len(entries) for entries in self._reach.values())
-
-    @property
-    def storage_units(self) -> int:
-        """Two numbers (chain id, position) per entry."""
-        return 2 * self.num_entries
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"ChainTCIndex(method={self.method!r}, chains={self.num_chains}, "
-                f"entries={self.num_entries})")
+#: Historical baseline name for the promoted engine.
+ChainTCIndex = ChainCoverIndex

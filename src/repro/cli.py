@@ -73,10 +73,13 @@ def _load_engine(path: str, engine: Optional[str]):
 
 def _add_engine_option(command) -> None:
     command.add_argument(
-        "--engine", choices=("dict", "frozen", "hybrid"), default=None,
+        "--engine",
+        choices=("dict", "frozen", "hybrid", "hoplabel", "chain"),
+        default=None,
         help="query engine: 'dict' (the updatable interval-set index), "
-             "'frozen' (flat-array snapshot), or 'hybrid' (frozen base + "
-             "delta overlay; default follows the file)")
+             "'frozen' (flat-array snapshot), 'hybrid' (frozen base + "
+             "delta overlay), 'hoplabel' (2-hop hub labels), or 'chain' "
+             "(chain-cover labels; default follows the file)")
 
 
 def _add_durable_option(command) -> None:
@@ -190,8 +193,8 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     loaded = open_index(args.index, durable=False)
     if not isinstance(loaded, FrozenTCIndex):
         raise ReproError(
-            f"{args.index} holds a mutable or hybrid index; convert "
-            "migrates frozen documents — freeze first "
+            f"{args.index} holds a {loaded.capabilities().kind!r} engine; "
+            "convert migrates frozen documents — freeze first "
             "(repro-tc freeze INDEX -o OUT.rtcf)")
     output = args.output or (
         args.index[:-len(".json")] + ".rtcf"
@@ -220,11 +223,13 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 def _cmd_compact(args: argparse.Namespace) -> int:
     loaded = open_index(args.index, durable=False)
-    if isinstance(loaded, FrozenTCIndex):
+    caps = loaded.capabilities()
+    if caps.is_frozen_snapshot:
         raise ReproError(
-            f"{args.index} holds frozen buffers; a hybrid engine needs the "
-            f"mutable index — compact a saved index or hybrid file instead")
-    if isinstance(loaded, IntervalTCIndex):
+            f"{args.index} holds an immutable {caps.kind!r} snapshot; a "
+            f"hybrid engine needs the mutable index — compact a saved "
+            f"index or hybrid file instead")
+    if caps.kind == "interval":
         # converting an index file IS the initial compaction: snapshot now
         hybrid = HybridTCIndex.from_index(loaded)
         folded = True
@@ -393,6 +398,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 0
     comparison = compare_storage(graph, include_inverse=args.inverse)
     print(format_table([comparison.as_dict()], title=f"storage for {args.edges}"))
+    from repro.core.select import graph_stats, recommend_engine
+    stats = graph_stats(graph)
+    row = stats.as_dict()
+    row["recommended_engine"] = recommend_engine(stats)
+    print(format_table(
+        [row], title="graph statistics (what engine='auto' consults)"))
     return 0
 
 
@@ -640,12 +651,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shut down cleanly", flush=True)
 
     with _engine_for(args) as engine:
-        if args.read_only and not isinstance(engine, FrozenTCIndex):
+        if args.read_only and not engine.capabilities().is_frozen_snapshot:
             # Pin an immutable snapshot of whatever was loaded; the
             # server then refuses every write with a read-only error.
             if hasattr(engine, "snapshot"):
                 engine = engine.snapshot()
-            elif isinstance(engine, IntervalTCIndex):
+            elif hasattr(engine, "freeze"):
                 engine = engine.freeze()
             else:
                 raise ReproError(

@@ -1,22 +1,28 @@
 """The paper's contribution: interval-compressed transitive closure."""
 
 from repro.core.bidirectional import BidirectionalTCIndex
+from repro.core.chain_cover import ChainCoverIndex
 from repro.core.condensation import CondensedIndex
-from repro.core.engine import TCEngine
+from repro.core.engine import EngineCapabilities, TCEngine
 from repro.core.frozen import FrozenTCIndex
+from repro.core.hoplabel import HopLabelIndex
 from repro.core.hybrid import HybridTCIndex
 from repro.core.index import DEFAULT_GAP, IndexStats, IntervalTCIndex
+from repro.core.select import GraphStats, graph_stats, recommend_engine
 from repro.core.serialize import (
+    chain_from_dict,
+    chain_to_dict,
     frozen_from_dict,
     frozen_to_dict,
+    hoplabel_from_dict,
+    hoplabel_to_dict,
     hybrid_from_dict,
     hybrid_to_dict,
     index_from_dict,
     index_to_dict,
-    load_frozen_index,
-    load_hybrid_index,
-    load_index,
+    save_chain_index,
     save_frozen_index,
+    save_hoplabel_index,
     save_hybrid_index,
     save_index,
 )
@@ -39,9 +45,13 @@ from repro.core.tree_cover import (
 
 __all__ = [
     "BidirectionalTCIndex",
+    "ChainCoverIndex",
     "CondensedIndex",
     "DEFAULT_GAP",
+    "EngineCapabilities",
     "FrozenTCIndex",
+    "GraphStats",
+    "HopLabelIndex",
     "HybridTCIndex",
     "IndexStats",
     "Interval",
@@ -55,21 +65,26 @@ __all__ = [
     "all_tree_covers",
     "assign_postorder",
     "build_tree_cover",
+    "chain_from_dict",
+    "chain_to_dict",
     "check_laminar",
     "frozen_from_dict",
     "frozen_to_dict",
+    "graph_stats",
+    "hoplabel_from_dict",
+    "hoplabel_to_dict",
     "hybrid_from_dict",
     "hybrid_to_dict",
     "index_from_dict",
     "index_to_dict",
     "intervals_from_points",
     "label_graph",
-    "load_frozen_index",
-    "load_hybrid_index",
-    "load_index",
-    "save_frozen_index",
-    "save_hybrid_index",
     "merge_all",
     "propagate_intervals",
+    "recommend_engine",
+    "save_chain_index",
+    "save_frozen_index",
+    "save_hoplabel_index",
+    "save_hybrid_index",
     "save_index",
 ]

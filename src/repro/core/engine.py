@@ -19,12 +19,34 @@ checks method presence (not signatures; the conformance suite in
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (Iterable, Iterator, List, Protocol, Set, Tuple,
                     runtime_checkable)
 
 from repro.graph.digraph import Node
 
-__all__ = ["TCEngine"]
+__all__ = ["EngineCapabilities", "TCEngine"]
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What an engine can do, for dispatch without ``isinstance``.
+
+    ``kind`` is the engine's :func:`repro.open_index` name ("interval",
+    "frozen", "hybrid", "hoplabel", "chain", "durable", ...).
+    ``supports_updates`` — accepts add/remove mutations after build.
+    ``supports_batch`` — batch calls run a native fast path (vectorised
+    or routed), not just a loop over the single-op form.
+    ``is_frozen_snapshot`` — an immutable compiled artefact: it carries
+    no graph or tree cover, so it can never be coerced into a mutable
+    engine.  ``durable`` — mutations are journalled to stable storage.
+    """
+
+    kind: str
+    supports_updates: bool
+    supports_batch: bool
+    is_frozen_snapshot: bool
+    durable: bool
 
 
 @runtime_checkable
@@ -75,6 +97,8 @@ class TCEngine(Protocol):
 
     # -- membership and introspection -----------------------------------
     def nodes(self) -> Iterator[Node]: ...
+
+    def capabilities(self) -> EngineCapabilities: ...
 
     def stats(self): ...
 

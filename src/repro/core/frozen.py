@@ -124,7 +124,7 @@ class FrozenTCIndex:
 
     Construct with :meth:`IntervalTCIndex.freeze` (or :meth:`from_index`);
     reload persisted buffers with :meth:`from_buffers` /
-    :func:`repro.core.serialize.load_frozen_index`.
+    :func:`repro.open_index`.
 
     The query surface mirrors the mutable index — :meth:`reachable`,
     :meth:`successors`, :meth:`predecessors`, :meth:`count_successors` —
@@ -623,6 +623,13 @@ class FrozenTCIndex:
             "highs": [int(value) for value in self._hi],
             "epoch": self._source_epoch,
         }
+
+    def capabilities(self) -> "EngineCapabilities":
+        """Immutable compiled buffers with vectorised batch queries."""
+        from repro.core.engine import EngineCapabilities
+        return EngineCapabilities(
+            kind="frozen", supports_updates=False, supports_batch=True,
+            is_frozen_snapshot=True, durable=False)
 
     def stats(self) -> dict:
         """A small size/shape report for CLI output and benchmarks."""

@@ -757,6 +757,13 @@ class HybridTCIndex:
         """All indexed nodes (current state, overlay included)."""
         return self._index.nodes()
 
+    def capabilities(self) -> "EngineCapabilities":
+        """Updatable with a vectorised frozen base for clean batches."""
+        from repro.core.engine import EngineCapabilities
+        return EngineCapabilities(
+            kind="hybrid", supports_updates=True, supports_batch=True,
+            is_frozen_snapshot=False, durable=False)
+
     def stats(self) -> dict:
         """Overlay/compaction accounting plus the base engine's report."""
         return {

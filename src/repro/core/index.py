@@ -492,6 +492,13 @@ class IntervalTCIndex:
         """Full renumbering passes this index has performed."""
         return self._renumber_count
 
+    def capabilities(self) -> "EngineCapabilities":
+        """Updatable, loop-based batches, graph-carrying, in-memory."""
+        from repro.core.engine import EngineCapabilities
+        return EngineCapabilities(
+            kind="interval", supports_updates=True, supports_batch=False,
+            is_frozen_snapshot=False, durable=False)
+
     def stats(self) -> IndexStats:
         """A full size report."""
         total = self.num_intervals

@@ -40,8 +40,9 @@ def _engine(index: Engine) -> Engine:
     cached frozen view when that view exists and is fresh.  Freezing is
     never triggered here — callers opt in with ``index.freeze()``.
     """
-    if isinstance(index, IntervalTCIndex):
-        view = index.frozen_view()
+    frozen_view = getattr(index, "frozen_view", None)
+    if frozen_view is not None:
+        view = frozen_view()
         return index if view is None else view
     return index
 

@@ -8,8 +8,8 @@ an identical :class:`~repro.core.index.IntervalTCIndex` without
 re-running Alg1 or the propagation pass.
 
 A :class:`~repro.core.frozen.FrozenTCIndex` persists as its raw flat
-buffers (:func:`save_frozen_index` / :func:`load_frozen_index`): loading
-rehydrates the arrays directly — no graph, tree cover, or interval-set
+buffers (:func:`save_frozen_index`; reopened via
+:func:`repro.open_index`): loading rehydrates the arrays directly — no graph, tree cover, or interval-set
 reconstruction — and only re-derives the reverse interval index with one
 O(m log m) sort.  Frozen documents are self-contained; a view loaded this
 way has no source index and can never go stale.
@@ -21,7 +21,6 @@ root is encoded as ``None`` in the parent map.
 from __future__ import annotations
 
 import json
-import warnings
 from fractions import Fraction
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -40,10 +39,16 @@ from repro.graph.traversal import topological_order
 FORMAT_VERSION = 1
 FROZEN_FORMAT_VERSION = 1
 HYBRID_FORMAT_VERSION = 1
+HOPLABEL_FORMAT_VERSION = 1
+CHAIN_FORMAT_VERSION = 1
 #: Document discriminator for frozen-buffer files.
 FROZEN_KIND = "frozen-tc-index"
 #: Document discriminator for hybrid (base + delta log) files.
 HYBRID_KIND = "hybrid-tc-index"
+#: Document discriminator for 2-hop label files.
+HOPLABEL_KIND = "hop-label-index"
+#: Document discriminator for chain-cover label files.
+CHAIN_KIND = "chain-tc-index"
 
 
 def _read_document(path: Union[str, Path]) -> dict:
@@ -135,12 +140,11 @@ def index_from_dict(document: dict) -> IntervalTCIndex:
     JSON converts non-string dict keys, so all per-node tables are stored
     as pair lists; labels round-trip as long as they are strings/numbers.
     """
-    if document.get("kind") == FROZEN_KIND:
+    kind = document.get("kind")
+    if kind is not None:
         raise ReproError(
-            "document holds frozen buffers; load it with load_frozen_index")
-    if document.get("kind") == HYBRID_KIND:
-        raise ReproError(
-            "document holds a hybrid engine; load it with load_hybrid_index")
+            f"document holds a {kind!r} engine, not a mutable index; "
+            "open it with repro.open_index")
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise ReproError(f"unsupported index document version {version!r}")
@@ -184,22 +188,6 @@ def _load_index(path: Union[str, Path]) -> IntervalTCIndex:
     return _rebuild(path, index_from_dict, _read_document(path))
 
 
-def load_index(path: Union[str, Path]) -> IntervalTCIndex:
-    """Read an index previously written by :func:`save_index`.
-
-    .. deprecated:: use :func:`repro.open_index` — it dispatches on the
-       document kind and wires observability.
-    """
-    _warn_deprecated("load_index")
-    return _load_index(path)
-
-
-def _warn_deprecated(name: str) -> None:
-    warnings.warn(
-        f"{name}() is deprecated; use repro.open_index() instead",
-        DeprecationWarning, stacklevel=3)
-
-
 # ----------------------------------------------------------------------
 # frozen buffers
 # ----------------------------------------------------------------------
@@ -228,7 +216,8 @@ def frozen_from_dict(document: dict, *,
     """
     if document.get("kind") != FROZEN_KIND:
         raise ReproError(
-            "document does not hold frozen buffers; use load_index")
+            "document does not hold frozen buffers; "
+            "open it with repro.open_index")
     version = document.get("format_version")
     if version != FROZEN_FORMAT_VERSION:
         raise ReproError(f"unsupported frozen document version {version!r}")
@@ -250,8 +239,8 @@ def save_frozen_index(frozen: FrozenTCIndex, path: Union[str, Path], *,
     ``format="json"`` writes the textual buffer document (portable,
     human-inspectable, the only choice for fractional numbering);
     ``format="rtcf"`` writes the binary zero-copy container
-    (:mod:`repro.core.rtcf`), which :func:`load_any` and
-    :func:`repro.open_index` reopen through ``mmap`` in O(1).
+    (:mod:`repro.core.rtcf`), which :func:`repro.open_index` reopens
+    through ``mmap`` in O(1).
     """
     if format == "json":
         atomic_write_text(path, json.dumps(frozen_to_dict(frozen)))
@@ -270,17 +259,6 @@ def _load_frozen_index(path: Union[str, Path], *,
         return load_rtcf(path, backend=backend)
     return _rebuild(path, frozen_from_dict, _read_document(path),
                     backend=backend)
-
-
-def load_frozen_index(path: Union[str, Path], *,
-                      backend: Optional[str] = None) -> FrozenTCIndex:
-    """Read buffers previously written by :func:`save_frozen_index`.
-
-    .. deprecated:: use :func:`repro.open_index` with
-       ``engine="frozen"``.
-    """
-    _warn_deprecated("load_frozen_index")
-    return _load_frozen_index(path, backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -317,7 +295,8 @@ def hybrid_from_dict(document: dict, *,
     from repro.core.hybrid import HybridTCIndex
     if document.get("kind") != HYBRID_KIND:
         raise ReproError(
-            "document does not hold a hybrid engine; use load_any")
+            "document does not hold a hybrid engine; "
+            "open it with repro.open_index")
     version = document.get("format_version")
     if version != HYBRID_FORMAT_VERSION:
         raise ReproError(f"unsupported hybrid document version {version!r}")
@@ -349,19 +328,97 @@ def _load_hybrid_index(path: Union[str, Path], *,
                     backend=backend)
 
 
-def load_hybrid_index(path: Union[str, Path], *,
-                      backend: Optional[str] = None) -> "HybridTCIndex":
-    """Read a hybrid engine previously written by :func:`save_hybrid_index`.
+# ----------------------------------------------------------------------
+# 2-hop labels
+# ----------------------------------------------------------------------
+def hoplabel_to_dict(oracle: "HopLabelIndex") -> dict:
+    """A JSON-safe document holding the oracle's Lin/Lout label lists."""
+    labels = oracle.to_labels()
+    return {
+        "format_version": HOPLABEL_FORMAT_VERSION,
+        "kind": HOPLABEL_KIND,
+        "nodes": labels["nodes"],
+        "lin": labels["lin"],
+        "lout": labels["lout"],
+    }
 
-    .. deprecated:: use :func:`repro.open_index` with
-       ``engine="hybrid"``.
+
+def hoplabel_from_dict(document: dict) -> "HopLabelIndex":
+    """Rehydrate a 2-hop oracle from :func:`hoplabel_to_dict` output.
+
+    The label lists are adopted as-is; only the inverted cluster lists
+    (for set-valued queries) are re-derived — one linear pass.
     """
-    _warn_deprecated("load_hybrid_index")
-    return _load_hybrid_index(path, backend=backend)
+    from repro.core.hoplabel import HopLabelIndex
+    if document.get("kind") != HOPLABEL_KIND:
+        raise ReproError(
+            "document does not hold 2-hop labels; "
+            "open it with repro.open_index")
+    version = document.get("format_version")
+    if version != HOPLABEL_FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported hop-label document version {version!r}")
+    return HopLabelIndex.from_labels(
+        document["nodes"], document["lin"], document["lout"])
 
 
-def _load_any(path: Union[str, Path], *, backend: Optional[str] = None
-              ) -> Union[IntervalTCIndex, FrozenTCIndex, "HybridTCIndex"]:
+def save_hoplabel_index(oracle: "HopLabelIndex",
+                        path: Union[str, Path]) -> None:
+    """Write a 2-hop oracle to ``path`` atomically."""
+    atomic_write_text(path, json.dumps(hoplabel_to_dict(oracle)))
+
+
+# ----------------------------------------------------------------------
+# chain-cover labels
+# ----------------------------------------------------------------------
+def chain_to_dict(index: "ChainCoverIndex") -> dict:
+    """A JSON-safe document holding chains and per-node chain minima."""
+    return {
+        "format_version": CHAIN_FORMAT_VERSION,
+        "kind": CHAIN_KIND,
+        "method": index.method,
+        "chains": [list(chain) for chain in index.chains],
+        "reach": [[node, sorted(entries.items())]
+                  for node, entries in index._reach.items()],
+    }
+
+
+def chain_from_dict(document: dict) -> "ChainCoverIndex":
+    """Rehydrate a chain-cover engine from :func:`chain_to_dict` output."""
+    from repro.core.chain_cover import ChainCoverIndex
+    if document.get("kind") != CHAIN_KIND:
+        raise ReproError(
+            "document does not hold chain-cover labels; "
+            "open it with repro.open_index")
+    version = document.get("format_version")
+    if version != CHAIN_FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported chain-cover document version {version!r}")
+    chains = [list(chain) for chain in document["chains"]]
+    position_of = {node: (chain_id, sequence)
+                   for chain_id, chain in enumerate(chains)
+                   for sequence, node in enumerate(chain)}
+    reach = {node: {int(chain_id): int(sequence)
+                    for chain_id, sequence in entries}
+             for node, entries in document["reach"]}
+    return ChainCoverIndex(chains, position_of, reach,
+                           document.get("method", "greedy"))
+
+
+def save_chain_index(index: "ChainCoverIndex",
+                     path: Union[str, Path]) -> None:
+    """Write a chain-cover engine to ``path`` atomically."""
+    atomic_write_text(path, json.dumps(chain_to_dict(index)))
+
+
+def _load_any(path: Union[str, Path], *, backend: Optional[str] = None):
+    """Load whichever engine kind ``path`` holds (magic sniff + ``kind``).
+
+    The dispatch behind :func:`repro.open_index`: binary RTCF containers
+    are recognised by magic and opened through ``mmap``; JSON documents
+    dispatch on their ``kind`` discriminator; documents without one are
+    mutable-index documents.
+    """
     from repro.core.rtcf import load_rtcf, sniff_rtcf
     if sniff_rtcf(path):
         return load_rtcf(path, backend=backend)
@@ -371,15 +428,8 @@ def _load_any(path: Union[str, Path], *, backend: Optional[str] = None
         return _rebuild(path, frozen_from_dict, document, backend=backend)
     if kind == HYBRID_KIND:
         return _rebuild(path, hybrid_from_dict, document, backend=backend)
+    if kind == HOPLABEL_KIND:
+        return _rebuild(path, hoplabel_from_dict, document)
+    if kind == CHAIN_KIND:
+        return _rebuild(path, chain_from_dict, document)
     return _rebuild(path, index_from_dict, document)
-
-
-def load_any(path: Union[str, Path]
-             ) -> Union[IntervalTCIndex, FrozenTCIndex, "HybridTCIndex"]:
-    """Load whichever index kind ``path`` holds.
-
-    .. deprecated:: use :func:`repro.open_index` — the same dispatch,
-       plus engine coercion and observability wiring.
-    """
-    _warn_deprecated("load_any")
-    return _load_any(path)

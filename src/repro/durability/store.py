@@ -401,6 +401,15 @@ class DurableTCIndex:
     def nodes(self) -> Iterator[Node]:
         return self._engine.nodes()
 
+    def capabilities(self) -> "EngineCapabilities":
+        """Journalled mutations; batch behaviour follows the inner engine."""
+        from repro.core.engine import EngineCapabilities
+        inner = self._engine.capabilities()
+        return EngineCapabilities(
+            kind="durable", supports_updates=True,
+            supports_batch=inner.supports_batch,
+            is_frozen_snapshot=False, durable=True)
+
     def stats(self) -> dict:
         """Engine size report plus the store's durability accounting."""
         engine_stats = self._engine.stats()

@@ -1,27 +1,35 @@
 """`open_index` — the front door to every query engine.
 
-One call replaces the four historical loaders (``load_index``,
-``load_frozen_index``, ``load_hybrid_index``, ``load_any``, all now
-deprecated shims): it dispatches on what ``source`` *is* (a graph, an
-edge-list file, a saved index document, a durable store directory) and
-on which ``engine`` the caller wants, then wires observability into
-whatever it built.
+One call replaces the four historical loaders: it dispatches on what
+``source`` *is* (a graph, an edge-list file, a saved index document, a
+durable store directory) and on which ``engine`` the caller wants, then
+wires observability into whatever it built.
 
 Dispatch matrix (rows: what ``source`` holds; columns: ``engine=``):
 
-===============  =========  ==========  ==========  ==========
-source           ``auto``   ``interval``  ``frozen``  ``hybrid``
-===============  =========  ==========  ==========  ==========
-graph/edge list  interval   build       build+freeze  build+wrap
-mutable doc      interval   load        load+freeze   load+wrap
-frozen doc       frozen     error       load          error
-hybrid doc       hybrid     inner idx   inner+freeze  load
+===============  ==========  ==========  ==========  ==========  =====================
+source           ``auto``    ``interval``  ``frozen``  ``hybrid``  ``hoplabel``/``chain``
+===============  ==========  ==========  ==========  ==========  =====================
+graph/edge list  *stats* [1] build       build+freeze  build+wrap  label build
+mutable doc      interval    load        load+freeze   load+wrap   build from graph
+frozen doc       frozen      error       load          error       error
+hybrid doc       hybrid      inner idx   inner+freeze  load        build from graph
+hoplabel doc     hoplabel    error       error         error       load / error
+chain doc        chain       error       error         error       error / load
 store directory  durable (inner engine per the store's config)
-===============  =========  ==========  ==========  ==========
+===============  ==========  ==========  ==========  ==========  =====================
 
-Frozen buffers cannot serve a mutable engine — they hold no tree cover
-to update — so that coercion raises :class:`~repro.errors.ReproError`
-rather than silently rebuilding.
+[1] For graph and edge-list sources ``engine="auto"`` consults
+:func:`repro.recommend_engine` over :func:`repro.graph_stats` — the
+measured decision rule from ``BENCH_engines.json`` — unless build
+keyword arguments (``policy=``, ``numbering=``, ...) are present, which
+pin the interval family.  Saved documents always follow their own kind.
+
+Coercion is capability-driven (:meth:`TCEngine.capabilities`), not
+``isinstance``: compiled snapshots (``is_frozen_snapshot``) carry no
+graph or tree cover, so asking them for any other engine raises
+:class:`~repro.errors.ReproError` rather than silently rebuilding;
+members of the mutable family re-derive anything from their graph.
 
 Typical use::
 
@@ -30,6 +38,7 @@ Typical use::
 
     engine = open_index("closure.json")                  # follows the file
     frozen = open_index(graph, engine="frozen")          # build + compile
+    oracle = open_index(graph, engine="hoplabel")        # 2-hop labels
     store = open_index("store/", durable=True)           # crash-safe
     registry = MetricsRegistry()
     engine = open_index("closure.json", metrics=registry)
@@ -39,22 +48,70 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional
 
-from repro.core.frozen import FrozenTCIndex
 from repro.core.hybrid import HybridTCIndex
 from repro.core.index import DEFAULT_GAP, IntervalTCIndex
 from repro.errors import ReproError
 from repro.graph.digraph import DiGraph
 
-__all__ = ["open_index", "ENGINES"]
+__all__ = ["open_index", "ENGINES", "GRAPH_ENGINE_BUILDERS"]
 
 #: Accepted ``engine=`` values (``"dict"`` is the CLI's historical alias
 #: for ``"interval"``).
-ENGINES = ("auto", "interval", "dict", "frozen", "hybrid")
+ENGINES = ("auto", "interval", "dict", "frozen", "hybrid", "hoplabel",
+           "chain")
 
 #: The config file that marks a directory as a durable store.
 _STORE_CONFIG = "store.json"
+
+#: How a compiled snapshot describes its payload in coercion errors.
+_SNAPSHOT_PAYLOAD = {
+    "frozen": "frozen buffers",
+    "hoplabel": "2-hop labels",
+    "chain": "chain-cover labels",
+}
+
+
+def _build_interval(graph, *, backend, gap, **kwargs):
+    return IntervalTCIndex.build(graph, gap=gap, **kwargs)
+
+
+def _build_frozen(graph, *, backend, gap, **kwargs):
+    return IntervalTCIndex.build(graph, gap=gap, **kwargs).freeze(
+        backend=backend)
+
+
+def _build_hybrid(graph, *, backend, gap, **kwargs):
+    return HybridTCIndex.from_index(
+        IntervalTCIndex.build(graph, gap=gap, **kwargs), backend=backend)
+
+
+def _build_hoplabel(graph, *, backend, gap, **kwargs):
+    if kwargs:
+        raise ReproError(
+            f"engine='hoplabel' accepts no build options; got "
+            f"{sorted(kwargs)}")
+    from repro.core.hoplabel import HopLabelIndex
+    return HopLabelIndex.build(graph)
+
+
+def _build_chain(graph, *, backend, gap, **kwargs):
+    from repro.core.chain_cover import ChainCoverIndex
+    return ChainCoverIndex.build(graph, **kwargs)
+
+
+#: Engine-name -> from-graph builder.  The conformance suite
+#: parameterizes over this registry, so registering an engine here is
+#: what enlists it in the protocol battery — and *not* registering a
+#: name listed in :data:`ENGINES` fails the registry-coverage test.
+GRAPH_ENGINE_BUILDERS = {
+    "interval": _build_interval,
+    "frozen": _build_frozen,
+    "hybrid": _build_hybrid,
+    "hoplabel": _build_hoplabel,
+    "chain": _build_chain,
+}
 
 
 def _normalise_engine(engine: str) -> str:
@@ -68,28 +125,55 @@ def _normalise_engine(engine: str) -> str:
     return engine
 
 
+def _choose_engine(graph, kwargs) -> str:
+    """Resolve ``engine="auto"`` for a graph source via cheap statistics.
+
+    Build keyword arguments (``policy=``, ``numbering=``, ...) only make
+    sense for the interval family, so their presence pins it.
+    """
+    if kwargs:
+        return "interval"
+    from repro.core.select import graph_stats, recommend_engine
+    return recommend_engine(graph_stats(graph))
+
+
+def _build_from_graph(graph, engine: str, *, backend, gap, **kwargs):
+    if engine == "auto":
+        engine = _choose_engine(graph, kwargs)
+    return GRAPH_ENGINE_BUILDERS[engine](
+        graph, backend=backend, gap=gap, **kwargs)
+
+
 def _coerce(loaded, engine: str, *, backend: Optional[str],
             origin: str):
-    """Turn whatever was loaded/built into the requested engine."""
-    if isinstance(loaded, FrozenTCIndex):
-        if engine in ("interval", "hybrid"):
-            raise ReproError(
-                f"{origin} holds frozen buffers and cannot serve the "
-                f"{engine!r} engine; rebuild from the graph or a saved "
-                f"mutable index")
+    """Turn whatever was loaded into the requested engine.
+
+    Dispatch is on :meth:`TCEngine.capabilities`: an engine whose
+    ``kind`` already matches (or ``engine="auto"``) passes through; a
+    compiled snapshot refuses every other coercion; the mutable family
+    (an interval index, or a hybrid wrapping one) freezes, wraps, or
+    compiles labels from the graph it carries.
+    """
+    caps = loaded.capabilities()
+    if engine == "auto" or engine == caps.kind:
         return loaded
-    if isinstance(loaded, HybridTCIndex):
-        if engine == "interval":
-            return loaded.index
-        if engine == "frozen":
-            return loaded.index.freeze(backend=backend)
-        return loaded
-    # a mutable IntervalTCIndex
+    if caps.is_frozen_snapshot:
+        payload = _SNAPSHOT_PAYLOAD.get(caps.kind, f"{caps.kind} artefacts")
+        raise ReproError(
+            f"{origin} holds {payload} and cannot serve the "
+            f"{engine!r} engine; rebuild from the graph or a saved "
+            f"mutable index")
+    # The mutable family always carries the exact graph: a hybrid's
+    # write-through index is the delta-corrected truth.
+    index = loaded.index if hasattr(loaded, "index") else loaded
+    if engine == "interval":
+        return index
     if engine == "frozen":
-        return loaded.freeze(backend=backend)
+        return index.freeze(backend=backend)
     if engine == "hybrid":
-        return HybridTCIndex.from_index(loaded, backend=backend)
-    return loaded
+        return HybridTCIndex.from_index(index, backend=backend)
+    return _build_from_graph(index.graph, engine, backend=backend,
+                             gap=DEFAULT_GAP)
 
 
 def _is_store_directory(path: str) -> bool:
@@ -110,17 +194,24 @@ def open_index(source, *, engine: str = "auto",
     ``mmap``), a path to an edge-list file, or a durable store
     directory.
 
-    ``engine`` selects the representation (``"auto"`` follows the
-    source); ``durable=True`` forces the crash-safe store (``None``
-    auto-detects a store directory, ``False`` forbids one).  ``metrics``
-    (a :class:`~repro.obs.metrics.MetricsRegistry`) and ``tracer`` (a
+    ``engine`` selects the representation: ``"interval"`` (updatable),
+    ``"frozen"`` (compiled flat arrays), ``"hybrid"`` (frozen base +
+    delta overlay), ``"hoplabel"`` (2-hop hub labels) or ``"chain"``
+    (chain-cover labels).  ``"auto"`` follows a saved document's kind;
+    for graph and edge-list sources it picks from cheap graph statistics
+    (:func:`repro.recommend_engine`).  ``durable=True`` forces the
+    crash-safe store (``None`` auto-detects a store directory, ``False``
+    forbids one).  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) and ``tracer`` (a
     :class:`~repro.obs.tracing.QueryTracer`) attach observability to the
     returned engine and everything nested inside it.
 
     Extra keyword arguments flow to the underlying constructor:
     :meth:`IntervalTCIndex.build` for graph/edge-list sources (e.g.
-    ``policy``, ``numbering``), :meth:`DurableTCIndex.open` for durable
-    stores (e.g. ``fsync_every``, ``create``).
+    ``policy``, ``numbering``), :meth:`ChainCoverIndex.build` for
+    ``engine="chain"`` (``method="greedy"|"optimal"``),
+    :meth:`DurableTCIndex.open` for durable stores (e.g.
+    ``fsync_every``, ``create``).
     """
     from repro.obs.instrument import attach
 
@@ -132,10 +223,10 @@ def open_index(source, *, engine: str = "auto",
             durable = _is_store_directory(path)
         if durable:
             from repro.durability.store import DurableTCIndex
-            if engine == "frozen":
+            if engine in ("frozen", "hoplabel", "chain"):
                 raise ReproError(
                     "durable stores persist a mutable op-log; "
-                    "engine='frozen' cannot be journalled — choose "
+                    f"engine={engine!r} cannot be journalled — choose "
                     "'interval' or 'hybrid'")
             store_engine = "hybrid" if engine == "hybrid" else "interval"
             kwargs.setdefault("create", not os.path.exists(
@@ -147,11 +238,11 @@ def open_index(source, *, engine: str = "auto",
         if path.endswith((".json", ".rtcf")) or sniff_rtcf(path):
             from repro.core.serialize import _load_any
             loaded = _load_any(path, backend=backend)
+            result = _coerce(loaded, engine, backend=backend, origin=path)
         else:
             from repro.graph.io import load_edge_list
-            loaded = IntervalTCIndex.build(load_edge_list(path), gap=gap,
-                                           **kwargs)
-        result = _coerce(loaded, engine, backend=backend, origin=path)
+            result = _build_from_graph(load_edge_list(path), engine,
+                                       backend=backend, gap=gap, **kwargs)
         return attach(result, metrics=metrics, tracer=tracer)
 
     if durable:
@@ -160,11 +251,11 @@ def open_index(source, *, engine: str = "auto",
             f"{type(source).__name__}")
 
     if isinstance(source, DiGraph):
-        built = IntervalTCIndex.build(source, gap=gap, **kwargs)
-        result = _coerce(built, engine, backend=backend, origin="graph")
+        result = _build_from_graph(source, engine, backend=backend,
+                                   gap=gap, **kwargs)
         return attach(result, metrics=metrics, tracer=tracer)
 
-    if isinstance(source, (IntervalTCIndex, FrozenTCIndex, HybridTCIndex)):
+    if hasattr(source, "capabilities") and hasattr(source, "reachable"):
         result = _coerce(source, engine, backend=backend,
                          origin=type(source).__name__)
         return attach(result, metrics=metrics, tracer=tracer)

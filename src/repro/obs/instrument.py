@@ -250,6 +250,14 @@ def attach(engine, *, metrics: Optional[MetricsRegistry] = None,
             _register_frozen_gauges(registry, engine, label)
         return engine
 
+    # Self-registering engines (hoplabel, chain, future families) own
+    # their gauge vocabulary — no per-class knowledge needed here.
+    register = getattr(engine, "_register_gauges", None)
+    if register is not None:
+        if registry is not None:
+            register(registry, label)
+        return engine
+
     from repro.durability.store import DurableTCIndex
     if isinstance(engine, DurableTCIndex):
         engine._attach_observability(registry, tracer)

@@ -319,6 +319,12 @@ class ServerBackedEngine:
         return set(self._thread.call("semijoin", mode="backward",
                                      destinations=list(destinations)))
 
+    def capabilities(self) -> "EngineCapabilities":
+        from repro.core.engine import EngineCapabilities
+        return EngineCapabilities(
+            kind="server", supports_updates=True, supports_batch=True,
+            is_frozen_snapshot=False, durable=False)
+
     def stats(self) -> dict:
         return self._thread.call("stats")
 

@@ -33,7 +33,6 @@ from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.core.frozen import FrozenTCIndex
 from repro.core.hybrid import HybridTCIndex
-from repro.core.index import IntervalTCIndex
 from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry
 
@@ -93,9 +92,12 @@ class ServeState:
       :meth:`~HybridTCIndex.compact` and pin the fresh base;
     * an :class:`IntervalTCIndex` — wrapped into a hybrid so the serve
       path is identical;
-    * a :class:`FrozenTCIndex` (including mmap-backed RTCF views) — a
-      read-only service: the snapshot is the engine itself, forever
-      epoch 0, and every write draws a ``read-only`` error;
+    * any compiled snapshot — a :class:`FrozenTCIndex` (including
+      mmap-backed RTCF views), a
+      :class:`~repro.core.hoplabel.HopLabelIndex`, or a
+      :class:`~repro.core.chain_cover.ChainCoverIndex` — a read-only
+      service: the snapshot is the engine itself, forever epoch 0, and
+      every write draws a ``read-only`` error;
     * a :class:`~repro.durability.store.DurableTCIndex` — writes are
       journalled through the store facade; snapshots come from its inner
       engine (compacted when hybrid, frozen otherwise).
@@ -128,28 +130,42 @@ class ServeState:
     # construction
     # ------------------------------------------------------------------
     def _classify(self, engine):
-        """Return (write_target, hybrid_for_snapshots, frozen_or_None)."""
-        if isinstance(engine, FrozenTCIndex):
+        """Return (write_target, hybrid_for_snapshots, frozen_or_None).
+
+        Dispatch is on :meth:`TCEngine.capabilities`, so any
+        conformant engine is servable without this module knowing its
+        class: engines that do not support updates run as read-only
+        snapshots of themselves; updatable engines are keyed by kind.
+        """
+        if not hasattr(engine, "capabilities"):
+            raise ReproError(
+                f"cannot serve a {type(engine).__name__}: expected a "
+                "TCEngine (hybrid, interval, frozen, hoplabel, chain, "
+                "or durable)")
+        caps = engine.capabilities()
+        if not caps.supports_updates:
+            # Frozen buffers, 2-hop labels, chain-cover labels: the
+            # engine *is* its own immutable snapshot.
             return None, None, engine
-        if isinstance(engine, HybridTCIndex):
+        if caps.durable:
+            inner = engine.engine
+            inner_kind = inner.capabilities().kind
+            if inner_kind == "hybrid":
+                return engine, inner, None
+            if inner_kind == "interval":
+                return engine, None, None
+            raise ReproError(
+                f"cannot serve a {type(engine).__name__} wrapping "
+                f"{type(inner).__name__}")
+        if caps.kind == "hybrid":
             return engine, engine, None
-        if isinstance(engine, IntervalTCIndex):
+        if caps.kind == "interval":
             hybrid = HybridTCIndex.from_index(
                 engine, max_delta=1 << 30, max_ratio=float(1 << 30))
             return hybrid, hybrid, None
-        # durable store (or any facade exposing .engine)
-        inner = getattr(engine, "engine", None)
-        if inner is None:
-            raise ReproError(
-                f"cannot serve a {type(engine).__name__}: expected a "
-                "hybrid, interval, frozen, or durable engine")
-        if isinstance(inner, HybridTCIndex):
-            return engine, inner, None
-        if isinstance(inner, IntervalTCIndex):
-            return engine, None, None
         raise ReproError(
-            f"cannot serve a {type(engine).__name__} wrapping "
-            f"{type(inner).__name__}")
+            f"cannot serve a {type(engine).__name__}: updatable engine "
+            f"kind {caps.kind!r} has no serve adapter")
 
     def _compile(self):
         """A detached immutable engine for the current exact state."""

@@ -1,0 +1,129 @@
+"""ChainCoverIndex as a first-class engine, plus Dilworth properties.
+
+The decomposition algorithms themselves are covered by
+``tests/baselines/test_chain_cover.py`` (which now exercises the same
+class through its historical ``ChainTCIndex`` name); this file covers
+what the promotion added: the full TCEngine surface, serialization, the
+width sandwich on seeded DAGs, and observability.
+"""
+
+import random
+
+import pytest
+
+from repro import open_index
+from repro.core.chain_cover import (ChainCoverIndex,
+                                    greedy_chain_decomposition,
+                                    optimal_chain_decomposition)
+from repro.core.index import IntervalTCIndex
+from repro.core.serialize import (chain_from_dict, chain_to_dict,
+                                  save_chain_index)
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.metrics import width_by_levels
+from repro.obs import MetricsRegistry, attach
+
+
+def paper_graph() -> DiGraph:
+    graph = DiGraph()
+    for source, destination in [("a", "b"), ("b", "c"), ("b", "d"),
+                                ("a", "e"), ("e", "d"), ("c", "f")]:
+        graph.add_arc(source, destination)
+    return graph
+
+
+class TestEngineSurface:
+    @pytest.mark.parametrize("method", ("greedy", "optimal"))
+    def test_seeded_dag_differential(self, method):
+        graph = random_dag(250, 2.0, 11)
+        oracle = IntervalTCIndex.build(graph)
+        index = ChainCoverIndex.build(graph, method=method)
+        rng = random.Random(11)
+        nodes = sorted(graph.nodes(), key=repr)
+        for node in rng.sample(nodes, 30):
+            assert index.successors(node) == oracle.successors(node)
+            assert index.predecessors(node) == oracle.predecessors(node)
+            assert index.count_successors(node) == \
+                oracle.count_successors(node)
+        pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(200)]
+        assert index.reachable_many(pairs) == oracle.reachable_many(pairs)
+
+    def test_point_query_is_one_probe_per_chain(self):
+        # The fast path: reachable() consults only the source's
+        # per-chain minimum vector, never walks the graph.
+        index = ChainCoverIndex.build(paper_graph())
+        assert index.reachable("a", "f")
+        assert not index.reachable("f", "a")
+        assert index.are_disjoint("f", "d")
+        assert not index.are_disjoint("b", "e")
+
+    def test_unknown_nodes_raise(self):
+        index = ChainCoverIndex.build(paper_graph())
+        with pytest.raises(NodeNotFoundError):
+            index.reachable("ghost", "a")
+        with pytest.raises(NodeNotFoundError):
+            index.reaching_set(["ghost"])
+
+
+class TestWidthSandwich:
+    """Dilworth: max antichain == optimal chain count.
+
+    The level histogram gives a real antichain, so its maximum is a
+    lower bound; the greedy first-fit count is an upper bound.  The
+    optimal (bipartite-matching) count must sit between the two on
+    every seeded DAG — the property behind Jagadish's Theorem 2
+    storage comparison.
+    """
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_optimal_between_level_width_and_greedy(self, seed):
+        graph = random_dag(60, 1.0 + (seed % 4) * 0.7, seed)
+        optimal = len(optimal_chain_decomposition(graph))
+        greedy = len(greedy_chain_decomposition(graph))
+        assert width_by_levels(graph) <= optimal <= greedy <= \
+            graph.num_nodes
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chains_partition_the_nodes(self, seed):
+        graph = random_dag(80, 2.0, seed)
+        index = ChainCoverIndex.build(graph, method="optimal")
+        covered = [node for chain in index.chains for node in chain]
+        assert len(covered) == graph.num_nodes
+        assert set(covered) == set(graph.nodes())
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("method", ("greedy", "optimal"))
+    def test_dict_round_trip(self, method):
+        index = ChainCoverIndex.build(paper_graph(), method=method)
+        clone = chain_from_dict(chain_to_dict(index))
+        assert clone.stats()["method"] == method
+        for node in index.nodes():
+            assert clone.successors(node) == index.successors(node)
+            assert clone.predecessors(node) == index.predecessors(node)
+
+    def test_file_round_trip_via_open_index(self, tmp_path):
+        path = tmp_path / "chain.json"
+        save_chain_index(ChainCoverIndex.build(paper_graph()), path)
+        loaded = open_index(path)
+        assert isinstance(loaded, ChainCoverIndex)
+        assert loaded.reachable("a", "f")
+        assert loaded.num_chains == loaded.stats()["num_chains"]
+
+
+class TestObservability:
+    def test_gauges_register_through_attach(self):
+        registry = MetricsRegistry()
+        index = attach(ChainCoverIndex.build(paper_graph()),
+                       metrics=registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['tc_nodes{engine="ChainCoverIndex"}'] == len(index)
+        assert gauges['tc_chain_count{engine="ChainCoverIndex"}'] == \
+            index.num_chains
+
+
+class TestBaselineAlias:
+    def test_historical_name_is_the_engine(self):
+        from repro.baselines.chain_cover import ChainTCIndex
+        assert ChainTCIndex is ChainCoverIndex

@@ -1,6 +1,7 @@
-"""TCEngine conformance: all four engines share one query surface.
+"""TCEngine conformance: every engine shares one query surface.
 
-Parametrized over the mutable, frozen, hybrid and durable engines:
+Parametrized over the mutable, frozen, hybrid, durable, RTCF, 2-hop
+label and chain-cover engines:
 method presence (``isinstance`` against the runtime-checkable protocol),
 exact signature equality via :func:`inspect.signature`, shared reflexive
 semantics, empty-graph edge cases, batch-equals-singles, and the
@@ -20,7 +21,8 @@ from repro.durability.store import DurableTCIndex
 from repro.graph.digraph import DiGraph
 from repro.obs import MetricsRegistry, QueryTracer, attach
 
-ENGINE_NAMES = ("interval", "frozen", "hybrid", "durable", "rtcf")
+ENGINE_NAMES = ("interval", "frozen", "hybrid", "durable", "rtcf",
+                "hoplabel", "chain")
 
 #: The query surface whose signatures must match byte-for-byte.
 QUERY_METHODS = (
@@ -73,6 +75,14 @@ def make_engine(name, graph, tmp_path, *, metrics=None, tracer=None):
         save_rtcf(IntervalTCIndex.build(graph).freeze(), path)
         return attach(load_rtcf(path, verify=True), metrics=metrics,
                       tracer=tracer)
+    if name == "hoplabel":
+        from repro.core.hoplabel import HopLabelIndex
+        return attach(HopLabelIndex.build(graph), metrics=metrics,
+                      tracer=tracer)
+    if name == "chain":
+        from repro.core.chain_cover import ChainCoverIndex
+        return attach(ChainCoverIndex.build(graph), metrics=metrics,
+                      tracer=tracer)
     raise AssertionError(name)
 
 
@@ -99,6 +109,29 @@ class TestProtocol:
     def test_stats_takes_no_arguments(self, engine):
         parameters = inspect.signature(type(engine).stats).parameters
         assert list(parameters) == ["self"]
+
+    def test_capabilities_contract(self, engine):
+        from repro.core.engine import EngineCapabilities
+        caps = engine.capabilities()
+        assert isinstance(caps, EngineCapabilities)
+        assert caps.kind
+        # A compiled snapshot cannot also accept updates.
+        assert not (caps.is_frozen_snapshot and caps.supports_updates)
+
+
+def test_registry_covers_every_engine_name():
+    """`open_index` names, the builder registry, and this suite agree.
+
+    Registering an engine in ``GRAPH_ENGINE_BUILDERS`` is what enlists
+    it here; a name in ``ENGINES`` without a builder (or vice versa) is
+    a wiring bug.
+    """
+    from repro.factory import ENGINES, GRAPH_ENGINE_BUILDERS
+    buildable = set(ENGINES) - {"auto", "dict"}
+    assert set(GRAPH_ENGINE_BUILDERS) == buildable
+    # The conformance battery exercises every buildable engine: the
+    # ENGINE_NAMES here add serving wrappers (durable, rtcf) on top.
+    assert buildable <= set(ENGINE_NAMES) | {"interval"}
 
 
 class TestSemantics:
@@ -258,9 +291,10 @@ class TestEmptyBatchOnPopulatedGraph:
 
 
 #: The durable store builds incrementally (one journalled add_node per
-#: node), which is far too slow at 5k nodes for tier-1; the other four
+#: node), which is far too slow at 5k nodes for tier-1; the other
 #: engines all build from a graph in one pass.
-SCALE_ENGINE_NAMES = ("interval", "frozen", "hybrid", "rtcf")
+SCALE_ENGINE_NAMES = ("interval", "frozen", "hybrid", "rtcf", "hoplabel",
+                      "chain")
 
 
 @pytest.mark.parametrize("name", SCALE_ENGINE_NAMES)

@@ -1,16 +1,17 @@
-"""`repro.open_index` dispatch matrix and deprecated-loader shims."""
+"""`repro.open_index` dispatch matrix, coercion rules, auto-selection."""
 
 import warnings
 
 import pytest
 
 from repro import open_index
+from repro.core.chain_cover import ChainCoverIndex
 from repro.core.frozen import FrozenTCIndex
+from repro.core.hoplabel import HopLabelIndex
 from repro.core.hybrid import HybridTCIndex
 from repro.core.index import IntervalTCIndex
-from repro.core.serialize import (load_any, load_frozen_index,
-                                  load_hybrid_index, load_index,
-                                  save_frozen_index, save_hybrid_index,
+from repro.core.serialize import (save_chain_index, save_frozen_index,
+                                  save_hoplabel_index, save_hybrid_index,
                                   save_index)
 from repro.durability.store import DurableTCIndex
 from repro.errors import ReproError
@@ -54,6 +55,25 @@ class TestFromGraph:
     def test_build_kwargs_flow_through(self):
         engine = open_index(diamond(), policy="first_parent")
         assert engine.policy == "first_parent"
+
+    def test_hoplabel(self):
+        engine = open_index(diamond(), engine="hoplabel")
+        assert isinstance(engine, HopLabelIndex)
+        assert engine.reachable("a", "d")
+        assert not engine.reachable("b", "c")
+
+    def test_chain(self):
+        engine = open_index(diamond(), engine="chain")
+        assert isinstance(engine, ChainCoverIndex)
+        assert engine.successors("a") == {"a", "b", "c", "d"}
+
+    def test_chain_method_kwarg_flows_through(self):
+        engine = open_index(diamond(), engine="chain", method="optimal")
+        assert engine.stats()["method"] == "optimal"
+
+    def test_hoplabel_rejects_build_kwargs(self):
+        with pytest.raises(ReproError, match="no build options"):
+            open_index(diamond(), engine="hoplabel", policy="first_parent")
 
 
 class TestFromDocuments:
@@ -101,6 +121,38 @@ class TestFromDocuments:
         engine = open_index(path, engine="frozen")
         assert isinstance(engine, FrozenTCIndex)
         assert engine.reachable("a", "c")
+
+    def test_hoplabel_doc_follows_auto(self, tmp_path):
+        path = tmp_path / "hop.json"
+        save_hoplabel_index(HopLabelIndex.build(diamond()), path)
+        engine = open_index(path)
+        assert isinstance(engine, HopLabelIndex)
+        assert engine.reachable("a", "d")
+
+    def test_chain_doc_follows_auto(self, tmp_path):
+        path = tmp_path / "chain.json"
+        save_chain_index(ChainCoverIndex.build(diamond()), path)
+        engine = open_index(path)
+        assert isinstance(engine, ChainCoverIndex)
+        assert engine.predecessors("d") == {"a", "b", "c", "d"}
+
+    def test_label_docs_refuse_other_engines(self, tmp_path):
+        hop_path = tmp_path / "hop.json"
+        save_hoplabel_index(HopLabelIndex.build(diamond()), hop_path)
+        with pytest.raises(ReproError, match="2-hop labels"):
+            open_index(hop_path, engine="interval")
+        chain_path = tmp_path / "chain.json"
+        save_chain_index(ChainCoverIndex.build(diamond()), chain_path)
+        with pytest.raises(ReproError, match="chain-cover labels"):
+            open_index(chain_path, engine="frozen")
+
+    def test_mutable_doc_coerces_to_label_engines(self, tmp_path):
+        path = tmp_path / "idx.json"
+        save_index(IntervalTCIndex.build(diamond()), path)
+        assert isinstance(open_index(path, engine="hoplabel"),
+                          HopLabelIndex)
+        assert isinstance(open_index(path, engine="chain"),
+                          ChainCoverIndex)
 
 
 class TestFromEngines:
@@ -171,28 +223,75 @@ class TestObservabilityWiring:
             open_index(path, engine="frozen")
 
 
-class TestDeprecatedShims:
-    def test_load_index_warns(self, tmp_path):
-        path = tmp_path / "idx.json"
-        save_index(IntervalTCIndex.build(diamond()), path)
-        with pytest.deprecated_call():
-            loaded = load_index(path)
-        assert loaded.reachable("a", "d")
+class TestShimRemoval:
+    """The PR 5 deprecated loaders are gone; ``open_index`` is the door."""
 
-    def test_load_frozen_index_warns(self, tmp_path):
-        path = tmp_path / "frozen.json"
-        save_frozen_index(IntervalTCIndex.build(diamond()).freeze(), path)
-        with pytest.deprecated_call():
-            load_frozen_index(path)
+    def test_loaders_no_longer_importable(self):
+        import repro.core.serialize as serialize
+        for name in ("load_index", "load_frozen_index",
+                     "load_hybrid_index", "load_any"):
+            assert not hasattr(serialize, name)
 
-    def test_load_hybrid_index_warns(self, tmp_path):
-        path = tmp_path / "hybrid.json"
-        save_hybrid_index(HybridTCIndex.build(diamond()), path)
-        with pytest.deprecated_call():
-            load_hybrid_index(path)
+    def test_core_namespace_dropped_loaders(self):
+        import repro.core as core
+        for name in ("load_index", "load_frozen_index", "load_hybrid_index"):
+            assert not hasattr(core, name)
+            assert name not in core.__all__
 
-    def test_load_any_warns(self, tmp_path):
-        path = tmp_path / "idx.json"
-        save_index(IntervalTCIndex.build(diamond()), path)
-        with pytest.deprecated_call():
-            load_any(path)
+
+class TestCapabilities:
+    def test_kinds_cover_the_engine_matrix(self):
+        kinds = {
+            IntervalTCIndex.build(diamond()).capabilities().kind: None,
+            open_index(diamond(), engine="frozen").capabilities().kind: None,
+            open_index(diamond(), engine="hybrid").capabilities().kind: None,
+            open_index(diamond(), engine="hoplabel").capabilities().kind: None,
+            open_index(diamond(), engine="chain").capabilities().kind: None,
+        }
+        assert set(kinds) == {"interval", "frozen", "hybrid", "hoplabel",
+                              "chain"}
+
+    def test_snapshot_engines_declare_it(self):
+        for engine_name in ("frozen", "hoplabel", "chain"):
+            caps = open_index(diamond(), engine=engine_name).capabilities()
+            assert caps.is_frozen_snapshot
+            assert not caps.supports_updates
+
+    def test_durable_wraps_inner_capabilities(self, tmp_path):
+        store = open_index(tmp_path / "store", durable=True)
+        try:
+            caps = store.capabilities()
+            assert caps.durable and caps.supports_updates
+            assert caps.kind == "durable"
+        finally:
+            store.close()
+
+
+class TestAutoSelection:
+    def test_small_graphs_stay_interval(self):
+        # Build cost dominates below the small_nodes threshold: auto
+        # keeps the flexible updatable index.
+        assert isinstance(open_index(diamond()), IntervalTCIndex)
+
+    def test_deep_chain_graph_selects_chain(self):
+        arcs = [(f"n{i}", f"n{i+1}") for i in range(400)]
+        engine = open_index(DiGraph(arcs))
+        assert isinstance(engine, ChainCoverIndex)
+        assert engine.reachable("n0", "n400")
+
+    def test_bipartite_graph_avoids_interval(self):
+        # Figure 3.6's worst case: every engine stores Θ(n²/4), so auto
+        # must pick a compiled flat representation, not the updatable
+        # interval index.
+        arcs = [(f"s{i}", f"t{j}") for i in range(20) for j in range(20)]
+        engine = open_index(DiGraph(arcs))
+        assert not isinstance(engine, IntervalTCIndex) or \
+            len(engine) < 256  # small carve-out may still apply
+        big = [(f"s{i}", f"t{j}") for i in range(160) for j in range(160)]
+        engine = open_index(DiGraph(big))
+        assert engine.capabilities().is_frozen_snapshot
+
+    def test_build_kwargs_pin_interval(self):
+        arcs = [(f"n{i}", f"n{i+1}") for i in range(400)]
+        engine = open_index(DiGraph(arcs), policy="first_parent")
+        assert isinstance(engine, IntervalTCIndex)
